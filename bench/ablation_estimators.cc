@@ -1,0 +1,150 @@
+// Estimator-quality ablation: kernels vs equi-depth histograms vs Haar
+// wavelet synopses at EQUAL memory, on the paper's workloads.
+//
+// Section 4 argues for kernels because "previous studies have also shown
+// that kernels are as accurate as those two techniques [histograms and
+// wavelets]" while being cheap to maintain online. This harness quantifies
+// that on our workloads: each estimator gets the same byte budget and is
+// scored by (a) JS divergence to the window's exact distribution and
+// (b) agreement of its (D, r)-outlier decisions with brute force.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/brute_force_d.h"
+#include "bench_util.h"
+#include "data/engine_trace.h"
+#include "data/synthetic.h"
+#include "stats/bandwidth.h"
+#include "stats/divergence.h"
+#include "stats/empirical.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+#include "stats/moments.h"
+#include "stats/wavelet.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sensord;
+
+struct Scores {
+  double js = 0.0;
+  double decision_agreement = 0.0;
+};
+
+Scores Evaluate(const DistributionEstimator& est,
+                const std::vector<Point>& window,
+                const EmpiricalDistribution& truth,
+                const DistanceOutlierConfig& rule) {
+  Scores s;
+  auto js = JsDivergenceOnGrid(est, truth, 128);
+  s.js = js.ok() ? *js : 1.0;
+
+  Rng q(99);
+  const double n = static_cast<double>(window.size());
+  int agree = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    // Mix of window values (dense) and uniform probes (sparse).
+    const Point p = q.Bernoulli(0.5)
+                        ? window[q.UniformUint64(window.size())]
+                        : Point{q.UniformDouble()};
+    const bool truth_flag = BruteForceIsDistanceOutlier(window, p, rule);
+    const bool est_flag = est.NeighborCount(p, rule.radius, n) <
+                          rule.neighbor_threshold;
+    agree += (truth_flag == est_flag);
+  }
+  s.decision_agreement = static_cast<double>(agree) / trials;
+  return s;
+}
+
+void RunWorkload(const char* name, const std::vector<Point>& window) {
+  auto truth = EmpiricalDistribution::Create(window);
+  if (!truth.ok()) return;
+  DistanceOutlierConfig rule;
+  rule.radius = 0.01;
+  rule.neighbor_threshold = 0.0045 * static_cast<double>(window.size());
+
+  std::printf("\n--- %s (|W| = %zu) ---\n", name, window.size());
+  std::printf("%-10s %10s %12s %14s %18s\n", "estimator", "budget",
+              "bytes@2B", "JS to truth", "decision agree");
+  bench::Rule();
+
+  for (size_t budget : {125u, 250u, 500u}) {
+    // Kernel: |R| sample points, at the paper's Scott bandwidth and at the
+    // robust (IQR-tempered) variant (see core/config.h).
+    {
+      Rng rng(1);
+      std::vector<Point> sample;
+      for (size_t i = 0; i < budget; ++i) {
+        sample.push_back(window[rng.UniformUint64(window.size())]);
+      }
+      std::vector<double> v;
+      for (const Point& p : window) v.push_back(p[0]);
+      const SummaryStats stats = Summarize(v);
+      const double iqr = Quantile(v, 0.75) - Quantile(std::move(v), 0.25);
+
+      auto scott = KernelDensityEstimator::CreateWithScottBandwidths(
+          sample, {stats.stddev});
+      if (scott.ok()) {
+        const Scores s = Evaluate(*scott, window, *truth, rule);
+        std::printf("%-10s %10zu %11zuB %14.4f %17.1f%%\n", "kernel",
+                    budget, scott->MemoryBytes(2), s.js,
+                    100.0 * s.decision_agreement);
+      }
+      auto robust = KernelDensityEstimator::CreateWithScottBandwidths(
+          std::move(sample), {RobustSpread(stats.stddev, iqr)});
+      if (robust.ok()) {
+        const Scores s = Evaluate(*robust, window, *truth, rule);
+        std::printf("%-10s %10zu %11zuB %14.4f %17.1f%%\n", "kernel-rob",
+                    budget, robust->MemoryBytes(2), s.js,
+                    100.0 * s.decision_agreement);
+      }
+    }
+    // Histogram: |B| buckets.
+    {
+      auto hist = EquiDepthHistogram::Build(window, budget);
+      if (hist.ok()) {
+        const Scores s = Evaluate(*hist, window, *truth, rule);
+        std::printf("%-10s %10zu %11zuB %14.4f %17.1f%%\n", "histogram",
+                    budget, hist->MemoryBytes(2), s.js,
+                    100.0 * s.decision_agreement);
+      }
+    }
+    // Wavelet: |B| kept coefficients (each an index + a value).
+    {
+      auto wave = WaveletSynopsis::Build(window, budget);
+      if (wave.ok()) {
+        const Scores s = Evaluate(*wave, window, *truth, rule);
+        std::printf("%-10s %10zu %11zuB %14.4f %17.1f%%\n", "wavelet",
+                    budget, wave->MemoryBytes(2), s.js,
+                    100.0 * s.decision_agreement);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation: kernels vs histograms vs wavelets at equal memory");
+  const size_t window_size = bench::QuickMode() ? 4000 : 10000;
+
+  {
+    SyntheticMixtureStream stream(SyntheticOptions{}, Rng(2026));
+    RunWorkload("synthetic mixture", stream.Take(window_size));
+  }
+  {
+    EngineTraceOptions opts;
+    opts.mean_healthy_duration = 2000.0;
+    EngineTraceGenerator stream(opts, Rng(2027));
+    RunWorkload("engine trace", stream.Take(window_size));
+  }
+  std::printf("\nExpected (Section 4's claim): kernels are competitive with "
+              "both synopses at equal memory, while remaining the only one "
+              "of the three that is cheap to maintain incrementally over a "
+              "sliding window.\n");
+  return 0;
+}

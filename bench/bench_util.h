@@ -1,0 +1,44 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Shared plumbing for the figure-reproduction harnesses: consistent table
+// formatting and environment-variable size overrides so CI can run reduced
+// instances (SENSORD_QUICK=1) while the default invocation reproduces the
+// paper-scale experiment.
+
+#ifndef SENSORD_BENCH_BENCH_UTIL_H_
+#define SENSORD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sensord::bench {
+
+/// True when SENSORD_QUICK=1: harnesses shrink workloads so the whole bench
+/// suite finishes quickly (used by smoke runs; numbers remain directional).
+inline bool QuickMode() {
+  const char* v = std::getenv("SENSORD_QUICK");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+/// Integer env override with default.
+inline long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atol(v);
+}
+
+/// Prints a section header.
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+inline void Rule() {
+  std::printf("---------------------------------------------------------"
+              "---------------------\n");
+}
+
+}  // namespace sensord::bench
+
+#endif  // SENSORD_BENCH_BENCH_UTIL_H_

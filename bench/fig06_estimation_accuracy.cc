@@ -1,0 +1,108 @@
+// Reproduces Figure 6: "Difference between real and the estimated data
+// distributions, at leaf and parent level".
+//
+// Setup (Section 10.1): W = 10240, |R| = 1024, Gaussian stream whose mean
+// shifts from 0.3 to 0.5 every 4096 measurements; the JS divergence between
+// the estimate and the true (current-phase) distribution is tracked over
+// time for the leaf sensor and for a parent sensor at sample fractions
+// f = 0.5 and f = 0.75. Paper headlines: max distance ~0.0037 while the
+// distribution is stable, a spike at each shift, and recovery "within 0.1
+// with latency of 2500 measurements".
+//
+// Note on the recovery latency: a uniform sliding window of 10240 readings
+// still holds >75% old-phase data 2500 readings after a shift, so against
+// the current-phase truth the JS distance mathematically cannot reach 0.1
+// that fast at W = 10240; recovery completes after about one full window.
+// We therefore print the paper-parameter run *and* a W = 2048 run, where
+// the window turns over fast enough for the ~2500-reading recovery the
+// paper describes. See EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace sensord;
+
+void RunOne(size_t window, size_t sample, uint64_t phase,
+            uint64_t total_rounds, bool print_series) {
+  EstimationAccuracyConfig cfg;
+  cfg.window_size = window;
+  cfg.sample_size = sample;
+  cfg.phase_length = phase;
+  cfg.total_rounds = total_rounds;
+  cfg.eval_every = 256;
+  cfg.parent_fractions = {0.5, 0.75};
+  cfg.seed = 2026;
+
+  const auto series = RunEstimationAccuracy(cfg);
+  std::printf("\n--- W = %zu, |R| = %zu, shift every %llu readings ---\n",
+              window, sample, static_cast<unsigned long long>(phase));
+  if (print_series) {
+    std::printf("%8s %12s %16s %16s\n", "Time", "Leaf JS",
+                "Parent JS f=0.50", "Parent JS f=0.75");
+    bench::Rule();
+    for (const auto& pt : series) {
+      std::printf("%8llu %12.4f %16.4f %16.4f\n",
+                  static_cast<unsigned long long>(pt.t), pt.leaf_js,
+                  pt.parent_js[0], pt.parent_js[1]);
+    }
+  }
+
+  // Stable phase: the window holds only phase-1 data for t <= phase; skip
+  // the first quarter as warm-up.
+  double stable_leaf = 0.0, stable_p50 = 0.0, stable_p75 = 0.0;
+  double spike = 0.0;
+  uint64_t latency = 0;
+  bool recovered = false;
+  for (const auto& pt : series) {
+    if (pt.t > phase / 4 && pt.t <= phase) {
+      stable_leaf = std::max(stable_leaf, pt.leaf_js);
+      stable_p50 = std::max(stable_p50, pt.parent_js[0]);
+      stable_p75 = std::max(stable_p75, pt.parent_js[1]);
+    }
+    if (pt.t > phase && pt.t <= 2 * phase) {
+      spike = std::max(spike, pt.leaf_js);
+      if (!recovered && pt.leaf_js <= 0.1 && pt.t > phase + 256) {
+        latency = pt.t - phase;
+        recovered = true;
+      }
+    }
+  }
+  std::printf("stable-phase max JS:   leaf %.4f | parent f=0.50 %.4f | "
+              "parent f=0.75 %.4f\n",
+              stable_leaf, stable_p50, stable_p75);
+  std::printf("post-shift peak JS:    %.4f\n", spike);
+  if (recovered) {
+    std::printf("latency to JS <= 0.1:  %llu readings\n",
+                static_cast<unsigned long long>(latency));
+  } else {
+    std::printf("latency to JS <= 0.1:  > %llu readings (window turnover "
+                "dominates)\n",
+                static_cast<unsigned long long>(phase));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Figure 6: JS distance between true and estimated distributions");
+  if (bench::QuickMode()) {
+    RunOne(/*window=*/2048, /*sample=*/256, /*phase=*/2048,
+           /*total_rounds=*/6144, /*print_series=*/false);
+    return 0;
+  }
+  // Paper parameters (series printed for plotting).
+  RunOne(10240, 1024, 4096, 12288, /*print_series=*/true);
+  // Fast-turnover variant where the ~2500-reading recovery is observable.
+  RunOne(2048, 256, 4096, 12288, /*print_series=*/false);
+  std::printf("\nPaper headlines: ~0.004 stable distance; spike at each "
+              "shift; recovery within 0.1 after ~2500 readings (matched by "
+              "the fast-turnover run; at W = 10240 recovery takes about one "
+              "window by construction).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 7: precision and recall of D3 and MGDD on the 1-d
+// synthetic workload, Kernel vs. Histogram approaches, while varying the
+// memory of the representation (|R| or |B| in {0.0125, 0.025, 0.05} |W|).
+//
+// Setup (Section 10.2): 32 leaf sensors + two levels of leaders (the figure
+// labels detection levels 1-4, which our 32 -> 8 -> 2 -> 1 fan-out-4 grid
+// reproduces); |W| = 10000, f = 0.5, (45, 0.01)-distance outliers, MDEF
+// r = 0.08, alpha r = 0.01. Paper headline: both methods >90% precision and
+// recall at the right parameters, D3 precision increasing with the level,
+// kernels at least as good as (offline, favoured) histograms.
+//
+// MDEF deviation threshold: the paper sets k_sigma = 3; under our strictly
+// object-weighted aLOCI statistics that leaves the synthetic mixture with
+// almost no true MDEF outliers (both truth and detector agree vacuously),
+// so the MGDD rows here use k_sigma = 1, which yields truth-set sizes of
+// the order the paper reports per window. See EXPERIMENTS.md.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace sensord;
+
+AccuracyConfig BaseConfig() {
+  AccuracyConfig cfg;
+  cfg.num_leaves = static_cast<size_t>(bench::EnvLong("SENSORD_LEAVES", 32));
+  cfg.fanout = 4;
+  cfg.dimensions = 1;
+  cfg.workload = WorkloadKind::kSyntheticMixture;
+  cfg.window_size =
+      static_cast<size_t>(bench::EnvLong("SENSORD_WINDOW", 10000));
+  cfg.sample_fraction = 0.5;
+  cfg.d3_outlier.radius = 0.01;
+  cfg.d3_outlier.neighbor_threshold = 45.0;
+  cfg.mdef.sampling_radius = 0.08;
+  cfg.mdef.counting_radius = 0.01;
+  cfg.mdef.k_sigma = 1.0;
+  cfg.warmup_rounds = cfg.window_size + 200;
+  cfg.measured_rounds =
+      static_cast<size_t>(bench::EnvLong("SENSORD_MEASURED", 1200));
+  cfg.seed = 2026;
+  if (bench::QuickMode()) {
+    cfg.num_leaves = 8;
+    cfg.window_size = 2000;
+    cfg.d3_outlier.neighbor_threshold = 9.0;
+    cfg.warmup_rounds = 2200;
+    cfg.measured_rounds = 400;
+  }
+  return cfg;
+}
+
+void PrintResult(const char* method, double fraction,
+                 const AccuracyResult& r) {
+  for (size_t lvl = 0; lvl < r.d3_by_level.size(); ++lvl) {
+    std::printf("%-10s |R|=%.4f|W|  D3 level %zu   %s\n", method, fraction,
+                lvl + 1, r.d3_by_level[lvl].ToString().c_str());
+  }
+  std::printf("%-10s |R|=%.4f|W|  MGDD (leaf)  %s\n", method, fraction,
+              r.mgdd.ToString().c_str());
+  sensord::bench::Rule();
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 7: accuracy vs representation memory (1-d synthetic)");
+  const double fractions[] = {0.0125, 0.025, 0.05};
+  const size_t runs =
+      static_cast<size_t>(bench::EnvLong("SENSORD_BENCH_RUNS", 1));
+
+  for (const EstimatorMethod method :
+       {EstimatorMethod::kKernel, EstimatorMethod::kHistogram}) {
+    const char* name =
+        method == EstimatorMethod::kKernel ? "Kernel" : "Histogram";
+    std::printf("\n--- %s approach ---\n", name);
+    for (double fraction : fractions) {
+      AccuracyConfig cfg = BaseConfig();
+      cfg.method = method;
+      cfg.sample_size =
+          static_cast<size_t>(fraction * static_cast<double>(cfg.window_size));
+      auto result = RunAccuracyExperimentAveraged(cfg, runs);
+      if (!result.ok()) {
+        std::printf("ERROR: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      PrintResult(name, fraction, *result);
+    }
+  }
+  std::printf("\nPaper shape: >90%% precision/recall at the right choice of "
+              "parameters; D3 precision rises with the hierarchy level; "
+              "kernels match or beat the (offline) histograms.\n");
+  return 0;
+}

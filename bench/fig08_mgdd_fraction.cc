@@ -1,0 +1,58 @@
+// Reproduces Figure 8: "Performance of MGDD with varying sample fraction f"
+// (1-d synthetic data, kernel approach).
+//
+// Setup (Section 10.2): f in {0.25, 0.5, 0.75, 1.0}; |W| = 10000,
+// |R| = 0.05 |W|. Paper headline: precision and recall improve as f grows,
+// because f controls how quickly the leaves' replicas of the global
+// estimator are refreshed.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace sensord;
+  bench::Header("Figure 8: MGDD accuracy vs sample fraction f (1-d)");
+
+  AccuracyConfig cfg;
+  cfg.num_leaves = static_cast<size_t>(bench::EnvLong("SENSORD_LEAVES", 32));
+  cfg.fanout = 4;
+  cfg.dimensions = 1;
+  cfg.workload = WorkloadKind::kSyntheticMixture;
+  cfg.window_size =
+      static_cast<size_t>(bench::EnvLong("SENSORD_WINDOW", 10000));
+  cfg.sample_size = cfg.window_size / 20;  // 0.05 |W|
+  cfg.run_d3 = false;
+  cfg.mdef.k_sigma = 1.0;  // see fig07 header comment
+  cfg.warmup_rounds = cfg.window_size + 200;
+  cfg.measured_rounds =
+      static_cast<size_t>(bench::EnvLong("SENSORD_MEASURED", 1200));
+  cfg.seed = 2026;
+  if (bench::QuickMode()) {
+    cfg.num_leaves = 8;
+    cfg.window_size = 2000;
+    cfg.sample_size = 100;
+    cfg.warmup_rounds = 2200;
+    cfg.measured_rounds = 400;
+  }
+  const size_t runs =
+      static_cast<size_t>(bench::EnvLong("SENSORD_BENCH_RUNS", 1));
+
+  std::printf("%8s  %s\n", "f", "MGDD precision/recall");
+  bench::Rule();
+  for (double f : {0.25, 0.5, 0.75, 1.0}) {
+    cfg.sample_fraction = f;
+    auto result = RunAccuracyExperimentAveraged(cfg, runs);
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8.2f  %s   (model-update messages: %llu)\n", f,
+                result->mgdd.ToString().c_str(),
+                static_cast<unsigned long long>(result->mgdd_messages));
+  }
+  std::printf("\nPaper shape: both metrics improve with f (faster global-"
+              "model refresh at the leaves).\n");
+  return 0;
+}

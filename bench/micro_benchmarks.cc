@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the paper's per-operation cost
+// claims: O(d|R|) box range queries — O(log|R| + |R'|) in 1-d — cheap chain
+// sample and variance sketch updates (Theorems 1, 2, 4), MDEF evaluation,
+// and JS divergence on a grid.
+
+#include <benchmark/benchmark.h>
+
+#include "core/density_model.h"
+#include "core/mdef.h"
+#include "stats/divergence.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+#include "stream/chain_sample.h"
+#include "stream/variance_sketch.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sensord;
+
+std::vector<Point> RandomSample(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p(d);
+    for (double& x : p) x = Clamp(rng.Gaussian(0.4, 0.08), 0.0, 1.0);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void BM_ChainSampleAdd(benchmark::State& state) {
+  const size_t sample = static_cast<size_t>(state.range(0));
+  ChainSample cs(sample, 10000, Rng(1));
+  Rng values(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.Add({values.UniformDouble()}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainSampleAdd)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_VarianceSketchAdd(benchmark::State& state) {
+  VarianceSketch sketch(static_cast<size_t>(state.range(0)), 0.2);
+  Rng values(3);
+  for (auto _ : state) {
+    sketch.Add(values.Gaussian(0.4, 0.05));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VarianceSketchAdd)->Arg(10000)->Arg(20000);
+
+void BM_KdeBoxQuery1d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(n, 1, 4), {0.08});
+  Rng q(5);
+  for (auto _ : state) {
+    const double center = q.UniformDouble();
+    benchmark::DoNotOptimize(
+        kde->BoxProbability({center - 0.01}, {center + 0.01}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdeBoxQuery1d)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_KdeBoxQuery2d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(n, 2, 6), {0.08, 0.08});
+  Rng q(7);
+  for (auto _ : state) {
+    const double cx = q.UniformDouble(), cy = q.UniformDouble();
+    benchmark::DoNotOptimize(kde->BoxProbability({cx - 0.01, cy - 0.01},
+                                                 {cx + 0.01, cy + 0.01}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdeBoxQuery2d)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_HistogramBoxQuery(benchmark::State& state) {
+  auto hist = EquiDepthHistogram::Build(
+      RandomSample(10000, 1, 8), static_cast<size_t>(state.range(0)));
+  Rng q(9);
+  for (auto _ : state) {
+    const double center = q.UniformDouble();
+    benchmark::DoNotOptimize(
+        hist->BoxProbability({center - 0.01}, {center + 0.01}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramBoxQuery)->Arg(128)->Arg(512);
+
+void BM_MdefEvaluation1d(benchmark::State& state) {
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(static_cast<size_t>(state.range(0)), 1, 10), {0.08});
+  MdefConfig cfg;
+  Rng q(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeMdef(*kde, {q.UniformDouble(0.2, 0.6)}, cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MdefEvaluation1d)->Arg(128)->Arg(512);
+
+void BM_MdefEvaluation2d(benchmark::State& state) {
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(static_cast<size_t>(state.range(0)), 2, 12),
+      {0.08, 0.08});
+  MdefConfig cfg;
+  Rng q(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMdef(
+        *kde, {q.UniformDouble(0.2, 0.6), q.UniformDouble(0.2, 0.6)}, cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MdefEvaluation2d)->Arg(128)->Arg(512);
+
+void BM_JsDivergenceOnGrid(benchmark::State& state) {
+  auto a = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(512, 1, 14), {0.08});
+  auto b = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(512, 1, 15), {0.08});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JsDivergenceOnGrid(*a, *b, static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsDivergenceOnGrid)->Arg(64)->Arg(256);
+
+void BM_DensityModelObserve(benchmark::State& state) {
+  DensityModelConfig cfg;
+  cfg.window_size = 10000;
+  cfg.sample_size = static_cast<size_t>(state.range(0));
+  DensityModel model(cfg, Rng(16));
+  Rng values(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.Observe({Clamp(values.Gaussian(0.4, 0.05), 0.0, 1.0)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DensityModelObserve)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

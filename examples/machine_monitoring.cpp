@@ -1,0 +1,153 @@
+// Machine monitoring: the paper's motivating scenario (Section 1) — a
+// machine fitted with sensors; deviations may be local to one part or
+// engine-wide, so outliers must be identified *at different levels* of the
+// sensor hierarchy.
+//
+// This example deploys 16 engine sensors under a fan-out-4 virtual-grid
+// hierarchy running the D3 algorithm, injects a localized fault (one sensor
+// drifts) and a machine-wide fault (all sensors dive), and shows how the
+// detection level tells the two apart. A region-level OutlierRateMonitor
+// implements the Section 9 query "warn when the number of outliers in a
+// region exceeds T over the most recent time window".
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/d3.h"
+#include "core/faulty_sensor.h"
+#include "data/engine_trace.h"
+#include "net/hierarchy.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sensord;
+
+class AlertConsole : public OutlierObserver {
+ public:
+  explicit AlertConsole(double window_seconds) : region_rate_(window_seconds) {}
+
+  void OnOutlierDetected(const OutlierEvent& event) override {
+    ++by_level_[event.level];
+    if (event.level >= 2) region_rate_.RecordOutlier(event.time);
+    if (printed_ < 8) {
+      std::printf("  [t=%7.0fs] level-%d node %u flagged %.3f "
+                  "(from sensor %u)\n",
+                  event.time, event.level, event.node, event.value[0],
+                  event.source_leaf);
+      ++printed_;
+    }
+  }
+
+  void Report(double now) {
+    std::printf("  detections by level:");
+    for (const auto& [level, count] : by_level_) {
+      std::printf("  L%d=%d", level, count);
+    }
+    std::printf("\n  region-level outliers in the last window: %zu %s\n",
+                region_rate_.CountAt(now),
+                region_rate_.ExceedsThreshold(now, 10)
+                    ? "(ALARM: exceeds threshold 10)"
+                    : "(below threshold 10)");
+    by_level_.clear();
+    printed_ = 0;
+  }
+
+ private:
+  std::map<int, int> by_level_;
+  OutlierRateMonitor region_rate_;
+  int printed_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sensord;
+  constexpr size_t kSensors = 16;
+  constexpr size_t kWindow = 3000;
+
+  auto layout = BuildGridHierarchy(kSensors, 4);
+  Simulator sim;
+  AlertConsole console(/*window_seconds=*/600.0);
+  Rng rng(2026);
+
+  D3Options opts;
+  opts.model.window_size = kWindow;
+  opts.model.sample_size = 300;
+  opts.outlier.radius = 0.01;
+  opts.outlier.neighbor_threshold = 15.0;
+  opts.min_observations = 500;
+
+  std::vector<size_t> leaves_below(layout->nodes.size(), 0);
+  for (size_t slot = 0; slot < layout->nodes.size(); ++slot) {
+    if (layout->nodes[slot].level != 1) continue;
+    for (int cur = static_cast<int>(slot); cur >= 0;
+         cur = layout->nodes[static_cast<size_t>(cur)].parent_slot) {
+      ++leaves_below[static_cast<size_t>(cur)];
+    }
+  }
+  const auto ids = sim.Instantiate(
+      *layout, [&](int slot, const HierarchyNodeSpec& spec)
+                   -> std::unique_ptr<Node> {
+        if (spec.level == 1) {
+          return std::make_unique<D3LeafNode>(opts, rng.Split(), &console);
+        }
+        D3Options leader = opts;
+        leader.model = LeaderModelConfigFor(
+            opts.model, spec.child_slots.size(),
+            leaves_below[static_cast<size_t>(slot)], opts.sample_fraction);
+        leader.min_observations = 150;
+        return std::make_unique<D3ParentNode>(leader, rng.Split(), &console);
+      });
+
+  // Healthy engine sensors (failure episodes disabled; we inject our own).
+  std::vector<std::unique_ptr<EngineTraceGenerator>> sensors;
+  Rng seeds(7);
+  EngineTraceOptions healthy;
+  healthy.mean_healthy_duration = 1e12;  // no spontaneous failures
+  for (size_t i = 0; i < kSensors; ++i) {
+    sensors.push_back(
+        std::make_unique<EngineTraceGenerator>(healthy, seeds.Split()));
+  }
+
+  auto run_phase = [&](const char* title, size_t rounds,
+                       auto&& perturb) {
+    std::printf("\n== %s ==\n", title);
+    for (size_t r = 0; r < rounds; ++r) {
+      for (size_t s = 0; s < kSensors; ++s) {
+        Point reading = sensors[s]->Next();
+        perturb(s, r, &reading);
+        sim.DeliverReading(ids[s], reading);
+      }
+      sim.RunUntil(sim.Now() + 1.0);
+    }
+    console.Report(sim.Now());
+  };
+
+  run_phase("Phase 1: normal operation (warm-up)", 4000,
+            [](size_t, size_t, Point*) {});
+
+  run_phase("Phase 2: sensor 3 overheats locally", 120,
+            [](size_t s, size_t r, Point* p) {
+              // One part of the machine drifts: only sensor 3 deviates, so
+              // the leaf and its cell leader flag it, but the upper levels
+              // see it confirmed as an outlier of the whole machine too.
+              if (s == 3) (*p)[0] = 0.30 - 0.0003 * static_cast<double>(r);
+            });
+
+  run_phase("Phase 3: recovery", 2000, [](size_t, size_t, Point*) {});
+
+  run_phase("Phase 4: machine-wide failure (all sensors dive)", 120,
+            [](size_t, size_t r, Point* p) {
+              (*p)[0] -= 0.002 * static_cast<double>(r);
+              if ((*p)[0] < 0.02) (*p)[0] = 0.02;
+            });
+
+  std::printf("\nDone. Local faults surface as isolated leaf/cell "
+              "detections; the machine-wide dive floods every level and "
+              "trips the region alarm.\n");
+  return 0;
+}

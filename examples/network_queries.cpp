@@ -1,0 +1,117 @@
+// In-network query processing (Section 9, distributed): ask the network
+// "how many readings in this range?", "what fraction of the region is
+// below X?", "what is the average in this band?" — and get answers
+// computed from the sensors' density models, with no raw data leaving the
+// nodes.
+//
+// The demo builds a 16-sensor hierarchy, streams engine-like data with a
+// regional anomaly, and shows (a) whole-network queries injected at the
+// root, (b) a region-scoped query injected at one cell's leader, and
+// (c) the message bill: answering from models costs a handful of messages
+// versus shipping every reading.
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/query_processing.h"
+#include "data/engine_trace.h"
+#include "net/hierarchy.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace sensord;
+  constexpr size_t kSensors = 16;
+
+  auto layout = BuildGridHierarchy(kSensors, 4);
+  Simulator sim;
+  Rng rng(2026);
+
+  DensityModelConfig model_cfg;
+  model_cfg.window_size = 3000;
+  model_cfg.sample_size = 300;
+
+  const auto ids = sim.Instantiate(
+      *layout, [&](int, const HierarchyNodeSpec& spec)
+                   -> std::unique_ptr<Node> {
+        if (spec.level == 1) {
+          return std::make_unique<QuerySensorNode>(model_cfg, rng.Split());
+        }
+        return std::make_unique<QueryAggregatorNode>();
+      });
+
+  // Sensors 0-3 (the first cell) run hot; the rest are healthy.
+  std::vector<std::unique_ptr<EngineTraceGenerator>> sensors;
+  Rng seeds(7);
+  EngineTraceOptions healthy;
+  healthy.mean_healthy_duration = 1e12;
+  for (size_t i = 0; i < kSensors; ++i) {
+    sensors.push_back(
+        std::make_unique<EngineTraceGenerator>(healthy, seeds.Split()));
+  }
+  std::printf("Streaming 4000 readings per sensor (sensors 0-3 run 0.05 "
+              "hotter) ...\n");
+  for (int r = 0; r < 4000; ++r) {
+    for (size_t s = 0; s < kSensors; ++s) {
+      Point p = sensors[s]->Next();
+      if (s < 4) p[0] = Clamp(p[0] + 0.05, 0.0, 1.0);
+      sim.DeliverReading(ids[s], p);
+    }
+  }
+  sim.RunUntil(sim.Now() + 1.0);
+  const uint64_t messages_before = sim.stats().TotalMessages();
+
+  auto ask = [&](QueryAggregatorNode& where, const AggregateQuery& q) {
+    std::optional<QueryAnswer> out;
+    where.InjectQuery(q, [&](const QueryAnswer& a) { out = a; });
+    sim.RunUntil(sim.Now() + 3.0);
+    return out;
+  };
+
+  auto& root = static_cast<QueryAggregatorNode&>(sim.node(ids.back()));
+  uint32_t next_id = 1;
+
+  AggregateQuery frac;
+  frac.id = next_id++;
+  frac.kind = AggregateQuery::Kind::kFraction;
+  frac.lo = {0.45};
+  frac.hi = {1.0};
+  if (auto a = ask(root, frac)) {
+    std::printf("\n[root] fraction of network readings above 0.45:  %.1f%% "
+                "(from %u sensors)\n",
+                100.0 * a->value, a->leaves_reporting);
+  }
+
+  AggregateQuery avg;
+  avg.id = next_id++;
+  avg.kind = AggregateQuery::Kind::kAverage;
+  avg.lo = {0.0};
+  avg.hi = {1.0};
+  avg.average_dim = 0;
+  if (auto a = ask(root, avg)) {
+    std::printf("[root] network-wide average reading:              %.4f\n",
+                a->value);
+  }
+
+  // Region-scoped: ask only the first cell's leader — its subtree is the
+  // hot region.
+  const int cell_leader_slot = layout->slots_by_level[1][0];
+  auto& cell_leader = static_cast<QueryAggregatorNode&>(
+      sim.node(ids[static_cast<size_t>(cell_leader_slot)]));
+  AggregateQuery region = avg;
+  region.id = next_id++;
+  if (auto a = ask(cell_leader, region)) {
+    std::printf("[cell] average reading in the hot region only:    %.4f "
+                "(from %u sensors)\n",
+                a->value, a->leaves_reporting);
+  }
+
+  const uint64_t query_messages = sim.stats().TotalMessages() - messages_before;
+  std::printf("\nThe three queries cost %llu messages in total; shipping "
+              "the raw window to a sink would have cost ~%d messages.\n",
+              static_cast<unsigned long long>(query_messages),
+              4000 * static_cast<int>(kSensors) * 2);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "baseline/brute_force_d.h"
+
+namespace sensord {
+
+double BruteForceNeighborCount(const std::vector<Point>& window,
+                               const Point& p,
+                               const DistanceOutlierConfig& config) {
+  double count = 0.0;
+  for (const Point& q : window) {
+    if (ChebyshevDistance(p, q) <= config.radius) count += 1.0;
+  }
+  return count;
+}
+
+bool BruteForceIsDistanceOutlier(const std::vector<Point>& window,
+                                 const Point& p,
+                                 const DistanceOutlierConfig& config) {
+  return BruteForceNeighborCount(window, p, config) <
+         config.neighbor_threshold;
+}
+
+std::vector<size_t> BruteForceAllDistanceOutliers(
+    const std::vector<Point>& window, const DistanceOutlierConfig& config) {
+  std::vector<size_t> outliers;
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (BruteForceIsDistanceOutlier(window, window[i], config)) {
+      outliers.push_back(i);
+    }
+  }
+  return outliers;
+}
+
+}  // namespace sensord

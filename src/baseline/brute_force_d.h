@@ -1,0 +1,43 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// BruteForce-D (Section 10, Comparisons): the exact, offline distance-based
+// outlier detector. "This algorithm accesses all |W| points in the sliding
+// window, and for each one of them, computes its distance to all the other
+// points, guaranteeing to find all the true outliers." Time O(d|W|^2).
+//
+// It defines ground truth for the precision/recall experiments; the
+// evaluation harness also keeps an incremental equivalent (eval/
+// ground_truth.h) whose answers must — and in tests do — match this one.
+
+#ifndef SENSORD_BASELINE_BRUTE_FORCE_D_H_
+#define SENSORD_BASELINE_BRUTE_FORCE_D_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// Exact number of points of `window` within L-infinity distance
+/// config.radius of p. The count includes p itself if p is in the window —
+/// consistent with the estimator-side N(p, r), which integrates over the
+/// whole window distribution.
+double BruteForceNeighborCount(const std::vector<Point>& window,
+                               const Point& p,
+                               const DistanceOutlierConfig& config);
+
+/// Exact IsOutlier: true iff fewer than config.neighbor_threshold window
+/// points lie within config.radius of p.
+bool BruteForceIsDistanceOutlier(const std::vector<Point>& window,
+                                 const Point& p,
+                                 const DistanceOutlierConfig& config);
+
+/// All distance-based outliers of a window instance: indices i such that
+/// window[i] is a (D, r)-outlier with respect to the window. O(d|W|^2).
+std::vector<size_t> BruteForceAllDistanceOutliers(
+    const std::vector<Point>& window, const DistanceOutlierConfig& config);
+
+}  // namespace sensord
+
+#endif  // SENSORD_BASELINE_BRUTE_FORCE_D_H_

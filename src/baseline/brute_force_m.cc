@@ -1,0 +1,36 @@
+#include "baseline/brute_force_m.h"
+
+#include <cassert>
+
+#include "stats/empirical.h"
+
+namespace sensord {
+
+MdefResult BruteForceMdef(const std::vector<Point>& window, const Point& p,
+                          const MdefConfig& config) {
+  assert(!window.empty());
+  auto empirical = EmpiricalDistribution::Create(window);
+  assert(empirical.ok());
+  return ComputeMdef(*empirical, p, config);
+}
+
+bool BruteForceIsMdefOutlier(const std::vector<Point>& window, const Point& p,
+                             const MdefConfig& config) {
+  return BruteForceMdef(window, p, config).is_outlier;
+}
+
+std::vector<size_t> BruteForceAllMdefOutliers(const std::vector<Point>& window,
+                                              const MdefConfig& config) {
+  assert(!window.empty());
+  auto empirical = EmpiricalDistribution::Create(window);
+  assert(empirical.ok());
+  std::vector<size_t> outliers;
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (ComputeMdef(*empirical, window[i], config).is_outlier) {
+      outliers.push_back(i);
+    }
+  }
+  return outliers;
+}
+
+}  // namespace sensord

@@ -1,0 +1,39 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// BruteForce-M (Section 10, Comparisons): the exact MDEF-based detector —
+// "the aLOCI algorithm, which approximates the average neighborhood count
+// and the standard deviation of neighborhood count based on an interval
+// count over the measurements in the sliding window."
+//
+// Implementation: the shared ComputeMdef machinery (core/mdef.h) evaluated
+// against the window's exact empirical distribution, so the kernel-based
+// online detector and the ground truth use identical MDEF statistics and
+// differ only in how they estimate mass.
+
+#ifndef SENSORD_BASELINE_BRUTE_FORCE_M_H_
+#define SENSORD_BASELINE_BRUTE_FORCE_M_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/mdef.h"
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// Exact MDEF evaluation of p against the window's empirical distribution.
+/// Pre: window non-empty.
+MdefResult BruteForceMdef(const std::vector<Point>& window, const Point& p,
+                          const MdefConfig& config);
+
+/// Exact isMDEFOutlier.
+bool BruteForceIsMdefOutlier(const std::vector<Point>& window, const Point& p,
+                             const MdefConfig& config);
+
+/// All MDEF outliers of a window instance (indices into `window`).
+std::vector<size_t> BruteForceAllMdefOutliers(const std::vector<Point>& window,
+                                              const MdefConfig& config);
+
+}  // namespace sensord
+
+#endif  // SENSORD_BASELINE_BRUTE_FORCE_M_H_

@@ -1,0 +1,38 @@
+#include "baseline/centralized.h"
+
+#include "core/protocol.h"
+
+namespace sensord {
+
+void CentralizedLeafNode::OnReading(const Point& value) {
+  if (parent() == kNoNode) return;
+  Message msg;
+  msg.from = id();
+  msg.to = parent();
+  msg.kind = kMsgRawReading;
+  msg.size_numbers = value.size();
+  msg.payload = SampleValuePayload{value};
+  sim()->Send(std::move(msg));
+}
+
+CentralizedRelayNode::CentralizedRelayNode(size_t window_capacity,
+                                           size_t dimensions)
+    : window_(window_capacity, dimensions) {}
+
+void CentralizedRelayNode::HandleMessage(const Message& msg) {
+  if (msg.kind != kMsgRawReading) return;
+  const auto& payload = std::any_cast<const SampleValuePayload&>(msg.payload);
+  if (parent() == kNoNode) {
+    (void)window_.Add(payload.value);
+    return;
+  }
+  Message fwd;
+  fwd.from = id();
+  fwd.to = parent();
+  fwd.kind = kMsgRawReading;
+  fwd.size_numbers = payload.value.size();
+  fwd.payload = payload;
+  sim()->Send(std::move(fwd));
+}
+
+}  // namespace sensord

@@ -1,0 +1,45 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The centralized baseline of Figures 8.1/11: every sensor ships every raw
+// reading up the hierarchy to the leader at the highest level, where all
+// detection would happen. The paper uses it as the communication-cost yard-
+// stick ("the D3 algorithm requires approximately two orders of magnitude
+// fewer messages"); only its traffic matters here, so the root simply
+// absorbs readings into a sliding window (on which any offline detector
+// could run) and the interesting output is the Simulator's StatsCollector.
+
+#ifndef SENSORD_BASELINE_CENTRALIZED_H_
+#define SENSORD_BASELINE_CENTRALIZED_H_
+
+#include "net/network.h"
+#include "net/node.h"
+#include "stream/sliding_window.h"
+
+namespace sensord {
+
+/// A leaf that forwards every raw reading to its parent.
+class CentralizedLeafNode : public Node {
+ public:
+  void OnReading(const Point& value) override;
+  void HandleMessage(const Message& msg) override { (void)msg; }
+};
+
+/// An interior node that relays every raw reading toward the root; the root
+/// collects readings into a window of `window_capacity` values.
+class CentralizedRelayNode : public Node {
+ public:
+  /// Pre: window_capacity >= 1, dimensions >= 1.
+  CentralizedRelayNode(size_t window_capacity, size_t dimensions);
+
+  void HandleMessage(const Message& msg) override;
+
+  /// The pooled window at the root (relays keep it empty).
+  const SlidingWindow& window() const { return window_; }
+
+ private:
+  SlidingWindow window_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_BASELINE_CENTRALIZED_H_

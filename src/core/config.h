@@ -1,0 +1,92 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Configuration structs shared by the detection algorithms. Defaults are the
+// paper's experimental defaults (Section 10.2): |W| = 10000, |R| = 0.05|W|,
+// f = 0.5, (45, 0.01) distance outliers, MDEF r = 0.08, alpha*r = 0.01,
+// k_sigma = 3.
+
+#ifndef SENSORD_CORE_CONFIG_H_
+#define SENSORD_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sensord {
+
+/// Parameters of a per-node density model (chain sample + variance sketch +
+/// kernel estimator).
+struct DensityModelConfig {
+  /// Data dimensionality d.
+  size_t dimensions = 1;
+
+  /// Arrival-count window |W| of the sample and variance sketch: the number
+  /// of *locally observed* values the model summarizes. For a leaf sensor
+  /// this is the paper's |W|; for a leader it is the expected number of
+  /// propagated sample values corresponding to one logical window (see
+  /// LeaderArrivalWindow in d3.h).
+  size_t window_size = 10000;
+
+  /// Sample size |R| (number of kernels). Paper default: 0.05 |W|.
+  size_t sample_size = 500;
+
+  /// Relative error budget of the windowed variance sketch.
+  double epsilon = 0.2;
+
+  /// The population |W_p| the model's neighbourhood counts refer to. A leaf
+  /// speaks for its own window (leave 0 = use min(total_seen, window_size));
+  /// a leader at level k speaks for the union of the leaf windows below it,
+  /// |W_p| = |W| * fanout^(k-1), even though it only *receives* a thinned
+  /// sample of that pool.
+  double logical_window_count = 0.0;
+
+  /// The cached kernel estimator is rebuilt whenever the sample changes, and
+  /// at the latest after this many observations (so drifting standard
+  /// deviations keep feeding Scott's rule).
+  uint64_t max_estimator_age = 256;
+
+  /// Starts the chain sample at steady-state insertion probability 1/|W|
+  /// instead of the elevated early-stream rate. Used by long-horizon
+  /// message-cost experiments (Figure 11) that measure stationary traffic.
+  bool prewarm_steady_state = false;
+
+  /// Bandwidth selection: false (default) = the paper's Scott's rule from
+  /// the sketch standard deviation; true = Silverman's robust variant
+  /// min(sigma, sample-IQR/1.349) per dimension, which keeps spiky
+  /// distributions (e.g. a machine idling at one operating point) from
+  /// being over-smoothed. An extension beyond the paper; see the
+  /// ablation_estimators bench.
+  bool robust_bandwidth = false;
+};
+
+/// The paper's (D, r) distance-based outlier criterion [Knorr & Ng]: a value
+/// p is an outlier if fewer than `neighbor_threshold` of the window's values
+/// lie within L-infinity distance `radius` of p (Section 7; the experiments
+/// look for (45, 0.01)-outliers on synthetic data).
+struct DistanceOutlierConfig {
+  double radius = 0.01;
+  double neighbor_threshold = 45.0;
+};
+
+/// The MDEF / aLOCI criterion [Papadimitriou et al.] (Sections 3 and 8):
+/// p is an outlier if MDEF(p, r, alpha) > k_sigma * sigma_MDEF(p, r, alpha).
+struct MdefConfig {
+  /// Sampling neighbourhood radius r: how far around p the "local" density
+  /// statistics are collected.
+  double sampling_radius = 0.08;
+
+  /// Counting neighbourhood radius alpha*r: the scale at which each value's
+  /// own neighbour count is measured. The domain is tiled into cells of side
+  /// 2*alpha*r (Figure 3).
+  double counting_radius = 0.01;
+
+  /// Significance cut-off k_sigma (paper: 3).
+  double k_sigma = 3.0;
+
+  /// Guard: if the sampling neighbourhood holds less probability mass than
+  /// this, the statistics are meaningless and p is not flagged.
+  double min_neighborhood_mass = 1e-9;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_CONFIG_H_

@@ -1,0 +1,150 @@
+#include "core/d3.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/distance_outlier.h"
+#include "core/protocol.h"
+
+namespace sensord {
+
+DensityModelConfig LeaderModelConfigFor(const DensityModelConfig& leaf,
+                                        size_t num_children,
+                                        size_t descendant_leaves,
+                                        double sample_fraction) {
+  assert(num_children >= 1);
+  assert(descendant_leaves >= num_children);
+  DensityModelConfig cfg = leaf;
+  const double arrivals = static_cast<double>(num_children) *
+                          sample_fraction *
+                          static_cast<double>(leaf.sample_size);
+  cfg.window_size = std::max<size_t>(
+      leaf.sample_size, static_cast<size_t>(std::llround(arrivals)));
+  cfg.logical_window_count = static_cast<double>(leaf.window_size) *
+                             static_cast<double>(descendant_leaves);
+  return cfg;
+}
+
+DensityModelConfig LeaderModelConfig(const DensityModelConfig& leaf,
+                                     size_t fanout, double sample_fraction,
+                                     int level) {
+  assert(level >= 2);
+  assert(fanout >= 2);
+  const size_t descendant_leaves = static_cast<size_t>(
+      std::llround(std::pow(static_cast<double>(fanout), level - 1)));
+  return LeaderModelConfigFor(leaf, fanout, descendant_leaves,
+                              sample_fraction);
+}
+
+D3LeafNode::D3LeafNode(const D3Options& options, Rng rng,
+                       OutlierObserver* observer)
+    : options_(options), model_(options.model, rng.Split()), rng_(rng),
+      observer_(observer) {}
+
+void D3LeafNode::OnReading(const Point& value) {
+  // Figure 4, LeafProcess: update the model first, then test the value.
+  const bool inserted = model_.Observe(value);
+
+  if (inserted && parent() != kNoNode &&
+      rng_.Bernoulli(options_.sample_fraction)) {
+    Message msg;
+    msg.from = id();
+    msg.to = parent();
+    msg.kind = kMsgSampleValue;
+    msg.size_numbers = value.size();
+    msg.payload = SampleValuePayload{value};
+    sim()->Send(std::move(msg));
+  }
+
+  if (model_.total_seen() < options_.min_observations) return;
+  if (!IsDistanceOutlier(model_.Estimator(), model_.WindowCount(), value,
+                         options_.outlier)) {
+    return;
+  }
+  const uint64_t seq = model_.total_seen();
+  if (observer_ != nullptr) {
+    observer_->OnOutlierDetected(OutlierEvent{
+        DetectorKind::kD3, id(), level(), value, sim()->Now(), id(), seq});
+  }
+  if (parent() != kNoNode) {
+    Message msg;
+    msg.from = id();
+    msg.to = parent();
+    msg.kind = kMsgOutlierReport;
+    msg.size_numbers = value.size() + 2;
+    msg.payload = OutlierReportPayload{value, level(), id(), seq};
+    sim()->Send(std::move(msg));
+  }
+}
+
+void D3LeafNode::HandleMessage(const Message& msg) {
+  // Leaves receive nothing in D3; tolerate stray traffic.
+  (void)msg;
+}
+
+D3ParentNode::D3ParentNode(const D3Options& options, Rng rng,
+                           OutlierObserver* observer)
+    : options_(options), model_(options.model, rng.Split()), rng_(rng),
+      observer_(observer) {}
+
+void D3ParentNode::HandleMessage(const Message& msg) {
+  switch (msg.kind) {
+    case kMsgSampleValue: {
+      const auto& payload = std::any_cast<const SampleValuePayload&>(msg.payload);
+      HandleSampleValue(payload.value);
+      break;
+    }
+    case kMsgOutlierReport: {
+      const auto& payload =
+          std::any_cast<const OutlierReportPayload&>(msg.payload);
+      HandleOutlierReport(payload);
+      break;
+    }
+    default:
+      break;  // not ours
+  }
+}
+
+void D3ParentNode::HandleSampleValue(const Point& value) {
+  // Figure 4, ParentProcess lines 28-30.
+  const bool inserted = model_.Observe(value);
+  if (inserted && parent() != kNoNode &&
+      rng_.Bernoulli(options_.sample_fraction)) {
+    Message msg;
+    msg.from = id();
+    msg.to = parent();
+    msg.kind = kMsgSampleValue;
+    msg.size_numbers = value.size();
+    msg.payload = SampleValuePayload{value};
+    sim()->Send(std::move(msg));
+  }
+}
+
+void D3ParentNode::HandleOutlierReport(const OutlierReportPayload& report) {
+  // Figure 4, ParentProcess lines 23-27: re-check the child's outlier
+  // against this level's model; escalate only if it is still an outlier.
+  if (!model_.Ready() || model_.total_seen() < options_.min_observations) {
+    return;
+  }
+  if (!IsDistanceOutlier(model_.Estimator(), model_.WindowCount(),
+                         report.value, options_.outlier)) {
+    return;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnOutlierDetected(
+        OutlierEvent{DetectorKind::kD3, id(), level(), report.value,
+                     sim()->Now(), report.source_leaf, report.source_seq});
+  }
+  if (parent() != kNoNode) {
+    Message msg;
+    msg.from = id();
+    msg.to = parent();
+    msg.kind = kMsgOutlierReport;
+    msg.size_numbers = report.value.size() + 2;
+    msg.payload = report;
+    sim()->Send(std::move(msg));
+  }
+}
+
+}  // namespace sensord

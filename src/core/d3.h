@@ -1,0 +1,116 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// D3 — Distributed Deviation Detection (Section 7, Figure 4).
+//
+// Leaves maintain a density model of their own sliding window, flag each
+// arriving value whose estimated neighbourhood count N(p, r) falls below the
+// threshold, and escalate flagged values to their leader. Leaders maintain a
+// density model over the *propagated sample* of their subtree and re-check
+// only the values their children flagged — justified by the paper's
+// Theorem 3 (a parent's outlier set is contained in the union of its
+// children's outlier sets), which is what makes D3 cheap: parents never see
+// non-outlying raw data.
+//
+// Sample propagation (Section 5.1): a value that enters a node's sample is
+// forwarded to the parent with probability f; the parent treats arriving
+// values as its own input stream, inserts them into its sample, and forwards
+// its own insertions upward with probability f again.
+
+#ifndef SENSORD_CORE_D3_H_
+#define SENSORD_CORE_D3_H_
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/density_model.h"
+#include "core/outlier_observer.h"
+#include "core/protocol.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "util/rng.h"
+
+namespace sensord {
+
+/// Parameters of a D3 deployment.
+struct D3Options {
+  /// Leaf model parameters (the paper's |W|, |R|, epsilon).
+  DensityModelConfig model;
+
+  /// The (D, r) criterion.
+  DistanceOutlierConfig outlier;
+
+  /// Sample propagation probability f (paper default 0.5).
+  double sample_fraction = 0.5;
+
+  /// Observations a node must absorb before it starts flagging values —
+  /// fresh models produce meaningless neighbourhood counts. Experiments use
+  /// one full window.
+  uint64_t min_observations = 1000;
+};
+
+/// Computes the DensityModelConfig for a leader node with `num_children`
+/// direct children and `descendant_leaves` leaf sensors in its subtree,
+/// under leaf config `leaf` and propagation probability f.
+///
+/// Arrivals: over one logical window, each child inserts about |R| values
+/// into its own sample and forwards each with probability f, so a leader
+/// sees about num_children * f * |R| arrivals per window — that is its
+/// arrival-count window. Population: the leader answers for the union of
+/// the leaf windows below it, |W| * descendant_leaves.
+DensityModelConfig LeaderModelConfigFor(const DensityModelConfig& leaf,
+                                        size_t num_children,
+                                        size_t descendant_leaves,
+                                        double sample_fraction);
+
+/// Convenience for a perfectly balanced tree: a leader at 1-based level
+/// `level` (level >= 2) with `fanout` children per node has fanout direct
+/// children and fanout^(level-1) descendant leaves.
+DensityModelConfig LeaderModelConfig(const DensityModelConfig& leaf,
+                                     size_t fanout, double sample_fraction,
+                                     int level);
+
+/// A leaf sensor running D3's LeafProcess.
+class D3LeafNode : public Node {
+ public:
+  /// `observer` may be null (events are then only escalated, not reported
+  /// locally); it must outlive the node.
+  D3LeafNode(const D3Options& options, Rng rng, OutlierObserver* observer);
+
+  void OnReading(const Point& value) override;
+  void HandleMessage(const Message& msg) override;
+
+  const DensityModel& model() const { return model_; }
+  const D3Options& options() const { return options_; }
+
+ private:
+  D3Options options_;
+  DensityModel model_;
+  Rng rng_;
+  OutlierObserver* observer_;
+};
+
+/// A leader node running D3's ParentProcess at any tier above the leaves.
+class D3ParentNode : public Node {
+ public:
+  /// `options.model` should come from LeaderModelConfig for this node's
+  /// level. `observer` may be null; it must outlive the node.
+  D3ParentNode(const D3Options& options, Rng rng, OutlierObserver* observer);
+
+  void HandleMessage(const Message& msg) override;
+
+  const DensityModel& model() const { return model_; }
+  const D3Options& options() const { return options_; }
+
+ private:
+  void HandleSampleValue(const Point& value);
+  void HandleOutlierReport(const OutlierReportPayload& report);
+
+  D3Options options_;
+  DensityModel model_;
+  Rng rng_;
+  OutlierObserver* observer_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_D3_H_

@@ -1,0 +1,18 @@
+#include "core/distance_outlier.h"
+
+namespace sensord {
+
+double EstimateNeighborCount(const DistributionEstimator& model,
+                             double window_count, const Point& p,
+                             const DistanceOutlierConfig& config) {
+  return model.NeighborCount(p, config.radius, window_count);
+}
+
+bool IsDistanceOutlier(const DistributionEstimator& model,
+                       double window_count, const Point& p,
+                       const DistanceOutlierConfig& config) {
+  return EstimateNeighborCount(model, window_count, p, config) <
+         config.neighbor_threshold;
+}
+
+}  // namespace sensord

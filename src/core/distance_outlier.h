@@ -1,0 +1,29 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Distance-based (D, r) outlier test on top of a distribution estimate
+// (Section 7, Figure 4 procedure IsOutlier).
+
+#ifndef SENSORD_CORE_DISTANCE_OUTLIER_H_
+#define SENSORD_CORE_DISTANCE_OUTLIER_H_
+
+#include "core/config.h"
+#include "stats/estimator.h"
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// Estimated number of window values within L-infinity distance
+/// config.radius of p — the paper's N(p, r) (Eq. 4) — given the window
+/// population the estimator speaks for.
+double EstimateNeighborCount(const DistributionEstimator& model,
+                             double window_count, const Point& p,
+                             const DistanceOutlierConfig& config);
+
+/// The IsOutlier predicate: true iff N(p, r) < config.neighbor_threshold.
+bool IsDistanceOutlier(const DistributionEstimator& model,
+                       double window_count, const Point& p,
+                       const DistanceOutlierConfig& config);
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_DISTANCE_OUTLIER_H_

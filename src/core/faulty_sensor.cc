@@ -1,0 +1,76 @@
+#include "core/faulty_sensor.h"
+
+#include <cassert>
+
+#include "stats/divergence.h"
+
+namespace sensord {
+
+StatusOr<std::vector<FaultVerdict>> DetectFaultySensors(
+    const std::vector<const DistributionEstimator*>& children,
+    const FaultySensorConfig& config) {
+  if (children.size() < 3) {
+    return Status::InvalidArgument(
+        "fault attribution requires at least 3 child models");
+  }
+  const size_t d = children[0]->dimensions();
+  for (const DistributionEstimator* c : children) {
+    if (c == nullptr) {
+      return Status::InvalidArgument("null child model");
+    }
+    if (c->dimensions() != d) {
+      return Status::InvalidArgument("child model dimensionality mismatch");
+    }
+  }
+
+  // Discretize every child once; peer averages are then cheap grid sums.
+  std::vector<std::vector<double>> grids;
+  grids.reserve(children.size());
+  for (const DistributionEstimator* c : children) {
+    grids.push_back(DiscretizeOnGrid(*c, config.grid_cells));
+  }
+  const size_t cells = grids[0].size();
+
+  std::vector<FaultVerdict> verdicts;
+  verdicts.reserve(children.size());
+  for (size_t i = 0; i < children.size(); ++i) {
+    std::vector<double> peers(cells, 0.0);
+    for (size_t j = 0; j < children.size(); ++j) {
+      if (j == i) continue;
+      for (size_t c = 0; c < cells; ++c) peers[c] += grids[j][c];
+    }
+    FaultVerdict v;
+    v.child_index = i;
+    v.js_to_peers = JsDivergence(grids[i], peers);
+    v.flagged = v.js_to_peers > config.js_threshold;
+    verdicts.push_back(v);
+  }
+  return verdicts;
+}
+
+OutlierRateMonitor::OutlierRateMonitor(double window_seconds)
+    : window_seconds_(window_seconds) {
+  assert(window_seconds_ > 0.0);
+}
+
+void OutlierRateMonitor::RecordOutlier(double t) {
+  assert(events_.empty() || events_.back() <= t);
+  events_.push_back(t);
+}
+
+void OutlierRateMonitor::Expire(double t) const {
+  while (!events_.empty() && events_.front() <= t - window_seconds_) {
+    events_.pop_front();
+  }
+}
+
+size_t OutlierRateMonitor::CountAt(double t) const {
+  Expire(t);
+  size_t n = 0;
+  for (double e : events_) {
+    if (e <= t) ++n;
+  }
+  return n;
+}
+
+}  // namespace sensord

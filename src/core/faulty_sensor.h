@@ -1,0 +1,78 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Faulty-sensor detection (Section 9): "a parent sensor can compute the
+// difference between the estimator models received from its children, to
+// determine if any of them is faulty", plus region-level warnings of the
+// form "warn if the number of outliers in a region exceeds T over the most
+// recent window W".
+
+#ifndef SENSORD_CORE_FAULTY_SENSOR_H_
+#define SENSORD_CORE_FAULTY_SENSOR_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "stats/estimator.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Parameters of the model-divergence fault check.
+struct FaultySensorConfig {
+  /// Grid resolution for the JS computation (per dimension).
+  size_t grid_cells = 64;
+  /// A child whose JS divergence (bits) from its peers' average model
+  /// exceeds this is flagged. One broken sensor among k children shifts a
+  /// healthy child's divergence by roughly the broken sensor's 1/(k-1)
+  /// weight in the peer average (~0.2 bits at k = 4), while the broken
+  /// child itself diverges by ~1 bit; the default separates the two.
+  double js_threshold = 0.35;
+};
+
+/// One child's verdict.
+struct FaultVerdict {
+  size_t child_index = 0;
+  double js_to_peers = 0.0;  ///< JS divergence to the average of the others
+  bool flagged = false;
+};
+
+/// Compares every child model with the average of its peers' models (the
+/// child itself excluded, so one broken sensor cannot mask itself) and
+/// flags divergent children.
+/// Returns InvalidArgument if fewer than 3 children are given (with 2 the
+/// comparison is symmetric and cannot attribute blame) or dimensionalities
+/// differ.
+StatusOr<std::vector<FaultVerdict>> DetectFaultySensors(
+    const std::vector<const DistributionEstimator*>& children,
+    const FaultySensorConfig& config);
+
+/// Sliding-time-window counter of outlier events in a region, for queries
+/// like "warn if more than T outliers in the last W seconds".
+class OutlierRateMonitor {
+ public:
+  /// Pre: window_seconds > 0.
+  explicit OutlierRateMonitor(double window_seconds);
+
+  /// Records an outlier event at time `t` (non-decreasing across calls).
+  void RecordOutlier(double t);
+
+  /// Number of recorded events in (t - window, t].
+  size_t CountAt(double t) const;
+
+  /// True iff CountAt(t) > threshold.
+  bool ExceedsThreshold(double t, size_t threshold) const {
+    return CountAt(t) > threshold;
+  }
+
+ private:
+  // Drops events that have slid out of the window ending at `t`.
+  void Expire(double t) const;
+
+  double window_seconds_;
+  mutable std::deque<double> events_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_FAULTY_SENSOR_H_

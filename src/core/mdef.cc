@@ -1,0 +1,202 @@
+#include "core/mdef.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "stats/kde.h"
+
+namespace sensord {
+namespace {
+
+// Enumerates, recursively over dimensions, every cell of the 2*alpha*r grid
+// whose centre lies in the L-infinity ball B(p, r), accumulating the mass
+// moments the MDEF statistics need.
+struct CellScan {
+  const DistributionEstimator& model;
+  const Point& p;
+  double cell_side;
+  double sampling_radius;
+  size_t cells_per_dim;
+
+  double sum1 = 0.0;  // sum s_j
+  double sum2 = 0.0;  // sum s_j^2
+  double sum3 = 0.0;  // sum s_j^3
+  size_t cells = 0;
+
+  Point lo, hi;
+
+  explicit CellScan(const DistributionEstimator& m, const Point& point,
+                    const MdefConfig& config)
+      : model(m),
+        p(point),
+        cell_side(2.0 * config.counting_radius),
+        sampling_radius(config.sampling_radius),
+        cells_per_dim(static_cast<size_t>(std::ceil(1.0 / cell_side))),
+        lo(m.dimensions()),
+        hi(m.dimensions()) {}
+
+  void Recurse(size_t dim) {
+    if (dim == model.dimensions()) {
+      const double s = model.BoxProbability(lo, hi);
+      sum1 += s;
+      sum2 += s * s;
+      sum3 += s * s * s;
+      ++cells;
+      return;
+    }
+    // Cells j cover [j*side, (j+1)*side); keep those whose centre is within
+    // the sampling radius of p in this dimension.
+    const long first = static_cast<long>(
+        std::floor((p[dim] - sampling_radius) / cell_side));
+    const long last = static_cast<long>(
+        std::floor((p[dim] + sampling_radius) / cell_side));
+    for (long j = std::max(0L, first);
+         j <= last && j < static_cast<long>(cells_per_dim); ++j) {
+      const double a = static_cast<double>(j) * cell_side;
+      const double center = a + 0.5 * cell_side;
+      if (std::fabs(center - p[dim]) > sampling_radius) continue;
+      lo[dim] = a;
+      hi[dim] = a + cell_side;
+      Recurse(dim + 1);
+    }
+  }
+};
+
+}  // namespace
+
+MdefResult MdefFromMasses(double counting_mass, double sum1, double sum2,
+                          double sum3, size_t cells,
+                          const MdefConfig& config) {
+  MdefResult r;
+  r.counting_mass = counting_mass;
+  r.cells_considered = cells;
+
+  if (sum1 < config.min_neighborhood_mass) {
+    // An (essentially) empty sampling neighbourhood: no local statistics to
+    // deviate from. The paper's framework never flags such values; they
+    // would be caught by the distance-based criterion instead.
+    return r;
+  }
+
+  r.avg_mass = sum2 / sum1;
+  const double second_moment = sum3 / sum1;
+  const double var = second_moment - r.avg_mass * r.avg_mass;
+  r.sigma_mass = var > 0.0 ? std::sqrt(var) : 0.0;
+
+  if (r.avg_mass <= 0.0) return r;
+  r.mdef = 1.0 - r.counting_mass / r.avg_mass;
+  r.sigma_mdef = r.sigma_mass / r.avg_mass;
+  r.is_outlier = r.mdef > config.k_sigma * r.sigma_mdef;
+  return r;
+}
+
+MdefResult ComputeMdef(const DistributionEstimator& model, const Point& p,
+                       const MdefConfig& config) {
+  assert(p.size() == model.dimensions());
+  assert(config.counting_radius > 0.0);
+  assert(config.counting_radius <= config.sampling_radius);
+  assert(config.sampling_radius < 1.0);
+
+  const double counting_mass =
+      model.BallProbability(p, config.counting_radius);
+  CellScan scan(model, p, config);
+  scan.Recurse(0);
+  return MdefFromMasses(counting_mass, scan.sum1, scan.sum2, scan.sum3,
+                        scan.cells, config);
+}
+
+MdefResult ComputeMdef(const KernelDensityEstimator& kde, const Point& p,
+                       const MdefConfig& config) {
+  const size_t d = kde.dimensions();
+  if (d == 1) {
+    // The generic path already runs in O(log|R| + |R'|) per cell in 1-d.
+    return ComputeMdef(static_cast<const DistributionEstimator&>(kde), p,
+                       config);
+  }
+  assert(p.size() == d);
+  assert(config.counting_radius > 0.0);
+  assert(config.counting_radius <= config.sampling_radius);
+
+  const double side = 2.0 * config.counting_radius;
+  const double r = config.sampling_radius;
+  const size_t cells_per_dim = static_cast<size_t>(std::ceil(1.0 / side));
+
+  // Per-dimension list of cell intervals whose centres are within r of p —
+  // the same selection rule as the generic CellScan, which factors over
+  // dimensions for the L-infinity ball.
+  std::vector<std::vector<double>> cell_lo(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    const long first = static_cast<long>(std::floor((p[dim] - r) / side));
+    const long last = static_cast<long>(std::floor((p[dim] + r) / side));
+    for (long j = std::max(0L, first);
+         j <= last && j < static_cast<long>(cells_per_dim); ++j) {
+      const double a = static_cast<double>(j) * side;
+      if (std::fabs(a + 0.5 * side - p[dim]) > r) continue;
+      cell_lo[dim].push_back(a);
+    }
+  }
+  size_t total_cells = 1;
+  for (size_t dim = 0; dim < d; ++dim) total_cells *= cell_lo[dim].size();
+  if (total_cells == 0) {
+    return MdefFromMasses(
+        kde.BallProbability(p, config.counting_radius), 0.0, 0.0, 0.0, 0,
+        config);
+  }
+
+  const std::vector<double> bandwidths = kde.bandwidths();
+  std::vector<EpanechnikovKernel> kernels;
+  kernels.reserve(d);
+  for (double b : bandwidths) kernels.emplace_back(b);
+  std::vector<double> cell_mass(total_cells, 0.0);
+  std::vector<std::vector<double>> per_dim(d);
+
+  for (const Point& t : kde.sample()) {
+    // Cheap reject: kernel support vs the bounding box of the listed cells.
+    bool overlaps = true;
+    for (size_t dim = 0; dim < d && overlaps; ++dim) {
+      const double lo = cell_lo[dim].front();
+      const double hi = cell_lo[dim].back() + side;
+      overlaps = t[dim] + bandwidths[dim] > lo &&
+                 t[dim] - bandwidths[dim] < hi;
+    }
+    if (!overlaps) continue;
+
+    for (size_t dim = 0; dim < d; ++dim) {
+      auto& masses = per_dim[dim];
+      masses.assign(cell_lo[dim].size(), 0.0);
+      for (size_t j = 0; j < cell_lo[dim].size(); ++j) {
+        masses[j] = kernels[dim].MassInInterval(t[dim], cell_lo[dim][j],
+                                                cell_lo[dim][j] + side);
+      }
+    }
+    // Outer product accumulation (row-major over dimensions).
+    for (size_t c = 0; c < total_cells; ++c) {
+      double m = 1.0;
+      size_t rest = c;
+      for (size_t dim = d; dim-- > 0 && m > 0.0;) {
+        m *= per_dim[dim][rest % cell_lo[dim].size()];
+        rest /= cell_lo[dim].size();
+      }
+      cell_mass[c] += m;
+    }
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(kde.sample_size());
+  double sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+  for (double m : cell_mass) {
+    const double s = m * inv_n;
+    sum1 += s;
+    sum2 += s * s;
+    sum3 += s * s * s;
+  }
+  return MdefFromMasses(kde.BallProbability(p, config.counting_radius), sum1,
+                        sum2, sum3, total_cells, config);
+}
+
+bool IsMdefOutlier(const DistributionEstimator& model, const Point& p,
+                   const MdefConfig& config) {
+  return ComputeMdef(model, p, config).is_outlier;
+}
+
+}  // namespace sensord

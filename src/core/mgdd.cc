@@ -1,0 +1,186 @@
+#include "core/mgdd.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "stats/divergence.h"
+
+namespace sensord {
+namespace {
+
+// Global updates are fanned out to every child; share one immutable payload
+// across all copies of the message.
+using SharedUpdate = std::shared_ptr<const GlobalModelUpdatePayload>;
+
+}  // namespace
+
+MgddLeafNode::MgddLeafNode(const MgddOptions& options, Rng rng,
+                           OutlierObserver* observer)
+    : options_(options),
+      local_model_(options.model, rng.Split()),
+      rng_(rng),
+      observer_(observer) {}
+
+void MgddLeafNode::OnReading(const Point& value) {
+  // Figure 4, MGDD LeafProcess: update the local model, test the value
+  // against the *global* estimator, propagate sample insertions upward.
+  const bool inserted = local_model_.Observe(value);
+
+  if (HasGlobalModel() &&
+      local_model_.total_seen() >= options_.min_observations) {
+    const MdefResult result =
+        ComputeMdef(GlobalEstimator(), value, options_.mdef);
+    if (result.is_outlier && observer_ != nullptr) {
+      observer_->OnOutlierDetected(
+          OutlierEvent{DetectorKind::kMgdd, id(), level(), value,
+                       sim()->Now(), id(), local_model_.total_seen()});
+    }
+  }
+
+  if (inserted && parent() != kNoNode &&
+      rng_.Bernoulli(options_.sample_fraction)) {
+    Message msg;
+    msg.from = id();
+    msg.to = parent();
+    msg.kind = kMsgSampleValue;
+    msg.size_numbers = value.size();
+    msg.payload = SampleValuePayload{value};
+    sim()->Send(std::move(msg));
+  }
+}
+
+void MgddLeafNode::HandleMessage(const Message& msg) {
+  if (msg.kind != kMsgGlobalModelUpdate) return;
+  const auto& update = std::any_cast<const SharedUpdate&>(msg.payload);
+  if (global_sample_.empty()) {
+    global_sample_.resize(options_.model.sample_size);
+    slot_valid_.assign(options_.model.sample_size, false);
+  }
+  for (const GlobalSlotUpdate& u : update->updates) {
+    if (u.slot >= global_sample_.size()) continue;  // malformed; ignore
+    global_sample_[u.slot] = u.value;
+    slot_valid_[u.slot] = true;
+  }
+  global_stddevs_ = update->stddevs;
+  ++updates_received_;
+  ++replica_version_;
+}
+
+const KernelDensityEstimator& MgddLeafNode::GlobalEstimator() const {
+  assert(HasGlobalModel());
+  if (!cached_global_.has_value() || cached_version_ != replica_version_) {
+    std::vector<Point> sample;
+    sample.reserve(global_sample_.size());
+    for (size_t i = 0; i < global_sample_.size(); ++i) {
+      if (slot_valid_[i]) sample.push_back(global_sample_[i]);
+    }
+    auto built = KernelDensityEstimator::CreateWithScottBandwidths(
+        std::move(sample), global_stddevs_);
+    assert(built.ok());
+    cached_global_.emplace(std::move(built).value());
+    cached_version_ = replica_version_;
+  }
+  return *cached_global_;
+}
+
+MgddInternalNode::MgddInternalNode(const MgddOptions& options, Rng rng)
+    : options_(options), model_(options.model, rng.Split()), rng_(rng) {}
+
+void MgddInternalNode::HandleMessage(const Message& msg) {
+  switch (msg.kind) {
+    case kMsgSampleValue: {
+      const auto& payload =
+          std::any_cast<const SampleValuePayload&>(msg.payload);
+      HandleSampleValue(payload.value);
+      break;
+    }
+    case kMsgGlobalModelUpdate: {
+      // An update flowing down: relay to all children.
+      const auto& update = std::any_cast<const SharedUpdate&>(msg.payload);
+      BroadcastToChildren(*update);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MgddInternalNode::HandleSampleValue(const Point& value) {
+  const bool inserted = model_.Observe(value);
+  if (is_root()) {
+    // The root replicates its sample downward; any active-sample change —
+    // an insertion or an expiry promotion — must reach the replicas.
+    if (model_.sample().version() != last_sample_version_) {
+      last_sample_version_ = model_.sample().version();
+      MaybeOriginateUpdate();
+    }
+    return;
+  }
+  if (inserted && rng_.Bernoulli(options_.sample_fraction)) {
+    Message msg;
+    msg.from = id();
+    msg.to = parent();
+    msg.kind = kMsgSampleValue;
+    msg.size_numbers = value.size();
+    msg.payload = SampleValuePayload{value};
+    sim()->Send(std::move(msg));
+  }
+}
+
+void MgddInternalNode::MaybeOriginateUpdate() {
+  const std::vector<Point> snapshot = model_.sample().Snapshot();
+  GlobalModelUpdatePayload payload;
+  payload.stddevs = model_.BandwidthSpreads();
+
+  if (options_.update_mode == GlobalUpdateMode::kEveryChange) {
+    // Diff the replicated slots against what was last broadcast.
+    if (last_broadcast_sample_.size() != snapshot.size()) {
+      last_broadcast_sample_.assign(snapshot.size(), Point{});
+    }
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      if (last_broadcast_sample_[i] != snapshot[i]) {
+        payload.updates.push_back(
+            GlobalSlotUpdate{static_cast<uint32_t>(i), snapshot[i]});
+        last_broadcast_sample_[i] = snapshot[i];
+      }
+    }
+    if (payload.updates.empty()) return;
+  } else {
+    // kOnModelChange: push a full snapshot only if the model drifted.
+    if (last_pushed_estimator_.has_value()) {
+      auto js = JsDivergenceOnGrid(model_.Estimator(),
+                                   *last_pushed_estimator_,
+                                   options_.js_grid_cells);
+      assert(js.ok());
+      if (js.ok() && *js <= options_.push_js_threshold) return;
+    }
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      payload.updates.push_back(
+          GlobalSlotUpdate{static_cast<uint32_t>(i), snapshot[i]});
+    }
+    last_pushed_estimator_ = model_.Estimator();
+  }
+
+  payload.version = ++update_version_;
+  ++updates_originated_;
+  BroadcastToChildren(payload);
+}
+
+void MgddInternalNode::BroadcastToChildren(
+    const GlobalModelUpdatePayload& payload) {
+  if (children().empty()) return;
+  const auto shared = std::make_shared<const GlobalModelUpdatePayload>(payload);
+  const size_t size = payload.SizeNumbers(options_.model.dimensions);
+  for (NodeId child : children()) {
+    Message msg;
+    msg.from = id();
+    msg.to = child;
+    msg.kind = kMsgGlobalModelUpdate;
+    msg.size_numbers = size;
+    msg.payload = SharedUpdate(shared);
+    sim()->Send(std::move(msg));
+  }
+}
+
+}  // namespace sensord

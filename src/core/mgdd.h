@@ -1,0 +1,146 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// MGDD — Multi Granular Deviation Detection (Section 8, Figure 4).
+//
+// MDEF-based outliers are non-decomposable (the paper's observation that
+// Theorem 3 does not hold for them), so detection happens only at the leaf
+// sensors — but against a *global* density model describing the whole
+// region. The global model lives at the root: sample values propagate up
+// with probability f per hop (as in D3), and whenever the root's sample
+// changes, the change is pushed back down through the intermediate leaders
+// to every leaf ("updates of R^g and sigma^g to all the children").
+//
+// Two update policies (Section 8.1):
+//  * kEveryChange   — each root sample insertion is broadcast immediately;
+//    the per-observation message cost is the (f*l)^n of the paper.
+//  * kOnModelChange — the root pushes a full snapshot only when the JS
+//    divergence between the current model and the last-pushed model exceeds
+//    a threshold; leaves see fewer updates when the distribution is
+//    stationary (the paper's communication optimization).
+//
+// Replica consistency: the root replicates its sample as a fixed array of
+// |R^g| slots (slot i = chain i's active element) and broadcasts slot
+// diffs, so every leaf holds an exact copy of the root's current sample.
+
+#ifndef SENSORD_CORE_MGDD_H_
+#define SENSORD_CORE_MGDD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/density_model.h"
+#include "core/mdef.h"
+#include "core/outlier_observer.h"
+#include "core/protocol.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "stats/kde.h"
+#include "util/rng.h"
+
+namespace sensord {
+
+/// When the root pushes global-model updates downward.
+enum class GlobalUpdateMode {
+  kEveryChange,   ///< push slot diffs on every root sample change
+  kOnModelChange  ///< push a full snapshot when JS(current, last) > threshold
+};
+
+/// Parameters of an MGDD deployment.
+struct MgddOptions {
+  /// Local model at each node (leaves summarize their own stream; leaders —
+  /// including the root — summarize the propagated sample stream). The
+  /// root's model is the global model.
+  DensityModelConfig model;
+
+  /// The MDEF criterion evaluated at the leaves.
+  MdefConfig mdef;
+
+  /// Upward sample propagation probability f.
+  double sample_fraction = 0.5;
+
+  GlobalUpdateMode update_mode = GlobalUpdateMode::kEveryChange;
+
+  /// kOnModelChange: push when JS divergence (bits) exceeds this.
+  double push_js_threshold = 0.02;
+
+  /// kOnModelChange: grid resolution for the JS computation.
+  size_t js_grid_cells = 64;
+
+  /// Observations a leaf must absorb before flagging values.
+  uint64_t min_observations = 1000;
+};
+
+/// A leaf sensor running MGDD's LeafProcess: maintains its local model,
+/// holds a replica of the global sample, and evaluates the MDEF criterion
+/// for every arriving value against the global model.
+class MgddLeafNode : public Node {
+ public:
+  MgddLeafNode(const MgddOptions& options, Rng rng, OutlierObserver* observer);
+
+  void OnReading(const Point& value) override;
+  void HandleMessage(const Message& msg) override;
+
+  const DensityModel& local_model() const { return local_model_; }
+
+  /// True once at least one global update has been received.
+  bool HasGlobalModel() const { return !global_sample_.empty(); }
+
+  /// The replica's current estimator. Pre: HasGlobalModel().
+  const KernelDensityEstimator& GlobalEstimator() const;
+
+  /// Number of global updates applied (for experiments).
+  uint64_t global_updates_received() const { return updates_received_; }
+
+ private:
+  MgddOptions options_;
+  DensityModel local_model_;
+  Rng rng_;
+  OutlierObserver* observer_;
+
+  // Replica of the root's sample and sigmas.
+  std::vector<Point> global_sample_;  // indexed by slot; may be sparse early
+  std::vector<bool> slot_valid_;
+  std::vector<double> global_stddevs_;
+  uint64_t updates_received_ = 0;
+  uint64_t replica_version_ = 0;
+
+  mutable std::optional<KernelDensityEstimator> cached_global_;
+  mutable uint64_t cached_version_ = 0;
+};
+
+/// A leader node running MGDD's BlackProcess: relays sample values upward
+/// (gated on insertion into its own sample, probability f), relays global
+/// updates downward, and — if it is the root — originates global updates.
+class MgddInternalNode : public Node {
+ public:
+  MgddInternalNode(const MgddOptions& options, Rng rng);
+
+  void HandleMessage(const Message& msg) override;
+
+  const DensityModel& model() const { return model_; }
+
+  /// Number of global updates this node originated (root only).
+  uint64_t updates_originated() const { return updates_originated_; }
+
+ private:
+  void HandleSampleValue(const Point& value);
+  void MaybeOriginateUpdate();
+  void BroadcastToChildren(const GlobalModelUpdatePayload& payload);
+
+  MgddOptions options_;
+  DensityModel model_;
+  Rng rng_;
+
+  // Root bookkeeping: the sample as last broadcast, slot by slot.
+  std::vector<Point> last_broadcast_sample_;
+  std::optional<KernelDensityEstimator> last_pushed_estimator_;
+  uint64_t update_version_ = 0;
+  uint64_t updates_originated_ = 0;
+  uint64_t last_sample_version_ = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_MGDD_H_

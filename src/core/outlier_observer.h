@@ -1,0 +1,46 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The reporting hook: detection algorithms call an OutlierObserver whenever
+// they flag a value. Applications attach alerting or actuation; the
+// evaluation harness attaches precision/recall scoring against brute-force
+// ground truth.
+
+#ifndef SENSORD_CORE_OUTLIER_OBSERVER_H_
+#define SENSORD_CORE_OUTLIER_OBSERVER_H_
+
+#include <cstdint>
+
+#include "net/event_queue.h"
+#include "net/message.h"
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// Which detector produced an event.
+enum class DetectorKind {
+  kD3,    ///< distance-based, distributed (Section 7)
+  kMgdd,  ///< MDEF-based, leaf detection against the global model (Section 8)
+};
+
+/// One flagged value.
+struct OutlierEvent {
+  DetectorKind detector = DetectorKind::kD3;
+  NodeId node = kNoNode;  ///< node that flagged the value
+  int level = 1;          ///< hierarchy level of that node
+  Point value;            ///< the flagged observation
+  SimTime time = 0.0;     ///< simulation time of the detection
+  NodeId source_leaf = kNoNode;  ///< leaf that sensed the value
+  uint64_t source_seq = 0;       ///< that leaf's reading counter
+};
+
+/// Receives detection events. Implementations must tolerate being called
+/// from within message handling (i.e., synchronously inside the event loop).
+class OutlierObserver {
+ public:
+  virtual ~OutlierObserver() = default;
+  virtual void OnOutlierDetected(const OutlierEvent& event) = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_OUTLIER_OBSERVER_H_

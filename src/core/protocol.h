@@ -1,0 +1,79 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Wire protocol of the D3 and MGDD algorithms: message kinds and payloads.
+// Payload sizes (Message::size_numbers) follow the paper's accounting — the
+// numeric values a real radio would carry, at 2 bytes per number on the
+// assumed 16-bit architecture.
+
+#ifndef SENSORD_CORE_PROTOCOL_H_
+#define SENSORD_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// Message kinds used by the shipped algorithms (values < 100 are reserved;
+/// see net/message.h).
+enum ProtocolKind : MessageKind {
+  /// A value that entered a node's sample, propagated upward w.p. f
+  /// (D3 lines 14-15 / 30, MGDD lines 13-14 / 20-21).
+  kMsgSampleValue = 1,
+  /// A value a node flagged as an outlier, escalated to its parent
+  /// (D3 lines 19, 27).
+  kMsgOutlierReport = 2,
+  /// A global-model update flowing down the hierarchy (MGDD lines 22-23).
+  kMsgGlobalModelUpdate = 3,
+  /// A raw reading shipped upward by the centralized baseline.
+  kMsgRawReading = 4,
+  /// An aggregate query disseminated down the tree (Section 9 / TAG-style
+  /// in-network query processing; see core/query_processing.h).
+  kMsgQueryRequest = 5,
+  /// A partial aggregate flowing back up toward the query's origin.
+  kMsgQueryResponse = 6,
+};
+
+/// Payload of kMsgSampleValue and kMsgRawReading.
+struct SampleValuePayload {
+  Point value;
+};
+
+/// Payload of kMsgOutlierReport.
+struct OutlierReportPayload {
+  Point value;
+  /// Hierarchy level at which the value was first flagged.
+  int origin_level = 1;
+  /// Provenance of the reading: the leaf that sensed it and that leaf's
+  /// reading counter — a source timestamp, as real deployments attach. Lets
+  /// upper levels (and the evaluation harness) identify the observation.
+  NodeId source_leaf = kNoNode;
+  uint64_t source_seq = 0;
+};
+
+/// One slot change of the replicated global sample.
+struct GlobalSlotUpdate {
+  uint32_t slot = 0;
+  Point value;
+};
+
+/// Payload of kMsgGlobalModelUpdate: the slots of the root's sample that
+/// changed (all slots for a full push), plus the root's current standard
+/// deviations for bandwidth selection at the leaves.
+struct GlobalModelUpdatePayload {
+  std::vector<GlobalSlotUpdate> updates;
+  std::vector<double> stddevs;
+  uint64_t version = 0;
+
+  /// Numbers on the wire: (slot + d coordinates) per update + d sigmas + the
+  /// version tag.
+  size_t SizeNumbers(size_t dimensions) const {
+    return updates.size() * (1 + dimensions) + stddevs.size() + 1;
+  }
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_PROTOCOL_H_

@@ -1,0 +1,95 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Online approximate query processing over density models (Section 9):
+// "What is the average temperature in region (X, Y) during the time interval
+// [t1, t2]?" — answered from estimator models instead of raw data.
+//
+// RangeQueryEngine answers selectivity / count / conditional-average queries
+// against one estimator snapshot; TemporalModelStore retains timestamped
+// snapshots so queries can constrain time as well.
+
+#ifndef SENSORD_CORE_RANGE_QUERY_H_
+#define SENSORD_CORE_RANGE_QUERY_H_
+
+#include <deque>
+#include <optional>
+
+#include "stats/estimator.h"
+#include "stats/kde.h"
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Answers box queries against a distribution estimate of a window.
+/// The engine does not own the estimator; it must outlive the engine.
+class RangeQueryEngine {
+ public:
+  /// `window_count` is the population the estimator speaks for (used to
+  /// turn fractions into counts). Pre: window_count >= 0.
+  RangeQueryEngine(const DistributionEstimator* estimator,
+                   double window_count);
+
+  /// Fraction of the window inside [lo, hi].
+  /// Pre: component-wise lo <= hi, dimensionalities match.
+  double Selectivity(const Point& lo, const Point& hi) const;
+
+  /// Estimated number of window values inside [lo, hi].
+  double Count(const Point& lo, const Point& hi) const;
+
+  /// Estimated average of coordinate `dim` over the window values inside
+  /// [lo, hi], computed by slicing the box along `dim` into `slices` strips
+  /// and weighting strip centres by strip mass. Returns NotFound if the box
+  /// holds (essentially) no mass.
+  /// Pre: dim < dimensions, slices >= 1.
+  StatusOr<double> Average(size_t dim, const Point& lo, const Point& hi,
+                           size_t slices = 64) const;
+
+ private:
+  const DistributionEstimator* estimator_;
+  double window_count_;
+};
+
+/// A bounded history of timestamped model snapshots, enabling queries with
+/// temporal predicates: the answer aggregates over every snapshot whose
+/// timestamp falls in [t1, t2].
+class TemporalModelStore {
+ public:
+  /// Keeps at most `capacity` snapshots; older ones are evicted.
+  /// Pre: capacity >= 1.
+  explicit TemporalModelStore(size_t capacity);
+
+  /// Records a snapshot taken at time `t` describing `window_count` values.
+  /// Pre: timestamps are non-decreasing across calls.
+  void AddSnapshot(double t, KernelDensityEstimator estimator,
+                   double window_count);
+
+  size_t size() const { return snapshots_.size(); }
+
+  /// Average selectivity of [lo, hi] across snapshots in [t1, t2].
+  /// Returns NotFound if no snapshot falls in the interval.
+  StatusOr<double> SelectivityOver(double t1, double t2, const Point& lo,
+                                   const Point& hi) const;
+
+  /// Average of coordinate `dim` over values in [lo, hi], aggregated across
+  /// snapshots in [t1, t2] weighted by per-snapshot box mass.
+  /// Returns NotFound if no snapshot falls in the interval or the box is
+  /// empty throughout.
+  StatusOr<double> AverageOver(double t1, double t2, size_t dim,
+                               const Point& lo, const Point& hi,
+                               size_t slices = 64) const;
+
+ private:
+  struct Snapshot {
+    double time;
+    KernelDensityEstimator estimator;
+    double window_count;
+  };
+
+  size_t capacity_;
+  std::deque<Snapshot> snapshots_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_CORE_RANGE_QUERY_H_

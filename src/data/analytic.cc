@@ -1,0 +1,157 @@
+#include "data/analytic.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+namespace {
+
+// Standard normal CDF.
+double Phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+// Mass of a (non-truncated) Gaussian over [lo, hi].
+double GaussianMass(double mean, double stddev, double lo, double hi) {
+  return Phi((hi - mean) / stddev) - Phi((lo - mean) / stddev);
+}
+
+double GaussianPdf(double mean, double stddev, double x) {
+  const double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z) / (stddev * std::sqrt(2.0 * M_PI));
+}
+
+}  // namespace
+
+MixtureComponent MixtureComponent::MakeGaussian(double weight, double mean,
+                                                double stddev) {
+  MixtureComponent c;
+  c.kind = Kind::kGaussian;
+  c.weight = weight;
+  c.mean = mean;
+  c.stddev = stddev;
+  return c;
+}
+
+MixtureComponent MixtureComponent::MakeUniform(double weight, double lo,
+                                               double hi) {
+  MixtureComponent c;
+  c.kind = Kind::kUniform;
+  c.weight = weight;
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+StatusOr<AnalyticDistribution> AnalyticDistribution::Create(
+    std::vector<std::vector<MixtureComponent>> marginals) {
+  if (marginals.empty()) {
+    return Status::InvalidArgument("analytic distribution requires d >= 1");
+  }
+  for (const auto& marginal : marginals) {
+    if (marginal.empty()) {
+      return Status::InvalidArgument("each marginal needs >= 1 component");
+    }
+    for (const MixtureComponent& c : marginal) {
+      if (!(c.weight > 0.0)) {
+        return Status::InvalidArgument("component weights must be positive");
+      }
+      if (c.kind == MixtureComponent::Kind::kGaussian && !(c.stddev > 0.0)) {
+        return Status::InvalidArgument("Gaussian stddev must be positive");
+      }
+      if (c.kind == MixtureComponent::Kind::kUniform && !(c.lo < c.hi)) {
+        return Status::InvalidArgument("uniform component requires lo < hi");
+      }
+    }
+  }
+  return AnalyticDistribution(std::move(marginals));
+}
+
+AnalyticDistribution AnalyticDistribution::Gaussian1d(double mean,
+                                                      double stddev) {
+  auto result = Create({{MixtureComponent::MakeGaussian(1.0, mean, stddev)}});
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+AnalyticDistribution::AnalyticDistribution(
+    std::vector<std::vector<MixtureComponent>> marginals)
+    : marginals_(std::move(marginals)) {
+  weight_sum_.resize(marginals_.size());
+  truncation_.resize(marginals_.size());
+  for (size_t dim = 0; dim < marginals_.size(); ++dim) {
+    double sum = 0.0;
+    truncation_[dim].reserve(marginals_[dim].size());
+    for (const MixtureComponent& c : marginals_[dim]) {
+      sum += c.weight;
+      if (c.kind == MixtureComponent::Kind::kGaussian) {
+        // Clamping samples to [0,1] piles the tails onto the boundary; for
+        // the means/stddevs used in experiments the tail mass is negligible,
+        // so we model truncation-with-renormalization instead.
+        truncation_[dim].push_back(GaussianMass(c.mean, c.stddev, 0.0, 1.0));
+      } else {
+        truncation_[dim].push_back(1.0);
+      }
+    }
+    weight_sum_[dim] = sum;
+  }
+}
+
+double AnalyticDistribution::MarginalMass(size_t dim, double lo,
+                                          double hi) const {
+  const double a = std::max(lo, 0.0);
+  const double b = std::min(hi, 1.0);
+  if (a >= b) return 0.0;
+  double mass = 0.0;
+  const auto& marginal = marginals_[dim];
+  for (size_t i = 0; i < marginal.size(); ++i) {
+    const MixtureComponent& c = marginal[i];
+    double m;
+    if (c.kind == MixtureComponent::Kind::kGaussian) {
+      const double trunc = truncation_[dim][i];
+      m = trunc > 0.0 ? GaussianMass(c.mean, c.stddev, a, b) / trunc : 0.0;
+    } else {
+      m = IntervalOverlap(c.lo, c.hi, a, b) / (c.hi - c.lo);
+    }
+    mass += c.weight * m;
+  }
+  return mass / weight_sum_[dim];
+}
+
+double AnalyticDistribution::MarginalPdf(size_t dim, double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  double density = 0.0;
+  const auto& marginal = marginals_[dim];
+  for (size_t i = 0; i < marginal.size(); ++i) {
+    const MixtureComponent& c = marginal[i];
+    double f;
+    if (c.kind == MixtureComponent::Kind::kGaussian) {
+      const double trunc = truncation_[dim][i];
+      f = trunc > 0.0 ? GaussianPdf(c.mean, c.stddev, x) / trunc : 0.0;
+    } else {
+      f = (x >= c.lo && x <= c.hi) ? 1.0 / (c.hi - c.lo) : 0.0;
+    }
+    density += c.weight * f;
+  }
+  return density / weight_sum_[dim];
+}
+
+double AnalyticDistribution::BoxProbability(const Point& lo,
+                                            const Point& hi) const {
+  assert(lo.size() == dimensions());
+  assert(hi.size() == dimensions());
+  double mass = 1.0;
+  for (size_t dim = 0; dim < dimensions() && mass > 0.0; ++dim) {
+    mass *= MarginalMass(dim, lo[dim], hi[dim]);
+  }
+  return mass;
+}
+
+double AnalyticDistribution::Pdf(const Point& p) const {
+  assert(p.size() == dimensions());
+  double density = 1.0;
+  for (size_t dim = 0; dim < dimensions() && density > 0.0; ++dim) {
+    density *= MarginalPdf(dim, p[dim]);
+  }
+  return density;
+}
+
+}  // namespace sensord

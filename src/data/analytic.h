@@ -1,0 +1,73 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Closed-form distributions implementing the estimator interface.
+//
+// The Figure 6 experiment measures the JS divergence between the kernel
+// estimate and the *true* distribution that generated the stream; these
+// classes are that truth. They are product distributions whose per-dimension
+// marginals are mixtures of (clamped-to-[0,1]) Gaussian and uniform
+// components, matching the synthetic generators in this directory.
+
+#ifndef SENSORD_DATA_ANALYTIC_H_
+#define SENSORD_DATA_ANALYTIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/estimator.h"
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// One mixture component of a 1-d marginal.
+struct MixtureComponent {
+  enum class Kind { kGaussian, kUniform };
+  Kind kind = Kind::kGaussian;
+  double weight = 1.0;  ///< relative weight; normalized across the marginal
+  // Gaussian parameters (kind == kGaussian):
+  double mean = 0.5;
+  double stddev = 0.1;
+  // Uniform parameters (kind == kUniform):
+  double lo = 0.0;
+  double hi = 1.0;
+
+  static MixtureComponent MakeGaussian(double weight, double mean,
+                                       double stddev);
+  static MixtureComponent MakeUniform(double weight, double lo, double hi);
+};
+
+/// A product distribution over [0,1]^d: dimension i is an independent
+/// mixture of Gaussian/uniform components. Gaussians are truncated to [0,1]
+/// and renormalized, matching generators that clamp samples.
+class AnalyticDistribution : public DistributionEstimator {
+ public:
+  /// Pre: one non-empty component list per dimension; positive weights;
+  /// Gaussian stddevs > 0; uniform lo < hi.
+  static StatusOr<AnalyticDistribution> Create(
+      std::vector<std::vector<MixtureComponent>> marginals);
+
+  /// Single Gaussian in 1-d — the Figure 6 workload distribution.
+  static AnalyticDistribution Gaussian1d(double mean, double stddev);
+
+  size_t dimensions() const override { return marginals_.size(); }
+  double BoxProbability(const Point& lo, const Point& hi) const override;
+  double Pdf(const Point& p) const override;
+
+ private:
+  explicit AnalyticDistribution(
+      std::vector<std::vector<MixtureComponent>> marginals);
+
+  // Mass of the marginal of dimension `dim` over [lo, hi] intersected with
+  // [0, 1].
+  double MarginalMass(size_t dim, double lo, double hi) const;
+  double MarginalPdf(size_t dim, double x) const;
+
+  std::vector<std::vector<MixtureComponent>> marginals_;
+  std::vector<double> weight_sum_;       // per-dim total component weight
+  std::vector<std::vector<double>> truncation_;  // per-component mass in [0,1]
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_DATA_ANALYTIC_H_

@@ -1,0 +1,56 @@
+#include "data/engine_trace.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+
+EngineTraceGenerator::EngineTraceGenerator(EngineTraceOptions options, Rng rng)
+    : options_(options), rng_(rng), level_(options.healthy_level) {
+  assert(options_.healthy_noise > 0.0);
+  assert(options_.mean_reversion > 0.0 && options_.mean_reversion < 1.0);
+  assert(options_.value_floor < options_.value_ceiling);
+  assert(options_.mean_healthy_duration > 1.0);
+  assert(options_.mean_failure_duration >=
+         static_cast<double>(options_.min_failure_duration));
+  assert(options_.min_failure_duration >= 2);
+  assert(options_.min_failure_depth <= options_.max_failure_depth);
+}
+
+Point EngineTraceGenerator::Next() {
+  // OU step: level reverts to the operating point with per-step innovation
+  // sized so the long-run stddev equals healthy_noise.
+  const double theta = options_.mean_reversion;
+  const double innovation_sd =
+      options_.healthy_noise * std::sqrt(theta * (2.0 - theta));
+  level_ += theta * (options_.healthy_level - level_) +
+            rng_.Gaussian(0.0, innovation_sd);
+
+  double drop = 0.0;
+  if (failure_remaining_ > 0) {
+    // Smooth dive-and-recover excursion: a sine bump over the episode.
+    const double progress =
+        1.0 - static_cast<double>(failure_remaining_) /
+                  static_cast<double>(failure_total_);
+    drop = failure_depth_ * std::sin(progress * M_PI);
+    --failure_remaining_;
+  } else if (rng_.Bernoulli(1.0 / options_.mean_healthy_duration)) {
+    // A new failure episode begins with the *next* reading. Durations are
+    // min + exponential, so every dive is long enough to stay smooth.
+    const double extra = options_.mean_failure_duration -
+                         static_cast<double>(options_.min_failure_duration);
+    failure_total_ =
+        options_.min_failure_duration +
+        static_cast<uint64_t>(-std::max(1.0, extra) *
+                              std::log(1.0 - rng_.UniformDouble()));
+    failure_remaining_ = failure_total_;
+    failure_depth_ = rng_.UniformDouble(options_.min_failure_depth,
+                                        options_.max_failure_depth);
+  }
+
+  const double value =
+      Clamp(level_ - drop, options_.value_floor, options_.value_ceiling);
+  return {value};
+}
+
+}  // namespace sensord

@@ -1,0 +1,77 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Surrogate for the paper's proprietary engine dataset.
+//
+// The original: 15 sensors monitoring an engine every 5 minutes, June 1 to
+// December 1 2002, 50 000 values per sensor, normalized to [0, 1]. Its
+// Figure 5 row: min 0.020, max 0.427, mean 0.410, median 0.419, stddev
+// 0.053, skew -6.844 — i.e. a smooth, strongly left-skewed stream that sits
+// near 0.42 almost always and rarely plunges toward 0.02. The paper also
+// notes "a major failure ... from October 28th to November 1st, where ...
+// they reported deviating values".
+//
+// This generator reproduces that structure: an Ornstein-Uhlenbeck process
+// around a healthy operating point, interrupted by rare failure episodes in
+// which the value smoothly dives toward a per-episode failure depth and
+// recovers. With default parameters the long-run statistics land on the
+// Figure 5 row (validated by bench/fig05_dataset_stats) and the failure
+// excursions are the genuine outliers the detectors should flag.
+
+#ifndef SENSORD_DATA_ENGINE_TRACE_H_
+#define SENSORD_DATA_ENGINE_TRACE_H_
+
+#include <cstdint>
+
+#include "data/stream_source.h"
+#include "util/rng.h"
+
+namespace sensord {
+
+/// Parameters of the surrogate engine stream. Defaults reproduce Figure 5.
+struct EngineTraceOptions {
+  double healthy_level = 0.419;  ///< operating point (the dataset median)
+  double healthy_noise = 0.006;  ///< long-run stddev of the healthy regime
+  double mean_reversion = 0.05;  ///< OU pull toward the operating point
+  double value_floor = 0.020;    ///< the dataset minimum
+  double value_ceiling = 0.427;  ///< the dataset maximum
+  /// Expected healthy readings between failure episodes.
+  double mean_healthy_duration = 3800.0;
+  /// Shortest possible failure episode (keeps the dive smooth) and the
+  /// expected episode length, in readings.
+  uint64_t min_failure_duration = 40;
+  double mean_failure_duration = 150.0;
+  /// Depth of a failure dive, drawn uniformly per episode. With the healthy
+  /// level at 0.419 the deepest dives graze the dataset floor of 0.020.
+  double min_failure_depth = 0.35;
+  double max_failure_depth = 0.40;
+};
+
+/// Endless 1-d surrogate engine stream.
+class EngineTraceGenerator : public StreamSource {
+ public:
+  EngineTraceGenerator(EngineTraceOptions options, Rng rng);
+
+  /// Defaults + seed convenience.
+  explicit EngineTraceGenerator(Rng rng)
+      : EngineTraceGenerator(EngineTraceOptions{}, rng) {}
+
+  size_t dimensions() const override { return 1; }
+
+  Point Next() override;
+
+  /// True while the generator is inside a failure episode — the labels used
+  /// by examples to show detections lining up with real anomalies.
+  bool InFailureEpisode() const { return failure_remaining_ > 0; }
+
+ private:
+  EngineTraceOptions options_;
+  Rng rng_;
+  double level_;              // current OU state
+  uint64_t failure_remaining_ = 0;  // readings left in the current episode
+  uint64_t failure_total_ = 0;      // total length of the current episode
+  double failure_depth_ = 0.0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_DATA_ENGINE_TRACE_H_

@@ -1,0 +1,68 @@
+#include "data/environmental_trace.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+
+EnvironmentalTraceGenerator::EnvironmentalTraceGenerator(
+    EnvironmentalTraceOptions options, Rng rng)
+    : options_(options), rng_(rng) {
+  assert(options_.pressure_min < options_.pressure_max);
+  assert(options_.dewpoint_min < options_.dewpoint_max);
+  assert(options_.synoptic_period > 1.0);
+  assert(options_.mean_reversion > 0.0 && options_.mean_reversion < 1.0);
+  phase_ = rng_.UniformDouble(0.0, 2.0 * M_PI);
+}
+
+Point EnvironmentalTraceGenerator::Next() {
+  const double theta = options_.mean_reversion;
+  const double scale = std::sqrt(theta * (2.0 - theta));
+
+  // Correlated AR(1) noise: the dew-point innovation shares a common weather
+  // term with the pressure innovation.
+  const double shared = rng_.Gaussian();
+  const double own = rng_.Gaussian();
+  pressure_ar_ += -theta * pressure_ar_ +
+                  options_.pressure_noise * scale * shared;
+  dewpoint_ar_ += -theta * dewpoint_ar_ +
+                  options_.dewpoint_noise * scale * (0.6 * shared + 0.8 * own);
+
+  // Slow synoptic swing: two incommensurate sinusoids so the trajectory
+  // never exactly repeats.
+  const double w = 2.0 * M_PI / options_.synoptic_period;
+  const double tt = static_cast<double>(t_);
+  const double synoptic =
+      0.7 * std::sin(w * tt + phase_) + 0.3 * std::sin(0.37 * w * tt + 1.3 * phase_);
+  ++t_;
+
+  // Storm fronts: sharp correlated dips (left skew in both marginals).
+  double storm = 0.0;
+  if (storm_remaining_ > 0) {
+    const double progress =
+        1.0 - static_cast<double>(storm_remaining_) /
+                  static_cast<double>(storm_total_);
+    storm = storm_strength_ * std::sin(progress * M_PI);
+    --storm_remaining_;
+  } else if (rng_.Bernoulli(1.0 / options_.mean_calm_duration)) {
+    storm_total_ = 2 + static_cast<uint64_t>(
+                           -options_.mean_storm_duration *
+                           std::log(1.0 - rng_.UniformDouble()));
+    storm_remaining_ = storm_total_;
+    storm_strength_ = rng_.UniformDouble(0.5, 1.0);
+  }
+
+  const double pressure =
+      Clamp(options_.pressure_base +
+                options_.pressure_synoptic_amp * synoptic + pressure_ar_ -
+                storm * options_.storm_pressure_drop,
+            options_.pressure_min, options_.pressure_max);
+  const double dewpoint =
+      Clamp(options_.dewpoint_base +
+                options_.dewpoint_synoptic_amp * synoptic + dewpoint_ar_ -
+                storm * options_.storm_dewpoint_drop,
+            options_.dewpoint_min, options_.dewpoint_max);
+  return {pressure, dewpoint};
+}
+
+}  // namespace sensord

@@ -1,0 +1,76 @@
+#include "data/normalize.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sensord {
+
+StatusOr<Normalizer> Normalizer::FromRanges(std::vector<double> lo,
+                                            std::vector<double> hi) {
+  if (lo.empty() || lo.size() != hi.size()) {
+    return Status::InvalidArgument("normalizer needs matching lo/hi ranges");
+  }
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (!(lo[i] < hi[i])) {
+      return Status::InvalidArgument("normalizer requires lo < hi per dim");
+    }
+  }
+  return Normalizer(std::move(lo), std::move(hi));
+}
+
+StatusOr<Normalizer> Normalizer::Fit(const std::vector<Point>& data,
+                                     double margin) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit normalizer to empty data");
+  }
+  const size_t d = data[0].size();
+  std::vector<double> lo(d), hi(d);
+  for (size_t i = 0; i < d; ++i) lo[i] = hi[i] = data[0][i];
+  for (const Point& p : data) {
+    if (p.size() != d) {
+      return Status::InvalidArgument("inconsistent dimensionality");
+    }
+    for (size_t i = 0; i < d; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    double span = hi[i] - lo[i];
+    if (span <= 0.0) span = 1.0;  // constant dimension: any unit-width range
+    lo[i] -= margin * span;
+    hi[i] += margin * span;
+  }
+  return Normalizer(std::move(lo), std::move(hi));
+}
+
+Normalizer::Normalizer(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+Point Normalizer::ToUnit(const Point& physical) const {
+  assert(physical.size() == lo_.size());
+  Point out(physical.size());
+  for (size_t i = 0; i < physical.size(); ++i) {
+    out[i] = Clamp((physical[i] - lo_[i]) / (hi_[i] - lo_[i]), 0.0, 1.0);
+  }
+  return out;
+}
+
+Point Normalizer::FromUnit(const Point& unit) const {
+  assert(unit.size() == lo_.size());
+  Point out(unit.size());
+  for (size_t i = 0; i < unit.size(); ++i) {
+    out[i] = lo_[i] + unit[i] * (hi_[i] - lo_[i]);
+  }
+  return out;
+}
+
+std::vector<Point> Normalizer::ToUnitTrace(
+    const std::vector<Point>& trace) const {
+  std::vector<Point> out;
+  out.reserve(trace.size());
+  for (const Point& p : trace) out.push_back(ToUnit(p));
+  return out;
+}
+
+}  // namespace sensord

@@ -1,0 +1,56 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Domain normalization.
+//
+// The kernel machinery assumes readings in [0,1]^d (Section 4: "The recorded
+// values must fall in the interval [0,1]^d. This requirement is not
+// restrictive, since we can map the domain of the input values"). This is
+// that map: an affine per-dimension rescale fitted on data or given a priori
+// (sensor specs usually publish the physical range).
+
+#ifndef SENSORD_DATA_NORMALIZE_H_
+#define SENSORD_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Per-dimension affine map onto [0,1]^d and back.
+class Normalizer {
+ public:
+  /// Builds from explicit per-dimension [lo, hi] physical ranges.
+  /// Pre: ranges non-empty, lo < hi per dimension.
+  static StatusOr<Normalizer> FromRanges(std::vector<double> lo,
+                                         std::vector<double> hi);
+
+  /// Fits ranges to the min/max of a dataset, widened by `margin` fraction
+  /// of the span on each side so near-boundary future readings stay in
+  /// bounds. Pre: data non-empty, consistent dimensionality.
+  static StatusOr<Normalizer> Fit(const std::vector<Point>& data,
+                                  double margin = 0.05);
+
+  size_t dimensions() const { return lo_.size(); }
+
+  /// Maps a physical reading into [0,1]^d (clamping anything outside the
+  /// fitted range onto the boundary).
+  Point ToUnit(const Point& physical) const;
+
+  /// Maps a normalized point back to physical coordinates.
+  Point FromUnit(const Point& unit) const;
+
+  /// Applies ToUnit to a whole trace.
+  std::vector<Point> ToUnitTrace(const std::vector<Point>& trace) const;
+
+ private:
+  Normalizer(std::vector<double> lo, std::vector<double> hi);
+
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_DATA_NORMALIZE_H_

@@ -1,0 +1,26 @@
+#include "data/shift_trace.h"
+
+#include <cassert>
+
+namespace sensord {
+
+ShiftingGaussianStream::ShiftingGaussianStream(ShiftTraceOptions options,
+                                               Rng rng)
+    : options_(options), rng_(rng) {
+  assert(options_.stddev > 0.0);
+  assert(options_.phase_length > 0);
+}
+
+Point ShiftingGaussianStream::Next() {
+  const double mean = IsPhaseA(position_) ? options_.mean_a : options_.mean_b;
+  ++position_;
+  return {Clamp(rng_.Gaussian(mean, options_.stddev), 0.0, 1.0)};
+}
+
+AnalyticDistribution ShiftingGaussianStream::TrueDistributionAt(
+    uint64_t i) const {
+  const double mean = IsPhaseA(i) ? options_.mean_a : options_.mean_b;
+  return AnalyticDistribution::Gaussian1d(mean, options_.stddev);
+}
+
+}  // namespace sensord

@@ -1,0 +1,42 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The workload interface: an endless stream of d-dimensional readings.
+//
+// Every generator in src/data implements StreamSource, and every experiment
+// feeds sensors by pulling from one StreamSource per sensor ("in all the
+// experiments each sensor sees a different set of data", Section 10). The
+// generators are deterministic functions of their Rng seed.
+
+#ifndef SENSORD_DATA_STREAM_SOURCE_H_
+#define SENSORD_DATA_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// An unbounded source of sensor readings in [0,1]^d.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Dimensionality of produced readings.
+  virtual size_t dimensions() const = 0;
+
+  /// Produces the next reading. Always in [0,1]^d.
+  virtual Point Next() = 0;
+
+  /// Convenience: materializes the next `n` readings.
+  std::vector<Point> Take(size_t n) {
+    std::vector<Point> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_DATA_STREAM_SOURCE_H_

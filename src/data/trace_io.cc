@@ -1,0 +1,98 @@
+#include "data/trace_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sensord {
+
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<Point>& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "# sensord trace: " << trace.size() << " readings\n";
+  for (const Point& p : trace) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (i) out << ',';
+      out << p[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Point>> ReadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<Point> trace;
+  std::string line;
+  size_t arity = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    Point p;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || errno == ERANGE) {
+        return Status::IoError("bad number at " + path + ":" +
+                               std::to_string(line_no));
+      }
+      p.push_back(v);
+    }
+    if (p.empty()) continue;
+    if (arity == 0) {
+      arity = p.size();
+    } else if (p.size() != arity) {
+      return Status::IoError("inconsistent arity at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    trace.push_back(std::move(p));
+  }
+  if (trace.empty()) {
+    return Status::IoError("empty trace: " + path);
+  }
+  return trace;
+}
+
+StatusOr<ReplayStream> ReplayStream::Create(std::vector<Point> trace,
+                                            bool wrap) {
+  if (trace.empty()) {
+    return Status::InvalidArgument("replay stream requires readings");
+  }
+  const size_t d = trace[0].size();
+  if (d == 0) {
+    return Status::InvalidArgument("replay stream requires d >= 1");
+  }
+  for (const Point& p : trace) {
+    if (p.size() != d) {
+      return Status::InvalidArgument("inconsistent trace dimensionality");
+    }
+  }
+  return ReplayStream(std::move(trace), wrap);
+}
+
+Point ReplayStream::Next() {
+  const Point& p = trace_[pos_];
+  if (pos_ + 1 < trace_.size()) {
+    ++pos_;
+  } else if (wrap_) {
+    pos_ = 0;
+  }
+  return p;
+}
+
+}  // namespace sensord

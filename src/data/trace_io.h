@@ -1,0 +1,56 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Trace persistence: CSV read/write of point sequences, plus a StreamSource
+// that replays a stored trace. Lets users run sensord's detectors on their
+// own sensor logs (the quickstart example shows the path) and lets
+// experiments pin down exact inputs.
+
+#ifndef SENSORD_DATA_TRACE_IO_H_
+#define SENSORD_DATA_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/stream_source.h"
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Writes one point per line, coordinates comma-separated, '#' comments
+/// allowed. Overwrites the file.
+Status WriteTraceCsv(const std::string& path, const std::vector<Point>& trace);
+
+/// Reads a CSV trace written by WriteTraceCsv (or any compatible file:
+/// one reading per line, comma-separated coordinates, blank lines and
+/// '#'-prefixed comments ignored). All rows must have equal arity.
+StatusOr<std::vector<Point>> ReadTraceCsv(const std::string& path);
+
+/// Replays a materialized trace; wraps around at the end (so detectors can
+/// be driven for longer than the trace) unless `wrap` is false, in which
+/// case Next() keeps returning the final point.
+class ReplayStream : public StreamSource {
+ public:
+  /// Pre: trace non-empty with consistent dimensionality.
+  static StatusOr<ReplayStream> Create(std::vector<Point> trace,
+                                       bool wrap = true);
+
+  size_t dimensions() const override { return trace_[0].size(); }
+
+  Point Next() override;
+
+  size_t size() const { return trace_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  ReplayStream(std::vector<Point> trace, bool wrap)
+      : trace_(std::move(trace)), wrap_(wrap) {}
+
+  std::vector<Point> trace_;
+  bool wrap_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_DATA_TRACE_IO_H_

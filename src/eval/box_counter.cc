@@ -1,0 +1,183 @@
+#include "eval/box_counter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sensord {
+
+double BoxCounter::CountBall(const Point& p, double r) const {
+  Point lo(p), hi(p);
+  for (size_t i = 0; i < p.size(); ++i) {
+    lo[i] -= r;
+    hi[i] += r;
+  }
+  return CountBox(lo, hi);
+}
+
+std::unique_ptr<BoxCounter> MakeBoxCounter(size_t dimensions) {
+  assert(dimensions >= 1);
+  if (dimensions == 1) return std::make_unique<BoxCounter1d>();
+  if (dimensions == 2) return std::make_unique<BoxCounter2d>();
+  return std::make_unique<ScanBoxCounter>(dimensions);
+}
+
+// ---------------------------------------------------------------- 1-d ----
+
+BoxCounter1d::BoxCounter1d() : fenwick_(kBins + 1, 0), bins_(kBins) {}
+
+size_t BoxCounter1d::BinOf(double x) const {
+  const double clamped = Clamp(x, 0.0, 1.0);
+  size_t bin = static_cast<size_t>(clamped * static_cast<double>(kBins));
+  return std::min(bin, kBins - 1);
+}
+
+uint64_t BoxCounter1d::Prefix(size_t bin) const {
+  // Fenwick over 1-based indices; `bin` is 0-based inclusive.
+  uint64_t sum = 0;
+  for (size_t i = bin + 1; i > 0; i -= i & (~i + 1)) sum += fenwick_[i];
+  return sum;
+}
+
+void BoxCounter1d::Update(size_t bin, int64_t delta) {
+  for (size_t i = bin + 1; i <= kBins; i += i & (~i + 1)) {
+    fenwick_[i] = static_cast<uint64_t>(static_cast<int64_t>(fenwick_[i]) +
+                                        delta);
+  }
+}
+
+void BoxCounter1d::Add(const Point& p) {
+  assert(p.size() == 1);
+  const size_t bin = BinOf(p[0]);
+  bins_[bin].push_back(p[0]);
+  Update(bin, +1);
+  ++total_;
+}
+
+void BoxCounter1d::Remove(const Point& p) {
+  assert(p.size() == 1);
+  const size_t bin = BinOf(p[0]);
+  auto& v = bins_[bin];
+  const auto it = std::find(v.begin(), v.end(), p[0]);
+  assert(it != v.end() && "removing a value that was never added");
+  *it = v.back();
+  v.pop_back();
+  Update(bin, -1);
+  --total_;
+}
+
+double BoxCounter1d::CountBox(const Point& lo, const Point& hi) const {
+  assert(lo.size() == 1 && hi.size() == 1);
+  if (lo[0] > hi[0]) return 0.0;
+  if (hi[0] < 0.0 || lo[0] > 1.0) return 0.0;
+  const size_t b_lo = BinOf(lo[0]);
+  const size_t b_hi = BinOf(hi[0]);
+
+  auto scan = [&](size_t bin) {
+    uint64_t n = 0;
+    for (double x : bins_[bin]) {
+      if (x >= lo[0] && x <= hi[0]) ++n;
+    }
+    return n;
+  };
+
+  if (b_lo == b_hi) return static_cast<double>(scan(b_lo));
+  uint64_t count = scan(b_lo) + scan(b_hi);
+  if (b_hi > b_lo + 1) {
+    count += Prefix(b_hi - 1) - Prefix(b_lo);
+  }
+  return static_cast<double>(count);
+}
+
+// ---------------------------------------------------------------- 2-d ----
+
+BoxCounter2d::BoxCounter2d(size_t cells_per_dim)
+    : grid_(cells_per_dim),
+      counts_(cells_per_dim * cells_per_dim, 0),
+      points_(cells_per_dim * cells_per_dim) {
+  assert(grid_ >= 2);
+}
+
+size_t BoxCounter2d::CellIndex(double x) const {
+  const double clamped = Clamp(x, 0.0, 1.0);
+  size_t c = static_cast<size_t>(clamped * static_cast<double>(grid_));
+  return std::min(c, grid_ - 1);
+}
+
+void BoxCounter2d::Add(const Point& p) {
+  assert(p.size() == 2);
+  const size_t cell = Flat(CellIndex(p[0]), CellIndex(p[1]));
+  points_[cell].push_back(p);
+  ++counts_[cell];
+  ++total_;
+}
+
+void BoxCounter2d::Remove(const Point& p) {
+  assert(p.size() == 2);
+  const size_t cell = Flat(CellIndex(p[0]), CellIndex(p[1]));
+  auto& v = points_[cell];
+  const auto it = std::find(v.begin(), v.end(), p);
+  assert(it != v.end() && "removing a point that was never added");
+  *it = std::move(v.back());
+  v.pop_back();
+  --counts_[cell];
+  --total_;
+}
+
+double BoxCounter2d::CountBox(const Point& lo, const Point& hi) const {
+  assert(lo.size() == 2 && hi.size() == 2);
+  if (lo[0] > hi[0] || lo[1] > hi[1]) return 0.0;
+  if (hi[0] < 0.0 || hi[1] < 0.0 || lo[0] > 1.0 || lo[1] > 1.0) return 0.0;
+  const size_t cx0 = CellIndex(lo[0]), cx1 = CellIndex(hi[0]);
+  const size_t cy0 = CellIndex(lo[1]), cy1 = CellIndex(hi[1]);
+
+  uint64_t count = 0;
+  for (size_t cx = cx0; cx <= cx1; ++cx) {
+    const bool x_interior = cx > cx0 && cx < cx1;
+    for (size_t cy = cy0; cy <= cy1; ++cy) {
+      const bool interior = x_interior && cy > cy0 && cy < cy1;
+      const size_t cell = Flat(cx, cy);
+      if (interior) {
+        // Cell fully inside the closed box: take the count wholesale.
+        count += counts_[cell];
+        continue;
+      }
+      for (const Point& p : points_[cell]) {
+        if (p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] &&
+            p[1] <= hi[1]) {
+          ++count;
+        }
+      }
+    }
+  }
+  return static_cast<double>(count);
+}
+
+// ------------------------------------------------------------- scan ------
+
+ScanBoxCounter::ScanBoxCounter(size_t dimensions) : dimensions_(dimensions) {}
+
+void ScanBoxCounter::Add(const Point& p) {
+  assert(p.size() == dimensions_);
+  points_.push_back(p);
+}
+
+void ScanBoxCounter::Remove(const Point& p) {
+  const auto it = std::find(points_.begin(), points_.end(), p);
+  assert(it != points_.end() && "removing a point that was never added");
+  *it = std::move(points_.back());
+  points_.pop_back();
+}
+
+double ScanBoxCounter::CountBox(const Point& lo, const Point& hi) const {
+  uint64_t count = 0;
+  for (const Point& p : points_) {
+    bool inside = true;
+    for (size_t i = 0; i < dimensions_ && inside; ++i) {
+      inside = p[i] >= lo[i] && p[i] <= hi[i];
+    }
+    if (inside) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+}  // namespace sensord

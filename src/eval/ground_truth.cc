@@ -1,0 +1,163 @@
+#include "eval/ground_truth.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+
+GroundTruthTracker::GroundTruthTracker(const HierarchyLayout& layout,
+                                       const GroundTruthOptions& options)
+    : layout_(layout), options_(options) {
+  const size_t n = layout_.nodes.size();
+  ancestors_.resize(n);
+  leaf_windows_.resize(n);
+  counters_.resize(n);
+  aligned_.resize(n);
+
+  if (options_.mdef_cell_side > 0.0) {
+    aligned_cells_per_dim_ = static_cast<size_t>(
+        std::ceil(1.0 / options_.mdef_cell_side));
+  }
+
+  for (size_t slot = 0; slot < n; ++slot) {
+    counters_[slot] = MakeBoxCounter(options_.dimensions);
+    if (layout_.nodes[slot].parent_slot < 0) {
+      root_slot_ = static_cast<int>(slot);
+    }
+    if (layout_.nodes[slot].level == 1) {
+      leaf_windows_[slot] = std::make_unique<SlidingWindow>(
+          options_.leaf_window, options_.dimensions);
+      // Ancestor chain, leaf first.
+      int cur = static_cast<int>(slot);
+      while (cur >= 0) {
+        ancestors_[slot].push_back(cur);
+        cur = layout_.nodes[static_cast<size_t>(cur)].parent_slot;
+      }
+    }
+    if (aligned_cells_per_dim_ > 0) {
+      size_t cells = 1;
+      for (size_t d = 0; d < options_.dimensions; ++d) {
+        cells *= aligned_cells_per_dim_;
+      }
+      aligned_[slot].counts.assign(cells, 0);
+    }
+  }
+  assert(root_slot_ >= 0);
+}
+
+size_t GroundTruthTracker::AlignedCellOf(const Point& p) const {
+  size_t idx = 0;
+  for (size_t d = 0; d < options_.dimensions; ++d) {
+    size_t c = static_cast<size_t>(
+        Clamp(p[d], 0.0, 1.0) / options_.mdef_cell_side);
+    c = std::min(c, aligned_cells_per_dim_ - 1);
+    idx = idx * aligned_cells_per_dim_ + c;
+  }
+  return idx;
+}
+
+void GroundTruthTracker::AlignedUpdate(int slot, const Point& p, int delta) {
+  if (aligned_cells_per_dim_ == 0) return;
+  auto& counts = aligned_[slot].counts;
+  const size_t cell = AlignedCellOf(p);
+  assert(delta > 0 || counts[cell] > 0);
+  counts[cell] = static_cast<uint32_t>(
+      static_cast<int64_t>(counts[cell]) + delta);
+}
+
+void GroundTruthTracker::AddLeafReading(int leaf_slot, const Point& p) {
+  assert(leaf_slot >= 0 &&
+         static_cast<size_t>(leaf_slot) < layout_.nodes.size());
+  SlidingWindow* window = leaf_windows_[leaf_slot].get();
+  assert(window != nullptr && "readings must target leaf slots");
+
+  // Capture the value about to be evicted before it is overwritten.
+  Point evicted;
+  const bool evicts = window->full();
+  if (evicts) evicted = window->At(0);
+  const Status st = window->Add(p);
+  assert(st.ok());
+  (void)st;
+
+  for (int slot : ancestors_[leaf_slot]) {
+    counters_[slot]->Add(p);
+    AlignedUpdate(slot, p, +1);
+    if (evicts) {
+      counters_[slot]->Remove(evicted);
+      AlignedUpdate(slot, evicted, -1);
+    }
+  }
+}
+
+double GroundTruthTracker::NeighborCount(int slot, const Point& p,
+                                         double radius) const {
+  return counters_[slot]->CountBall(p, radius);
+}
+
+bool GroundTruthTracker::IsTrueDistanceOutlier(
+    int slot, const Point& p, const DistanceOutlierConfig& config) const {
+  return NeighborCount(slot, p, config.radius) < config.neighbor_threshold;
+}
+
+MdefResult GroundTruthTracker::TrueMdef(int slot, const Point& p,
+                                        const MdefConfig& config) const {
+  assert(aligned_cells_per_dim_ > 0 &&
+         "construct the tracker with mdef_cell_side to query MDEF truth");
+  assert(ApproxEqual(options_.mdef_cell_side, 2.0 * config.counting_radius) &&
+         "tracker cell side must match the queried counting radius");
+
+  const double side = options_.mdef_cell_side;
+  const double r = config.sampling_radius;
+  const auto& counts = aligned_[slot].counts;
+
+  // Accumulate power sums of the cell counts whose centres lie within the
+  // sampling ball — the same cell selection rule as core/mdef.cc.
+  double sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+  size_t cells = 0;
+  const long per_dim = static_cast<long>(aligned_cells_per_dim_);
+
+  auto dim_range = [&](size_t d, long* first, long* last) {
+    *first = std::max(0L, static_cast<long>(std::floor((p[d] - r) / side)));
+    *last = std::min(per_dim - 1,
+                     static_cast<long>(std::floor((p[d] + r) / side)));
+  };
+  auto center_ok = [&](size_t d, long j) {
+    const double center = (static_cast<double>(j) + 0.5) * side;
+    return std::fabs(center - p[d]) <= r;
+  };
+  auto accumulate = [&](double s) {
+    sum1 += s;
+    sum2 += s * s;
+    sum3 += s * s * s;
+    ++cells;
+  };
+
+  if (options_.dimensions == 1) {
+    long first, last;
+    dim_range(0, &first, &last);
+    for (long j = first; j <= last; ++j) {
+      if (!center_ok(0, j)) continue;
+      accumulate(static_cast<double>(counts[static_cast<size_t>(j)]));
+    }
+  } else {
+    assert(options_.dimensions == 2 && "MDEF truth supports d <= 2");
+    long fx, lx, fy, ly;
+    dim_range(0, &fx, &lx);
+    dim_range(1, &fy, &ly);
+    for (long jx = fx; jx <= lx; ++jx) {
+      if (!center_ok(0, jx)) continue;
+      for (long jy = fy; jy <= ly; ++jy) {
+        if (!center_ok(1, jy)) continue;
+        const size_t idx = static_cast<size_t>(jx) * aligned_cells_per_dim_ +
+                           static_cast<size_t>(jy);
+        accumulate(static_cast<double>(counts[idx]));
+      }
+    }
+  }
+
+  const double counting =
+      counters_[slot]->CountBall(p, config.counting_radius);
+  return MdefFromMasses(counting, sum1, sum2, sum3, cells, config);
+}
+
+}  // namespace sensord

@@ -1,0 +1,105 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Incremental ground truth for the accuracy experiments.
+//
+// The paper scores its detectors against offline algorithms run "for each
+// instance of the sliding window" (Section 10): BruteForce-D for distance
+// outliers and BruteForce-M (aLOCI box counts) for MDEF outliers, at every
+// hierarchy level — a leader's pool being the union of the leaf windows
+// below it. Recomputing those from scratch at every reading would be
+// O(d|W|^2) per arrival; this tracker maintains, per hierarchy node, exact
+// box-count structures over the node's pooled window and answers the same
+// questions incrementally:
+//
+//  * distance truth  — one exact ball count (eval/box_counter.h),
+//  * MDEF truth      — dense counts on the 2*alpha*r-aligned cell grid
+//                      (O(1) updates) plus one exact ball count, fed into
+//                      the same MdefFromMasses formula the detectors use.
+//
+// Equivalence with the brute-force baselines is asserted by tests.
+
+#ifndef SENSORD_EVAL_GROUND_TRUTH_H_
+#define SENSORD_EVAL_GROUND_TRUTH_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/mdef.h"
+#include "eval/box_counter.h"
+#include "net/hierarchy.h"
+#include "stream/sliding_window.h"
+#include "util/math_utils.h"
+
+namespace sensord {
+
+/// Configuration of the tracker.
+struct GroundTruthOptions {
+  size_t dimensions = 1;
+  /// Per-leaf window length |W|.
+  size_t leaf_window = 10000;
+  /// Enables MDEF truth: the aligned cell side, 2 * counting_radius of the
+  /// MdefConfig the truth will be queried with. 0 disables MDEF tracking.
+  double mdef_cell_side = 0.0;
+};
+
+/// Exact pooled-window statistics for every node of a hierarchy.
+class GroundTruthTracker {
+ public:
+  GroundTruthTracker(const HierarchyLayout& layout,
+                     const GroundTruthOptions& options);
+
+  /// Feeds a reading sensed by the leaf at `leaf_slot`; updates the leaf's
+  /// window and the pooled structures of all its ancestors.
+  /// Pre: leaf_slot is a level-1 slot; p.size() == dimensions.
+  void AddLeafReading(int leaf_slot, const Point& p);
+
+  /// Exact count of pool values of node `slot` within L-infinity distance
+  /// `radius` of p (including p itself if it is in the pool).
+  double NeighborCount(int slot, const Point& p, double radius) const;
+
+  /// BruteForce-D verdict at node `slot`'s pool.
+  bool IsTrueDistanceOutlier(int slot, const Point& p,
+                             const DistanceOutlierConfig& config) const;
+
+  /// BruteForce-M (aLOCI) verdict at node `slot`'s pool. Pre: the tracker
+  /// was constructed with mdef_cell_side == 2 * config.counting_radius.
+  MdefResult TrueMdef(int slot, const Point& p,
+                      const MdefConfig& config) const;
+
+  /// Current number of values in node `slot`'s pool.
+  double PoolSize(int slot) const { return counters_[slot]->Total(); }
+
+  /// The exact retained window of a leaf. Pre: leaf_slot is a level-1 slot.
+  const SlidingWindow& LeafWindow(int leaf_slot) const {
+    return *leaf_windows_[leaf_slot];
+  }
+
+  /// Slot of the hierarchy root.
+  int RootSlot() const { return root_slot_; }
+
+  const HierarchyLayout& layout() const { return layout_; }
+
+ private:
+  // Dense counts over the mdef grid of one node.
+  struct AlignedGrid {
+    std::vector<uint32_t> counts;  // row-major, cells_per_dim^d
+  };
+
+  size_t AlignedCellOf(const Point& p) const;
+  void AlignedUpdate(int slot, const Point& p, int delta);
+
+  HierarchyLayout layout_;
+  GroundTruthOptions options_;
+  int root_slot_ = -1;
+
+  std::vector<std::vector<int>> ancestors_;  // per leaf slot, incl. itself
+  std::vector<std::unique_ptr<SlidingWindow>> leaf_windows_;  // per slot
+  std::vector<std::unique_ptr<BoxCounter>> counters_;         // per slot
+  std::vector<AlignedGrid> aligned_;                          // per slot
+  size_t aligned_cells_per_dim_ = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_EVAL_GROUND_TRUTH_H_

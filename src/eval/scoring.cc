@@ -1,0 +1,53 @@
+#include "eval/scoring.h"
+
+#include <cstdio>
+
+namespace sensord {
+
+void PrecisionRecall::Record(bool truth, bool flagged) {
+  if (truth && flagged) {
+    ++tp_;
+  } else if (!truth && flagged) {
+    ++fp_;
+  } else if (truth && !flagged) {
+    ++fn_;
+  } else {
+    ++tn_;
+  }
+}
+
+double PrecisionRecall::Precision() const {
+  const uint64_t denom = tp_ + fp_;
+  return denom == 0 ? 1.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double PrecisionRecall::Recall() const {
+  const uint64_t denom = tp_ + fn_;
+  return denom == 0 ? 1.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double PrecisionRecall::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+void PrecisionRecall::Merge(const PrecisionRecall& other) {
+  tp_ += other.tp_;
+  fp_ += other.fp_;
+  fn_ += other.fn_;
+  tn_ += other.tn_;
+}
+
+std::string PrecisionRecall::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "P=%5.1f%% R=%5.1f%% (tp=%llu fp=%llu fn=%llu)",
+                100.0 * Precision(), 100.0 * Recall(),
+                static_cast<unsigned long long>(tp_),
+                static_cast<unsigned long long>(fp_),
+                static_cast<unsigned long long>(fn_));
+  return buf;
+}
+
+}  // namespace sensord

@@ -1,0 +1,53 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Precision / recall accounting (Section 10, Measures of Interest):
+// "Precision represents the fraction of the values reported by our
+// algorithm as outliers that are true outliers. Recall represents the
+// fraction of the true outliers that our algorithm identified correctly."
+
+#ifndef SENSORD_EVAL_SCORING_H_
+#define SENSORD_EVAL_SCORING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sensord {
+
+/// Counts classification outcomes and derives precision/recall.
+class PrecisionRecall {
+ public:
+  /// Records one decision: `truth` per the offline algorithm, `flagged` per
+  /// the detector under evaluation.
+  void Record(bool truth, bool flagged);
+
+  uint64_t true_positives() const { return tp_; }
+  uint64_t false_positives() const { return fp_; }
+  uint64_t false_negatives() const { return fn_; }
+  uint64_t true_negatives() const { return tn_; }
+  uint64_t total() const { return tp_ + fp_ + fn_ + tn_; }
+
+  /// TP / (TP + FP); 1.0 when nothing was flagged (vacuous precision).
+  double Precision() const;
+
+  /// TP / (TP + FN); 1.0 when there were no true outliers (vacuous recall).
+  double Recall() const;
+
+  /// Harmonic mean of precision and recall; 0 if either is 0.
+  double F1() const;
+
+  /// Merges another accumulator into this one (for averaging runs).
+  void Merge(const PrecisionRecall& other);
+
+  /// "P=94.1% R=92.3% (tp=.. fp=.. fn=..)" — for bench output.
+  std::string ToString() const;
+
+ private:
+  uint64_t tp_ = 0;
+  uint64_t fp_ = 0;
+  uint64_t fn_ = 0;
+  uint64_t tn_ = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_EVAL_SCORING_H_

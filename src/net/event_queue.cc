@@ -1,0 +1,47 @@
+#include "net/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sensord {
+
+void EventQueue::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void EventQueue::RunOne() {
+  assert(!heap_.empty());
+  // Move the callback out before popping: the callback may schedule new
+  // events and mutate the heap.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.fn();
+}
+
+uint64_t EventQueue::RunUntil(SimTime until) {
+  uint64_t fired = 0;
+  while (!heap_.empty() && heap_.top().time <= until) {
+    RunOne();
+    ++fired;
+  }
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+uint64_t EventQueue::RunAll() {
+  uint64_t fired = 0;
+  while (!heap_.empty()) {
+    RunOne();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace sensord

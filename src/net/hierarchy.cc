@@ -1,0 +1,66 @@
+#include "net/hierarchy.h"
+
+#include <cmath>
+
+namespace sensord {
+
+StatusOr<HierarchyLayout> BuildGridHierarchy(size_t num_leaves,
+                                             size_t fanout) {
+  if (num_leaves == 0) {
+    return Status::InvalidArgument("hierarchy requires at least one leaf");
+  }
+  if (fanout < 2) {
+    return Status::InvalidArgument("hierarchy fanout must be >= 2");
+  }
+
+  HierarchyLayout layout;
+
+  // Tier 1: leaves on a square grid over the unit deployment plane.
+  const size_t side = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  std::vector<int> current;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    HierarchyNodeSpec spec;
+    spec.level = 1;
+    spec.position.x =
+        (static_cast<double>(i % side) + 0.5) / static_cast<double>(side);
+    spec.position.y =
+        (static_cast<double>(i / side) + 0.5) / static_cast<double>(side);
+    current.push_back(static_cast<int>(layout.nodes.size()));
+    layout.nodes.push_back(spec);
+  }
+  layout.slots_by_level.push_back(current);
+
+  // Higher tiers: one leader per group of up to `fanout` consecutive nodes,
+  // positioned at the centroid of its cell, until a single root remains.
+  int level = 1;
+  while (current.size() > 1) {
+    ++level;
+    std::vector<int> next;
+    for (size_t g = 0; g < current.size(); g += fanout) {
+      const size_t end = std::min(g + fanout, current.size());
+      HierarchyNodeSpec leader;
+      leader.level = level;
+      double cx = 0.0, cy = 0.0;
+      for (size_t i = g; i < end; ++i) {
+        leader.child_slots.push_back(current[i]);
+        cx += layout.nodes[static_cast<size_t>(current[i])].position.x;
+        cy += layout.nodes[static_cast<size_t>(current[i])].position.y;
+      }
+      const double n = static_cast<double>(end - g);
+      leader.position.x = cx / n;
+      leader.position.y = cy / n;
+      const int leader_slot = static_cast<int>(layout.nodes.size());
+      for (int child : leader.child_slots) {
+        layout.nodes[static_cast<size_t>(child)].parent_slot = leader_slot;
+      }
+      layout.nodes.push_back(leader);
+      next.push_back(leader_slot);
+    }
+    layout.slots_by_level.push_back(next);
+    current = next;
+  }
+  return layout;
+}
+
+}  // namespace sensord

@@ -1,0 +1,60 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The virtual-grid hierarchy of Section 2 (Figure 1).
+//
+// The network is organized in tiers: leaf sensors at tier 1, and one leader
+// per group of `fanout` tier-k nodes at tier k+1, up to a single root
+// responsible for the whole deployment. (In the paper leaders are elected
+// among the sensors by any of the cited leader-election protocols; here the
+// layout is computed directly — the election protocol is orthogonal to the
+// detection algorithms and to message accounting between tiers.)
+//
+// BuildGridHierarchy also assigns plane positions: leaves on a square grid,
+// leaders at the centroid of their cell, mirroring Figure 1's overlapping
+// virtual grids.
+
+#ifndef SENSORD_NET_HIERARCHY_H_
+#define SENSORD_NET_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// One node's place in a hierarchy layout. Index in HierarchyLayout::nodes
+/// is the node's slot; the Simulator maps slots to NodeIds in order.
+struct HierarchyNodeSpec {
+  int level = 1;                ///< 1 = leaf tier
+  int parent_slot = -1;         ///< -1 for the root
+  std::vector<int> child_slots;
+  NodePosition position;
+};
+
+/// A fully resolved hierarchy: nodes grouped by level, leaves first.
+struct HierarchyLayout {
+  std::vector<HierarchyNodeSpec> nodes;
+  /// Slots per level; levels[0] is tier 1 (leaves).
+  std::vector<std::vector<int>> slots_by_level;
+
+  size_t NumNodes() const { return nodes.size(); }
+  size_t NumLeaves() const {
+    return slots_by_level.empty() ? 0 : slots_by_level[0].size();
+  }
+  int NumLevels() const { return static_cast<int>(slots_by_level.size()); }
+};
+
+/// Builds a balanced hierarchy over `num_leaves` leaf sensors with up to
+/// `fanout` children per leader, adding tiers until a single root remains.
+/// Returns InvalidArgument if num_leaves == 0 or fanout < 2.
+///
+/// Example: num_leaves = 32, fanout = 4 gives tiers of 32, 8, 2 and 1 nodes
+/// — the four detection levels of the paper's accuracy experiments.
+StatusOr<HierarchyLayout> BuildGridHierarchy(size_t num_leaves, size_t fanout);
+
+}  // namespace sensord
+
+#endif  // SENSORD_NET_HIERARCHY_H_

@@ -1,0 +1,64 @@
+#include "net/leader_election.h"
+
+#include <cassert>
+
+namespace sensord {
+
+StatusOr<LeaderElection> LeaderElection::Create(
+    std::vector<std::vector<NodeId>> cells, LeaderElectionConfig config) {
+  if (cells.empty()) {
+    return Status::InvalidArgument("need at least one cell");
+  }
+  for (const auto& cell : cells) {
+    if (cell.empty()) {
+      return Status::InvalidArgument("cells must be non-empty");
+    }
+  }
+  if (!(config.initial_energy > 0.0)) {
+    return Status::InvalidArgument("initial energy must be positive");
+  }
+  if (config.hysteresis < 0.0) {
+    return Status::InvalidArgument("hysteresis must be non-negative");
+  }
+  return LeaderElection(std::move(cells), config);
+}
+
+LeaderElection::LeaderElection(std::vector<std::vector<NodeId>> cells,
+                               LeaderElectionConfig config)
+    : config_(config), cells_(std::move(cells)) {
+  leaders_.reserve(cells_.size());
+  for (const auto& cell : cells_) leaders_.push_back(cell.front());
+}
+
+std::vector<size_t> LeaderElection::Rotate(
+    const std::function<double(NodeId)>& consumed) {
+  std::vector<size_t> changed;
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    const NodeId incumbent = leaders_[c];
+    const double incumbent_residual = Residual(consumed(incumbent));
+
+    NodeId best = incumbent;
+    double best_residual = incumbent_residual;
+    for (NodeId member : cells_[c]) {
+      const double r = Residual(consumed(member));
+      if (r > best_residual) {
+        best = member;
+        best_residual = r;
+      }
+    }
+    if (best == incumbent) continue;
+    // Hysteresis: hand off only for a materially better challenger. The
+    // margin is relative to the remaining budget, so it tightens as nodes
+    // drain (late-life balancing matters most).
+    const double margin =
+        config_.hysteresis * std::max(incumbent_residual, 0.0);
+    if (best_residual > incumbent_residual + margin) {
+      leaders_[c] = best;
+      ++handoffs_;
+      changed.push_back(c);
+    }
+  }
+  return changed;
+}
+
+}  // namespace sensord

@@ -1,0 +1,82 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Energy-aware leader rotation for the virtual-grid cells.
+//
+// Section 2: "At each cell ... there is one leader node ... The
+// hierarchical decomposition of the sensor network, as well as the
+// selection of the leaders ... can be achieved using any of the techniques
+// proposed in the literature [17, 33, 47]. These techniques ensure the
+// leadership role is rotated among the nodes of the network ... in an
+// energy efficient manner."
+//
+// This class is the scheduling policy those protocols implement: given the
+// cells of a tier and each node's consumed energy, it keeps the member with
+// the most residual energy in the leader role, with hysteresis so that
+// near-ties do not cause leadership flapping (every hand-off costs state
+// transfer in a real deployment). The message-level election protocol
+// itself is orthogonal to the detection algorithms (the paper treats it as
+// a black box) and is not simulated.
+
+#ifndef SENSORD_NET_LEADER_ELECTION_H_
+#define SENSORD_NET_LEADER_ELECTION_H_
+
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Knobs of the rotation policy.
+struct LeaderElectionConfig {
+  /// Energy budget every node starts with, in the simulator's units.
+  double initial_energy = 1000.0;
+
+  /// A challenger must have at least this fraction more residual energy
+  /// than the incumbent to take over (anti-flapping).
+  double hysteresis = 0.05;
+};
+
+/// Rotates cell leadership toward the members with the most residual
+/// energy.
+class LeaderElection {
+ public:
+  /// `cells[i]` lists the member nodes of cell i; the initial leader of
+  /// each cell is its first member. Returns InvalidArgument if any cell is
+  /// empty or the config is out of range.
+  static StatusOr<LeaderElection> Create(
+      std::vector<std::vector<NodeId>> cells, LeaderElectionConfig config);
+
+  size_t NumCells() const { return cells_.size(); }
+
+  /// Current leader of cell `cell`. Pre: cell < NumCells().
+  NodeId LeaderOf(size_t cell) const { return leaders_[cell]; }
+
+  /// Residual energy of `node` given its consumption.
+  double Residual(double consumed) const {
+    return config_.initial_energy - consumed;
+  }
+
+  /// Re-elects every cell using `consumed(node)` readings (e.g.
+  /// Simulator::EnergyConsumed). Returns the indices of cells whose leader
+  /// changed.
+  std::vector<size_t> Rotate(
+      const std::function<double(NodeId)>& consumed);
+
+  /// Total leadership hand-offs so far.
+  uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  LeaderElection(std::vector<std::vector<NodeId>> cells,
+                 LeaderElectionConfig config);
+
+  LeaderElectionConfig config_;
+  std::vector<std::vector<NodeId>> cells_;
+  std::vector<NodeId> leaders_;
+  uint64_t handoffs_ = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_NET_LEADER_ELECTION_H_

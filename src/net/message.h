@@ -1,0 +1,45 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Messages exchanged between simulated sensor nodes.
+//
+// The transport layer is application-agnostic: a message carries an opaque
+// payload (std::any) plus the metadata the accounting layer needs — a kind
+// tag for per-category statistics and a size, in numbers, under the paper's
+// "16-bit architecture, 2 bytes per number" convention (Section 10.3). The
+// detection algorithms in src/core define the payload structs and register
+// their own kind values.
+
+#ifndef SENSORD_NET_MESSAGE_H_
+#define SENSORD_NET_MESSAGE_H_
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+namespace sensord {
+
+/// Identifier of a simulated node; assigned densely from 0 by the Simulator.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (e.g. the root's parent).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Application-defined message category. Values below 100 are reserved for
+/// the algorithms shipped with sensord (see core/protocol.h); applications
+/// embedding the simulator may use 100+.
+using MessageKind = uint16_t;
+
+/// A message in flight.
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  MessageKind kind = 0;
+  /// Payload size in numeric values; the stats layer converts to bytes.
+  size_t size_numbers = 0;
+  /// Opaque payload; receivers std::any_cast to the struct the kind implies.
+  std::any payload;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_NET_MESSAGE_H_

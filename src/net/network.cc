@@ -1,0 +1,122 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace sensord {
+
+Simulator::Simulator(SimulatorOptions options)
+    : options_(options), loss_rng_(options.loss_seed) {}
+
+NodeId Simulator::AddNode(std::unique_ptr<Node> node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->sim_ = this;
+  node->id_ = id;
+  nodes_.push_back(std::move(node));
+  energy_.push_back(0.0);
+  return id;
+}
+
+double Simulator::TotalEnergyConsumed() const {
+  double total = 0.0;
+  for (double e : energy_) total += e;
+  return total;
+}
+
+std::vector<NodeId> Simulator::Instantiate(
+    const HierarchyLayout& layout,
+    const std::function<std::unique_ptr<Node>(int, const HierarchyNodeSpec&)>&
+        factory) {
+  const NodeId base = static_cast<NodeId>(nodes_.size());
+  std::vector<NodeId> ids;
+  ids.reserve(layout.nodes.size());
+  for (size_t slot = 0; slot < layout.nodes.size(); ++slot) {
+    const HierarchyNodeSpec& spec = layout.nodes[slot];
+    std::unique_ptr<Node> node = factory(static_cast<int>(slot), spec);
+    assert(node != nullptr);
+    const NodeId id = AddNode(std::move(node));
+    ids.push_back(id);
+  }
+  // Second pass: wire links now that every slot has an id.
+  for (size_t slot = 0; slot < layout.nodes.size(); ++slot) {
+    const HierarchyNodeSpec& spec = layout.nodes[slot];
+    Node& n = *nodes_[base + slot];
+    n.level_ = spec.level;
+    n.position_ = spec.position;
+    n.parent_ = spec.parent_slot < 0
+                    ? kNoNode
+                    : base + static_cast<NodeId>(spec.parent_slot);
+    n.children_.clear();
+    for (int child : spec.child_slots) {
+      n.children_.push_back(base + static_cast<NodeId>(child));
+    }
+  }
+  for (NodeId id : ids) nodes_[id]->OnStart();
+  return ids;
+}
+
+void Simulator::Send(Message msg) {
+  assert(msg.from < nodes_.size());
+  assert(msg.to < nodes_.size());
+  stats_.RecordSend(msg);
+  energy_[msg.from] += options_.tx_cost_per_message +
+                       options_.tx_cost_per_number *
+                           static_cast<double>(msg.size_numbers);
+  if (options_.drop_probability > 0.0 &&
+      loss_rng_.Bernoulli(options_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  energy_[msg.to] += options_.rx_cost_per_message +
+                     options_.rx_cost_per_number *
+                         static_cast<double>(msg.size_numbers);
+  Node* target = nodes_[msg.to].get();
+  queue_.ScheduleAfter(options_.hop_latency,
+                       [target, m = std::move(msg)]() mutable {
+                         target->HandleMessage(m);
+                       });
+}
+
+void Simulator::DeliverReading(NodeId node, const Point& value) {
+  assert(node < nodes_.size());
+  nodes_[node]->OnReading(value);
+}
+
+void Simulator::SchedulePeriodicReadings(NodeId node, SimTime start,
+                                         SimTime period,
+                                         std::function<Point()> source) {
+  assert(node < nodes_.size());
+  assert(period > 0.0);
+  const size_t slot = periodic_.size();
+  periodic_.push_back(PeriodicSource{node, period, std::move(source)});
+  queue_.ScheduleAt(start, [this, slot, start]() { PeriodicTick(slot, start); });
+}
+
+void Simulator::PeriodicTick(size_t slot, SimTime t) {
+  if (t > horizon_) return;
+  PeriodicSource& src = periodic_[slot];
+  DeliverReading(src.node, src.generate());
+  const SimTime next = t + src.period;
+  queue_.ScheduleAt(next, [this, slot, next]() { PeriodicTick(slot, next); });
+}
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  queue_.ScheduleAt(t, std::move(fn));
+}
+
+void Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  queue_.ScheduleAfter(delay, std::move(fn));
+}
+
+void Simulator::RunUntil(SimTime until) {
+  horizon_ = until;
+  queue_.RunUntil(until);
+}
+
+void Simulator::RunAll() {
+  horizon_ = std::numeric_limits<SimTime>::max();
+  queue_.RunAll();
+}
+
+}  // namespace sensord

@@ -1,0 +1,136 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The sensor network simulator.
+//
+// Owns the nodes, the event queue and the traffic statistics; wires a
+// HierarchyLayout into parent/child links; delivers messages with a
+// configurable per-hop latency; and drives periodic sensor readings ("each
+// sensor generates one reading every second" in the paper's Figure 11
+// setup). Deterministic given the node implementations' seeds.
+
+#ifndef SENSORD_NET_NETWORK_H_
+#define SENSORD_NET_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/event_queue.h"
+#include "net/hierarchy.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "net/stats_collector.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Tuning knobs of the simulated radio and sensing layer.
+struct SimulatorOptions {
+  /// One-hop message latency in seconds. Zero is allowed (messages deliver
+  /// "immediately", still via the event queue, preserving causal order).
+  double hop_latency = 0.001;
+
+  /// Probability that a transmitted message is lost in flight (lossy radio
+  /// model). Lost messages are counted as sent by the StatsCollector — the
+  /// energy was spent — but never delivered. Default: reliable links.
+  double drop_probability = 0.0;
+
+  /// Seed of the loss process (only used when drop_probability > 0).
+  uint64_t loss_seed = 0x10552026;
+
+  /// Radio energy model, in abstract units. Transmitting dominates
+  /// receiving on real motes; payload size adds a per-number term.
+  double tx_cost_per_message = 1.0;
+  double tx_cost_per_number = 0.02;
+  double rx_cost_per_message = 0.5;
+  double rx_cost_per_number = 0.01;
+};
+
+/// A running sensor-network simulation.
+class Simulator {
+ public:
+  explicit Simulator(SimulatorOptions options = {});
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a node and returns its id. Nodes are owned by the simulator.
+  NodeId AddNode(std::unique_ptr<Node> node);
+
+  /// Instantiates one node per slot of `layout` using `factory(slot, spec)`
+  /// and wires parent/child/level/position links. Slot i becomes NodeId
+  /// base+i where base is the current node count. Calls OnStart() on every
+  /// new node afterwards. Returns the ids, indexed by slot.
+  std::vector<NodeId> Instantiate(
+      const HierarchyLayout& layout,
+      const std::function<std::unique_ptr<Node>(int, const HierarchyNodeSpec&)>&
+          factory);
+
+  /// Sends `msg` from `msg.from` to `msg.to`; counted by the stats
+  /// collector and delivered after one hop latency — unless the lossy-radio
+  /// model drops it. Pre: both endpoints registered.
+  void Send(Message msg);
+
+  /// Messages dropped by the loss model so far.
+  uint64_t MessagesDropped() const { return dropped_; }
+
+  /// Radio energy spent by `node` so far (tx for every send, rx for every
+  /// delivered message), under the options' energy model.
+  double EnergyConsumed(NodeId node) const { return energy_[node]; }
+
+  /// Total radio energy spent across the network.
+  double TotalEnergyConsumed() const;
+
+  /// Injects a sensor reading into a (leaf) node immediately. Not a message:
+  /// sensing is local and free, per the paper's cost model.
+  void DeliverReading(NodeId node, const Point& value);
+
+  /// Schedules readings for `node` every `period` seconds starting at
+  /// `start`, drawing each value from `source()` — until simulation time
+  /// exceeds the horizon passed to RunUntil.
+  void SchedulePeriodicReadings(NodeId node, SimTime start, SimTime period,
+                                std::function<Point()> source);
+
+  /// Schedules an arbitrary callback.
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+  void ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Runs the simulation until `until` (inclusive).
+  void RunUntil(SimTime until);
+
+  /// Runs until the event queue drains.
+  void RunAll();
+
+  SimTime Now() const { return queue_.Now(); }
+
+  Node& node(NodeId id) { return *nodes_[id]; }
+  const Node& node(NodeId id) const { return *nodes_[id]; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+
+ private:
+  struct PeriodicSource {
+    NodeId node;
+    SimTime period;
+    std::function<Point()> generate;
+  };
+
+  void PeriodicTick(size_t slot, SimTime t);
+
+  SimulatorOptions options_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<PeriodicSource> periodic_;
+  StatsCollector stats_;
+  Rng loss_rng_;
+  uint64_t dropped_ = 0;
+  std::vector<double> energy_;  // per NodeId
+  SimTime horizon_ = 0.0;       // periodic readings stop beyond this
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_NET_NETWORK_H_

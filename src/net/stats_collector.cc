@@ -1,0 +1,22 @@
+#include "net/stats_collector.h"
+
+namespace sensord {
+
+void StatsCollector::RecordSend(const Message& msg) {
+  ++total_messages_;
+  total_numbers_ += msg.size_numbers;
+  ++by_kind_[msg.kind];
+}
+
+uint64_t StatsCollector::MessagesOfKind(MessageKind kind) const {
+  const auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0 : it->second;
+}
+
+void StatsCollector::Reset() {
+  total_messages_ = 0;
+  total_numbers_ = 0;
+  by_kind_.clear();
+}
+
+}  // namespace sensord

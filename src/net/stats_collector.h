@@ -1,0 +1,59 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Network accounting: message and byte counts, total and per message kind.
+//
+// Figure 11 of the paper plots messages per second against network size for
+// D3, MGDD and the centralized approach; this collector is where those
+// numbers come from. Bytes are derived from the per-message payload size in
+// numbers under the configurable bytes-per-number convention (paper: 2).
+
+#ifndef SENSORD_NET_STATS_COLLECTOR_H_
+#define SENSORD_NET_STATS_COLLECTOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "net/message.h"
+
+namespace sensord {
+
+/// Mutable tally of network traffic. Owned by the Simulator; read by
+/// experiments after (or during) a run.
+class StatsCollector {
+ public:
+  /// Records one transmitted message.
+  void RecordSend(const Message& msg);
+
+  /// Total messages transmitted.
+  uint64_t TotalMessages() const { return total_messages_; }
+
+  /// Messages of one kind.
+  uint64_t MessagesOfKind(MessageKind kind) const;
+
+  /// Total payload volume in numbers.
+  uint64_t TotalNumbers() const { return total_numbers_; }
+
+  /// Total payload volume in bytes at `bytes_per_number` per value.
+  uint64_t TotalBytes(uint64_t bytes_per_number) const {
+    return total_numbers_ * bytes_per_number;
+  }
+
+  /// Average message rate over a span of simulated seconds.
+  /// Pre: elapsed > 0.
+  double MessagesPerSecond(double elapsed) const {
+    return static_cast<double>(total_messages_) / elapsed;
+  }
+
+  /// Forgets all recorded traffic (e.g. to exclude warm-up from a
+  /// measurement run).
+  void Reset();
+
+ private:
+  uint64_t total_messages_ = 0;
+  uint64_t total_numbers_ = 0;
+  std::map<MessageKind, uint64_t> by_kind_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_NET_STATS_COLLECTOR_H_

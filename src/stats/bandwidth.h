@@ -1,0 +1,43 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Bandwidth selection for the kernel estimator.
+//
+// The paper uses Scott's rule [Scott, 1992] adapted to the Epanechnikov
+// kernel: per dimension i,
+//   B_i = sqrt(5) * sigma_i * |R|^(-1 / (d + 4)),
+// where sigma_i is the standard deviation of the window values in dimension
+// i (supplied, in the online system, by the epsilon-approximate variance
+// sketch). This is the single parameter the paper's estimator has to fit —
+// its headline advantage over parametric model-fitting approaches.
+
+#ifndef SENSORD_STATS_BANDWIDTH_H_
+#define SENSORD_STATS_BANDWIDTH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sensord {
+
+/// The smallest bandwidth ever returned. A zero standard deviation (a
+/// constant stream) would otherwise degenerate the kernel into a Dirac spike
+/// and break the closed-form integration.
+inline constexpr double kMinBandwidth = 1e-4;
+
+/// Scott's-rule bandwidth for one dimension of a d-dimensional sample of
+/// size sample_size. Pre: sample_size > 0, d > 0, stddev >= 0.
+double ScottBandwidth(double stddev, size_t sample_size, size_t dimensions);
+
+/// Scott's-rule bandwidths for all dimensions at once.
+/// Pre: sample_size > 0, stddevs non-empty.
+std::vector<double> ScottBandwidths(const std::vector<double>& stddevs,
+                                    size_t sample_size);
+
+/// Robust spread estimate for bandwidth selection: min(stddev, IQR/1.349)
+/// (Silverman's practical rule). On spiky or heavy-tailed data the IQR term
+/// keeps the bandwidth matched to the dense bulk instead of being inflated
+/// by rare excursions. Pre: iqr >= 0, stddev >= 0.
+double RobustSpread(double stddev, double iqr);
+
+}  // namespace sensord
+
+#endif  // SENSORD_STATS_BANDWIDTH_H_

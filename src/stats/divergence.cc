@@ -1,0 +1,92 @@
+#include "stats/divergence.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sensord {
+namespace {
+
+// Normalizes v to sum 1 in place; returns false if the sum is zero.
+bool Normalize(std::vector<double>* v) {
+  double sum = 0.0;
+  for (double x : *v) sum += x;
+  if (sum <= 0.0) return false;
+  for (double& x : *v) x /= sum;
+  return true;
+}
+
+}  // namespace
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  assert(!p.empty());
+  assert(p.size() == q.size());
+  double d = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) return std::numeric_limits<double>::infinity();
+    d += p[i] * std::log2(p[i] / q[i]);
+  }
+  return d;
+}
+
+double JsDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  assert(!p.empty());
+  assert(p.size() == q.size());
+  std::vector<double> pn(p), qn(q);
+  const bool ok_p = Normalize(&pn);
+  const bool ok_q = Normalize(&qn);
+  assert(ok_p && ok_q && "JS divergence of an all-zero distribution");
+  if (!ok_p || !ok_q) return 0.0;
+
+  double d = 0.0;
+  for (size_t i = 0; i < pn.size(); ++i) {
+    const double m = 0.5 * (pn[i] + qn[i]);
+    if (pn[i] > 0.0) d += 0.5 * pn[i] * std::log2(pn[i] / m);
+    if (qn[i] > 0.0) d += 0.5 * qn[i] * std::log2(qn[i] / m);
+  }
+  // Numerical noise can push the result epsilon-negative.
+  return d < 0.0 ? 0.0 : d;
+}
+
+std::vector<double> DiscretizeOnGrid(const DistributionEstimator& estimator,
+                                     size_t cells_per_dim) {
+  assert(cells_per_dim >= 1);
+  const size_t d = estimator.dimensions();
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) total *= cells_per_dim;
+
+  const double width = 1.0 / static_cast<double>(cells_per_dim);
+  std::vector<double> mass(total);
+  Point lo(d), hi(d);
+  for (size_t c = 0; c < total; ++c) {
+    size_t rest = c;
+    for (size_t dim = d; dim-- > 0;) {
+      const size_t b = rest % cells_per_dim;
+      rest /= cells_per_dim;
+      lo[dim] = static_cast<double>(b) * width;
+      hi[dim] = lo[dim] + width;
+    }
+    mass[c] = estimator.BoxProbability(lo, hi);
+  }
+  Normalize(&mass);
+  return mass;
+}
+
+StatusOr<double> JsDivergenceOnGrid(const DistributionEstimator& p,
+                                    const DistributionEstimator& q,
+                                    size_t cells_per_dim) {
+  if (p.dimensions() != q.dimensions()) {
+    return Status::InvalidArgument("estimator dimensionality mismatch");
+  }
+  if (cells_per_dim == 0) {
+    return Status::InvalidArgument("grid must have at least one cell");
+  }
+  const std::vector<double> pg = DiscretizeOnGrid(p, cells_per_dim);
+  const std::vector<double> qg = DiscretizeOnGrid(q, cells_per_dim);
+  return JsDivergence(pg, qg);
+}
+
+}  // namespace sensord

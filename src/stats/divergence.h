@@ -1,0 +1,54 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Distribution distances (Section 6 of the paper).
+//
+// The KL divergence is undefined whenever the second model assigns zero
+// probability where the first does not — which kernel estimators routinely
+// do outside their sample's support. The paper therefore uses the
+// Jensen-Shannon divergence, evaluated by discretizing both models on a
+// finite grid b_1..b_k (Eq. 8). With base-2 logarithms JS ranges over
+// [0, 1], matching the "distance ranges from 0 to 1" statement in
+// Section 10.1. These distances drive the Figure 6 estimation-accuracy
+// experiment, the MGDD "push the global model only when it changed"
+// optimization (Section 8.1) and the faulty-sensor application (Section 9).
+
+#ifndef SENSORD_STATS_DIVERGENCE_H_
+#define SENSORD_STATS_DIVERGENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/estimator.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// KL divergence D(p || q) between two discrete distributions, in bits.
+/// Terms with p_i == 0 contribute zero. Returns +infinity if some p_i > 0
+/// has q_i == 0 (the failure mode that motivates JS).
+/// Pre: p.size() == q.size(), both non-empty and non-negative.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Jensen-Shannon divergence between two discrete distributions, in bits:
+/// JS(p, q) = (D(p || m) + D(q || m)) / 2 with m = (p + q) / 2 (Eq. 7).
+/// Symmetric, finite, and in [0, 1]. Inputs are normalized internally.
+/// Pre: p.size() == q.size(), both non-empty, non-negative, not all zero.
+double JsDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Discretizes an estimator on a regular grid over [0,1]^d with
+/// `cells_per_dim` cells per dimension: returns the (normalized) mass of
+/// each grid cell, row-major. Pre: cells_per_dim >= 1, d >= 1. For d >= 2
+/// the grid has cells_per_dim^d cells; keep cells_per_dim modest.
+std::vector<double> DiscretizeOnGrid(const DistributionEstimator& estimator,
+                                     size_t cells_per_dim);
+
+/// The paper's estimator-model distance (Eq. 7-8): discretize both models on
+/// the same grid and return their JS divergence in bits.
+/// Returns InvalidArgument on dimensionality mismatch or empty grids.
+StatusOr<double> JsDivergenceOnGrid(const DistributionEstimator& p,
+                                    const DistributionEstimator& q,
+                                    size_t cells_per_dim);
+
+}  // namespace sensord
+
+#endif  // SENSORD_STATS_DIVERGENCE_H_

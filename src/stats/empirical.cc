@@ -1,0 +1,72 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sensord {
+
+StatusOr<EmpiricalDistribution> EmpiricalDistribution::Create(
+    std::vector<Point> data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("empirical distribution requires data");
+  }
+  const size_t d = data[0].size();
+  if (d == 0) {
+    return Status::InvalidArgument("dimensionality must be >= 1");
+  }
+  for (const Point& p : data) {
+    if (p.size() != d) {
+      return Status::InvalidArgument("inconsistent point dimensionality");
+    }
+  }
+  return EmpiricalDistribution(std::move(data));
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<Point> data)
+    : data_(std::move(data)), dimensions_(data_[0].size()) {
+  if (dimensions_ == 1) {
+    sorted_1d_.reserve(data_.size());
+    for (const Point& p : data_) sorted_1d_.push_back(p[0]);
+    std::sort(sorted_1d_.begin(), sorted_1d_.end());
+  }
+}
+
+double EmpiricalDistribution::BoxProbability(const Point& lo,
+                                             const Point& hi) const {
+  assert(lo.size() == dimensions_);
+  assert(hi.size() == dimensions_);
+  for (size_t i = 0; i < dimensions_; ++i) {
+    if (lo[i] > hi[i]) return 0.0;  // inverted box: empty
+  }
+  if (dimensions_ == 1) {
+    const auto begin =
+        std::lower_bound(sorted_1d_.begin(), sorted_1d_.end(), lo[0]);
+    const auto end =
+        std::upper_bound(sorted_1d_.begin(), sorted_1d_.end(), hi[0]);
+    return static_cast<double>(end - begin) /
+           static_cast<double>(sorted_1d_.size());
+  }
+  size_t count = 0;
+  for (const Point& p : data_) {
+    bool inside = true;
+    for (size_t i = 0; i < dimensions_ && inside; ++i) {
+      inside = p[i] >= lo[i] && p[i] <= hi[i];
+    }
+    if (inside) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(data_.size());
+}
+
+double EmpiricalDistribution::Pdf(const Point& p) const {
+  assert(p.size() == dimensions_);
+  Point lo(p), hi(p);
+  double volume = 1.0;
+  for (size_t i = 0; i < dimensions_; ++i) {
+    lo[i] -= kPdfHalfWidth;
+    hi[i] += kPdfHalfWidth;
+    volume *= 2.0 * kPdfHalfWidth;
+  }
+  return BoxProbability(lo, hi) / volume;
+}
+
+}  // namespace sensord

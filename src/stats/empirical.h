@@ -1,0 +1,53 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The exact empirical distribution of a point set.
+//
+// Used as the reference distribution in estimation-accuracy experiments
+// (Figure 6 measures the JS divergence between the kernel estimate and the
+// distribution that actually generated the window) and by tests that check
+// the KDE converges to the data. Not part of the sensor-side system: it
+// stores every point.
+
+#ifndef SENSORD_STATS_EMPIRICAL_H_
+#define SENSORD_STATS_EMPIRICAL_H_
+
+#include <vector>
+
+#include "stats/estimator.h"
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Exact empirical distribution: BoxProbability is the fraction of stored
+/// points inside the box. Pdf smooths with a small fixed-width box so the
+/// divergence grid machinery can treat it like any other estimator.
+class EmpiricalDistribution : public DistributionEstimator {
+ public:
+  /// Pre: data non-empty with consistent dimensionality.
+  static StatusOr<EmpiricalDistribution> Create(std::vector<Point> data);
+
+  size_t dimensions() const override { return dimensions_; }
+
+  double BoxProbability(const Point& lo, const Point& hi) const override;
+
+  /// Density approximated as the mass of a +/- kPdfHalfWidth box around p,
+  /// divided by the box volume.
+  double Pdf(const Point& p) const override;
+
+  size_t size() const { return data_.size(); }
+
+  /// Half-width of the smoothing box used by Pdf().
+  static constexpr double kPdfHalfWidth = 0.005;
+
+ private:
+  explicit EmpiricalDistribution(std::vector<Point> data);
+
+  std::vector<Point> data_;
+  std::vector<double> sorted_1d_;  // fast path when dimensions_ == 1
+  size_t dimensions_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_STATS_EMPIRICAL_H_

@@ -1,0 +1,155 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+
+StatusOr<EquiDepthHistogram> EquiDepthHistogram::Build(
+    const std::vector<Point>& data, size_t buckets) {
+  if (data.empty()) {
+    return Status::InvalidArgument("histogram requires non-empty data");
+  }
+  if (buckets == 0) {
+    return Status::InvalidArgument("histogram requires at least one bucket");
+  }
+  const size_t d = data[0].size();
+  if (d == 0) {
+    return Status::InvalidArgument("histogram requires dimensionality >= 1");
+  }
+  for (const Point& p : data) {
+    if (p.size() != d) {
+      return Status::InvalidArgument("inconsistent point dimensionality");
+    }
+  }
+
+  EquiDepthHistogram h;
+  const size_t per_dim = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(static_cast<double>(buckets),
+                                1.0 / static_cast<double>(d)))));
+  h.cells_per_dim_.assign(d, per_dim);
+  h.edges_.resize(d);
+
+  for (size_t dim = 0; dim < d; ++dim) {
+    std::vector<double> coord;
+    coord.reserve(data.size());
+    for (const Point& p : data) coord.push_back(p[dim]);
+    std::sort(coord.begin(), coord.end());
+    std::vector<double>& e = h.edges_[dim];
+    e.resize(per_dim + 1);
+    for (size_t b = 0; b <= per_dim; ++b) {
+      const double q =
+          static_cast<double>(b) / static_cast<double>(per_dim);
+      const double pos = q * static_cast<double>(coord.size() - 1);
+      const size_t idx = static_cast<size_t>(pos);
+      const size_t nxt = std::min(idx + 1, coord.size() - 1);
+      const double frac = pos - static_cast<double>(idx);
+      e[b] = coord[idx] * (1.0 - frac) + coord[nxt] * frac;
+    }
+    // Boundaries must be non-decreasing (duplicates may collapse edges).
+    for (size_t b = 1; b <= per_dim; ++b) e[b] = std::max(e[b], e[b - 1]);
+  }
+
+  size_t total_cells = 1;
+  for (size_t dim = 0; dim < d; ++dim) total_cells *= per_dim;
+  std::vector<double> counts(total_cells, 0.0);
+
+  for (const Point& p : data) {
+    size_t cell = 0;
+    for (size_t dim = 0; dim < d; ++dim) {
+      cell = cell * per_dim + BucketOf(h.edges_[dim], per_dim, p[dim]);
+    }
+    counts[cell] += 1.0;
+  }
+
+  h.cell_probability_.resize(total_cells);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (size_t c = 0; c < total_cells; ++c) {
+    h.cell_probability_[c] = counts[c] * inv_n;
+  }
+  return h;
+}
+
+size_t EquiDepthHistogram::BucketOf(const std::vector<double>& edges,
+                                    size_t buckets, double x) {
+  const auto it = std::lower_bound(edges.begin(), edges.end(), x);
+  if (it == edges.end()) return buckets - 1;  // beyond the last edge
+  const size_t idx = static_cast<size_t>(it - edges.begin());
+  if (*it == x) {
+    // x lands on an edge: take the first bucket starting there, so values
+    // duplicated enough to collapse edges live in their point-mass bucket.
+    return std::min(idx, buckets - 1);
+  }
+  return idx == 0 ? 0 : idx - 1;
+}
+
+double EquiDepthHistogram::IntervalFraction(double a, double b, double lo,
+                                            double hi) {
+  if (a == b) {
+    // Point mass: inside iff the query interval covers the point.
+    return (a >= lo && a <= hi) ? 1.0 : 0.0;
+  }
+  return IntervalOverlap(a, b, lo, hi) / (b - a);
+}
+
+double EquiDepthHistogram::BoxProbability(const Point& lo,
+                                          const Point& hi) const {
+  assert(lo.size() == dimensions());
+  assert(hi.size() == dimensions());
+  const size_t d = dimensions();
+  // Per-dimension fractional coverage of each bucket, then a product over
+  // the cell grid (row-major index arithmetic mirrors Build()).
+  std::vector<std::vector<double>> frac(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    const std::vector<double>& e = edges_[dim];
+    const size_t nb = cells_per_dim_[dim];
+    frac[dim].resize(nb);
+    for (size_t b = 0; b < nb; ++b) {
+      frac[dim][b] = IntervalFraction(e[b], e[b + 1], lo[dim], hi[dim]);
+    }
+  }
+
+  double total = 0.0;
+  const size_t cells = cell_probability_.size();
+  for (size_t c = 0; c < cells; ++c) {
+    if (cell_probability_[c] == 0.0) continue;
+    double cover = 1.0;
+    size_t rest = c;
+    for (size_t dim = d; dim-- > 0;) {
+      const size_t b = rest % cells_per_dim_[dim];
+      rest /= cells_per_dim_[dim];
+      cover *= frac[dim][b];
+      if (cover == 0.0) break;
+    }
+    total += cell_probability_[c] * cover;
+  }
+  return total;
+}
+
+double EquiDepthHistogram::Pdf(const Point& p) const {
+  assert(p.size() == dimensions());
+  const size_t d = dimensions();
+  size_t cell = 0;
+  double volume = 1.0;
+  for (size_t dim = 0; dim < d; ++dim) {
+    const std::vector<double>& e = edges_[dim];
+    const size_t nb = cells_per_dim_[dim];
+    if (p[dim] < e.front() || p[dim] > e.back()) return 0.0;
+    const size_t b = BucketOf(e, nb, p[dim]);
+    cell = cell * nb + b;
+    const double width = e[b + 1] - e[b];
+    volume *= width;
+  }
+  if (volume <= 0.0) return 0.0;  // point-mass bucket: density is singular
+  return cell_probability_[cell] / volume;
+}
+
+size_t EquiDepthHistogram::MemoryBytes(size_t bytes_per_number) const {
+  size_t numbers = cell_probability_.size();
+  for (const auto& e : edges_) numbers += e.size();
+  return numbers * bytes_per_number;
+}
+
+}  // namespace sensord

@@ -1,0 +1,73 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Equi-depth histograms — the comparison estimator of Section 10.
+//
+// The paper benchmarks its kernel estimator against equi-depth histograms of
+// |B| buckets computed with full access to all |W| window values (a setting
+// that deliberately favours the histogram: it is an offline upper bound for
+// any streaming histogram). In one dimension the bucket boundaries are the
+// |B|-quantiles of the window. In d dimensions we partition each dimension
+// at its ceil(|B|^(1/d)) marginal quantiles and count points per grid cell,
+// preserving the same memory budget of about |B| stored numbers.
+//
+// Mass inside a bucket/cell is assumed uniform, except that zero-width
+// buckets (heavy duplicates) act as point masses.
+
+#ifndef SENSORD_STATS_HISTOGRAM_H_
+#define SENSORD_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/estimator.h"
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Equi-depth (1-d) / marginal-quantile-grid (d >= 2) histogram estimator.
+class EquiDepthHistogram : public DistributionEstimator {
+ public:
+  /// Builds a histogram of approximately `buckets` buckets over `data`.
+  /// Returns InvalidArgument if data is empty, buckets == 0, or point
+  /// dimensionalities are inconsistent.
+  static StatusOr<EquiDepthHistogram> Build(const std::vector<Point>& data,
+                                            size_t buckets);
+
+  size_t dimensions() const override { return edges_.size(); }
+
+  double BoxProbability(const Point& lo, const Point& hi) const override;
+
+  double Pdf(const Point& p) const override;
+
+  /// Number of cells actually allocated.
+  size_t NumCells() const { return cell_probability_.size(); }
+
+  /// Bucket boundaries of dimension `dim` (size = cells-per-dim + 1).
+  const std::vector<double>& Edges(size_t dim) const { return edges_[dim]; }
+
+  /// Footprint under the paper's accounting: all stored edges plus one
+  /// probability per cell, at `bytes_per_number` bytes each.
+  size_t MemoryBytes(size_t bytes_per_number) const;
+
+ private:
+  EquiDepthHistogram() = default;
+
+  // Fractional overlap of [lo, hi] with the cell interval [a, b] under the
+  // uniform-within-bucket assumption; point-mass semantics when a == b.
+  static double IntervalFraction(double a, double b, double lo, double hi);
+
+  // Bucket index containing x. Prefers the *first* bucket starting at x so
+  // that heavy duplicates land in their collapsed (zero-width, point-mass)
+  // bucket rather than in the wide trailing one.
+  static size_t BucketOf(const std::vector<double>& edges, size_t buckets,
+                         double x);
+
+  std::vector<std::vector<double>> edges_;  // per-dim boundaries, ascending
+  std::vector<double> cell_probability_;    // row-major over the cell grid
+  std::vector<size_t> cells_per_dim_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_STATS_HISTOGRAM_H_

@@ -1,0 +1,143 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/bandwidth.h"
+
+namespace sensord {
+
+StatusOr<KernelDensityEstimator> KernelDensityEstimator::Create(
+    std::vector<Point> sample, std::vector<double> bandwidths) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("KDE requires a non-empty sample");
+  }
+  if (bandwidths.empty()) {
+    return Status::InvalidArgument("KDE requires at least one bandwidth");
+  }
+  for (const Point& p : sample) {
+    if (p.size() != bandwidths.size()) {
+      return Status::InvalidArgument(
+          "sample point dimensionality does not match bandwidth count");
+    }
+  }
+  for (double b : bandwidths) {
+    if (!(b > 0.0)) {
+      return Status::InvalidArgument("bandwidths must be positive");
+    }
+  }
+  return KernelDensityEstimator(std::move(sample), std::move(bandwidths));
+}
+
+StatusOr<KernelDensityEstimator>
+KernelDensityEstimator::CreateWithScottBandwidths(
+    std::vector<Point> sample, const std::vector<double>& stddevs) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("KDE requires a non-empty sample");
+  }
+  return Create(std::move(sample), ScottBandwidths(stddevs, sample.size()));
+}
+
+KernelDensityEstimator::KernelDensityEstimator(std::vector<Point> sample,
+                                               std::vector<double> bandwidths)
+    : sample_(std::move(sample)), sample_size_(sample_.size()) {
+  kernels_.reserve(bandwidths.size());
+  for (double b : bandwidths) kernels_.emplace_back(b);
+  if (kernels_.size() == 1) {
+    std::sort(sample_.begin(), sample_.end(),
+              [](const Point& a, const Point& b) { return a[0] < b[0]; });
+    sorted_1d_.reserve(sample_.size());
+    for (const Point& p : sample_) sorted_1d_.push_back(p[0]);
+  }
+}
+
+std::vector<double> KernelDensityEstimator::bandwidths() const {
+  std::vector<double> out;
+  out.reserve(kernels_.size());
+  for (const auto& k : kernels_) out.push_back(k.bandwidth());
+  return out;
+}
+
+double KernelDensityEstimator::Interval1dProbability(double lo,
+                                                     double hi) const {
+  const EpanechnikovKernel& kernel = kernels_[0];
+  const double b = kernel.bandwidth();
+  // Kernels centred in [lo - B, hi + B] may contribute; kernels centred in
+  // [lo + B, hi - B] have their full support inside the interval and
+  // contribute exactly 1 each.
+  const auto touch_begin =
+      std::lower_bound(sorted_1d_.begin(), sorted_1d_.end(), lo - b);
+  const auto touch_end =
+      std::upper_bound(sorted_1d_.begin(), sorted_1d_.end(), hi + b);
+
+  double mass = 0.0;
+  auto partial_until = touch_end;
+  auto partial_resume = touch_end;
+  if (lo + b <= hi - b) {
+    const auto full_begin =
+        std::lower_bound(touch_begin, touch_end, lo + b);
+    const auto full_end = std::upper_bound(full_begin, touch_end, hi - b);
+    mass += static_cast<double>(full_end - full_begin);
+    partial_until = full_begin;
+    partial_resume = full_end;
+  }
+  for (auto it = touch_begin; it != partial_until; ++it) {
+    mass += kernel.MassInInterval(*it, lo, hi);
+  }
+  for (auto it = partial_resume; it != touch_end; ++it) {
+    mass += kernel.MassInInterval(*it, lo, hi);
+  }
+  return mass / static_cast<double>(sample_size_);
+}
+
+double KernelDensityEstimator::BoxProbability(const Point& lo,
+                                              const Point& hi) const {
+  assert(lo.size() == dimensions());
+  assert(hi.size() == dimensions());
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] > hi[i]) return 0.0;  // inverted box: empty
+  }
+  if (dimensions() == 1) return Interval1dProbability(lo[0], hi[0]);
+
+  double total = 0.0;
+  for (const Point& t : sample_) {
+    double contrib = 1.0;
+    for (size_t i = 0; i < kernels_.size() && contrib > 0.0; ++i) {
+      contrib *= kernels_[i].MassInInterval(t[i], lo[i], hi[i]);
+    }
+    total += contrib;
+  }
+  return total / static_cast<double>(sample_size_);
+}
+
+double KernelDensityEstimator::Pdf(const Point& p) const {
+  assert(p.size() == dimensions());
+  if (dimensions() == 1) {
+    const double b = kernels_[0].bandwidth();
+    const auto begin =
+        std::lower_bound(sorted_1d_.begin(), sorted_1d_.end(), p[0] - b);
+    const auto end =
+        std::upper_bound(sorted_1d_.begin(), sorted_1d_.end(), p[0] + b);
+    double total = 0.0;
+    for (auto it = begin; it != end; ++it) {
+      total += kernels_[0].Value(p[0] - *it);
+    }
+    return total / static_cast<double>(sample_size_);
+  }
+  double total = 0.0;
+  for (const Point& t : sample_) {
+    double contrib = 1.0;
+    for (size_t i = 0; i < kernels_.size() && contrib > 0.0; ++i) {
+      contrib *= kernels_[i].Value(p[i] - t[i]);
+    }
+    total += contrib;
+  }
+  return total / static_cast<double>(sample_size_);
+}
+
+size_t KernelDensityEstimator::MemoryBytes(size_t bytes_per_number) const {
+  const size_t numbers = sample_size_ * dimensions() + dimensions();
+  return numbers * bytes_per_number;
+}
+
+}  // namespace sensord

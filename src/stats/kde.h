@@ -1,0 +1,84 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Kernel density estimation over a (chain) sample — the heart of the paper.
+//
+// A sample R of the sliding window plus one Epanechnikov bandwidth per
+// dimension defines the estimate (Eq. 1-3)
+//   f(x) = (1/|R|) sum_{t in R} prod_i k_{B_i}(x_i - t_i),
+// and, because the Epanechnikov profile integrates in closed form, the box
+// mass P[lo, hi] is an exact O(d|R|) sum (Theorem 2). In one dimension the
+// sample is kept sorted and a query only touches the kernels whose support
+// intersects the query interval: O(log|R| + |R'|), the paper's refinement.
+//
+// The estimator is an immutable snapshot: the online system (core::
+// DensityModel) rebuilds it cheaply from the current chain sample whenever
+// it needs to answer queries, which keeps this class trivially thread-safe
+// and exactly reproducible.
+
+#ifndef SENSORD_STATS_KDE_H_
+#define SENSORD_STATS_KDE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/estimator.h"
+#include "stats/kernel.h"
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Product-Epanechnikov kernel density estimator over [0,1]^d.
+class KernelDensityEstimator : public DistributionEstimator {
+ public:
+  /// Builds an estimator from a sample and per-dimension bandwidths.
+  /// Returns InvalidArgument if the sample is empty, dimensionalities are
+  /// inconsistent, or any bandwidth is <= 0.
+  static StatusOr<KernelDensityEstimator> Create(
+      std::vector<Point> sample, std::vector<double> bandwidths);
+
+  /// Convenience: Scott's-rule bandwidths from per-dimension standard
+  /// deviations (see stats/bandwidth.h), then Create().
+  static StatusOr<KernelDensityEstimator> CreateWithScottBandwidths(
+      std::vector<Point> sample, const std::vector<double>& stddevs);
+
+  size_t dimensions() const override { return kernels_.size(); }
+
+  /// Closed-form probability mass of the box [lo, hi]. O(d|R|) in general;
+  /// O(log|R| + |R'|) when d == 1, |R'| being the kernels intersecting the
+  /// query interval.
+  double BoxProbability(const Point& lo, const Point& hi) const override;
+
+  /// Density f(p). Same complexity as BoxProbability.
+  double Pdf(const Point& p) const override;
+
+  /// Number of kernels |R|.
+  size_t sample_size() const { return sample_size_; }
+
+  /// Per-dimension bandwidths B_i.
+  std::vector<double> bandwidths() const;
+
+  /// The sample points the estimator was built from (1-d estimators return
+  /// them in sorted order).
+  const std::vector<Point>& sample() const { return sample_; }
+
+  /// Footprint under the paper's accounting: d numbers per sample point plus
+  /// d bandwidths, at `bytes_per_number` bytes each.
+  size_t MemoryBytes(size_t bytes_per_number) const;
+
+ private:
+  KernelDensityEstimator(std::vector<Point> sample,
+                         std::vector<double> bandwidths);
+
+  // 1-d fast path for BoxProbability.
+  double Interval1dProbability(double lo, double hi) const;
+
+  std::vector<Point> sample_;
+  std::vector<double> sorted_1d_;  // sorted coordinates; only filled if d == 1
+  std::vector<EpanechnikovKernel> kernels_;
+  size_t sample_size_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_STATS_KDE_H_

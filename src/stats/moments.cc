@@ -1,0 +1,69 @@
+#include "stats/moments.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/math_utils.h"
+
+namespace sensord {
+
+std::string SummaryStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.3f max=%.3f mean=%.3f median=%.3f stddev=%.3f "
+                "skew=%.3f",
+                min, max, mean, median, stddev, skew);
+  return buf;
+}
+
+SummaryStats Summarize(const std::vector<double>& values) {
+  assert(!values.empty());
+  MomentsAccumulator acc;
+  for (double v : values) acc.Add(v);
+  SummaryStats s;
+  s.min = acc.min();
+  s.max = acc.max();
+  s.mean = acc.mean();
+  s.median = Median(values);
+  s.stddev = acc.StdDev();
+  s.skew = acc.Skewness();
+  return s;
+}
+
+void MomentsAccumulator::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // One-pass update of central moments (Welford / Terriberry).
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+double MomentsAccumulator::Variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double MomentsAccumulator::StdDev() const { return std::sqrt(Variance()); }
+
+double MomentsAccumulator::Skewness() const {
+  if (n_ < 3) return 0.0;
+  const double var = Variance();
+  if (var <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return (m3_ / n) / std::pow(var, 1.5);
+}
+
+}  // namespace sensord

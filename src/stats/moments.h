@@ -1,0 +1,65 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Summary statistics: batch summaries (the paper's Figure 5 table reports
+// min/max/mean/median/stddev/skew for each real dataset) and a single-pass
+// accumulator used wherever a stream needs its first three moments online.
+
+#ifndef SENSORD_STATS_MOMENTS_H_
+#define SENSORD_STATS_MOMENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sensord {
+
+/// The row format of the paper's Figure 5.
+struct SummaryStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double skew = 0.0;    ///< third standardized moment; 0 if stddev == 0
+
+  /// Fixed-width rendering used by the Figure 5 bench.
+  std::string ToString() const;
+};
+
+/// Computes all Figure 5 statistics of a value sequence.
+/// Pre: !values.empty().
+SummaryStats Summarize(const std::vector<double>& values);
+
+/// Single-pass (Welford-style) accumulator of count/min/max/mean/variance/
+/// skewness. No median (that requires the values); use Summarize for the
+/// full Figure 5 row.
+class MomentsAccumulator {
+ public:
+  /// Feeds one value.
+  void Add(double x);
+
+  uint64_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+
+  /// Population variance; 0 with fewer than 2 values.
+  double Variance() const;
+  double StdDev() const;
+
+  /// Third standardized moment; 0 if variance is 0 or count < 3.
+  double Skewness() const;
+
+ private:
+  uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations
+  double m3_ = 0.0;  // sum of cubed deviations
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_STATS_MOMENTS_H_

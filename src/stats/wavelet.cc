@@ -1,0 +1,138 @@
+#include "stats/wavelet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+
+StatusOr<WaveletSynopsis> WaveletSynopsis::Build(
+    const std::vector<Point>& data, size_t coefficients, size_t levels) {
+  if (data.empty()) {
+    return Status::InvalidArgument("wavelet synopsis requires data");
+  }
+  if (coefficients == 0) {
+    return Status::InvalidArgument("need at least one coefficient");
+  }
+  if (levels < 1 || levels > 20) {
+    return Status::InvalidArgument("levels must be in [1, 20]");
+  }
+  for (const Point& p : data) {
+    if (p.size() != 1) {
+      return Status::InvalidArgument("wavelet synopsis is 1-d only");
+    }
+  }
+
+  const size_t n = size_t{1} << levels;
+  std::vector<double> cells(n, 0.0);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (const Point& p : data) {
+    size_t c = static_cast<size_t>(Clamp(p[0], 0.0, 1.0) *
+                                   static_cast<double>(n));
+    cells[std::min(c, n - 1)] += inv;
+  }
+
+  // Forward Haar transform (average / half-difference convention):
+  // work[0] ends as the overall average; the detail of a block of size
+  // 2*stride at level j lands at index (n/size + i).
+  std::vector<double> coef(cells);
+  std::vector<double> scratch(n);
+  for (size_t size = n; size > 1; size /= 2) {
+    const size_t half = size / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] = 0.5 * (coef[2 * i] + coef[2 * i + 1]);         // average
+      scratch[half + i] = 0.5 * (coef[2 * i] - coef[2 * i + 1]);  // detail
+    }
+    std::copy(scratch.begin(), scratch.begin() + size, coef.begin());
+  }
+  // Layout now: coef[0] = average; details of the coarsest level at [1, 2),
+  // next level at [2, 4), ..., finest at [n/2, n).
+
+  // Keep the top-B coefficients by their L2 contribution |c| * sqrt(support)
+  // (always keeping the overall average, which carries the total mass).
+  std::vector<uint32_t> order;
+  order.reserve(n - 1);
+  for (uint32_t i = 1; i < n; ++i) {
+    if (coef[i] != 0.0) order.push_back(i);
+  }
+  auto weight = [&](uint32_t idx) {
+    // Index block [2^j, 2^{j+1}) is level j; each coefficient there spans
+    // n / 2^j cells.
+    size_t level_size = 1;
+    while (level_size * 2 <= idx) level_size *= 2;
+    const double support = static_cast<double>(n) /
+                           static_cast<double>(level_size);
+    return std::fabs(coef[idx]) * std::sqrt(support);
+  };
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return weight(a) > weight(b);
+  });
+  if (order.size() > coefficients - 1) order.resize(coefficients - 1);
+
+  WaveletSynopsis synopsis;
+  synopsis.cells_ = n;
+  synopsis.cell_width_ = 1.0 / static_cast<double>(n);
+  synopsis.kept_.push_back({0, coef[0]});
+  for (uint32_t idx : order) synopsis.kept_.push_back({idx, coef[idx]});
+
+  // Reconstruct the cell cache by the inverse transform over the truncated
+  // coefficient array.
+  std::vector<double> sparse(n, 0.0);
+  for (const Coefficient& c : synopsis.kept_) sparse[c.index] = c.value;
+  std::vector<double> out(n);
+  for (size_t size = 2; size <= n; size *= 2) {
+    const size_t half = size / 2;
+    for (size_t i = 0; i < half; ++i) {
+      out[2 * i] = sparse[i] + sparse[half + i];
+      out[2 * i + 1] = sparse[i] - sparse[half + i];
+    }
+    std::copy(out.begin(), out.begin() + size, sparse.begin());
+  }
+
+  // Truncation can produce small negative cell masses; clamp and
+  // renormalize so the synopsis stays a distribution.
+  double total = 0.0;
+  for (double& m : sparse) {
+    m = std::max(0.0, m);
+    total += m;
+  }
+  if (total > 0.0) {
+    for (double& m : sparse) m /= total;
+  }
+  synopsis.cell_mass_ = std::move(sparse);
+  return synopsis;
+}
+
+double WaveletSynopsis::BoxProbability(const Point& lo,
+                                       const Point& hi) const {
+  assert(lo.size() == 1 && hi.size() == 1);
+  const double a = Clamp(lo[0], 0.0, 1.0);
+  const double b = Clamp(hi[0], 0.0, 1.0);
+  if (a >= b) {
+    // Point queries still see the containing cell's point mass fractionally;
+    // a zero-width box carries no mass under a piecewise-uniform density.
+    return 0.0;
+  }
+  const size_t first = std::min(
+      static_cast<size_t>(a / cell_width_), cells_ - 1);
+  const size_t last = std::min(
+      static_cast<size_t>(b / cell_width_), cells_ - 1);
+  double mass = 0.0;
+  for (size_t c = first; c <= last; ++c) {
+    const double cell_lo = static_cast<double>(c) * cell_width_;
+    const double cover =
+        IntervalOverlap(cell_lo, cell_lo + cell_width_, a, b) / cell_width_;
+    mass += cell_mass_[c] * cover;
+  }
+  return mass;
+}
+
+double WaveletSynopsis::Pdf(const Point& p) const {
+  assert(p.size() == 1);
+  if (p[0] < 0.0 || p[0] > 1.0) return 0.0;
+  const size_t c = std::min(static_cast<size_t>(p[0] / cell_width_),
+                            cells_ - 1);
+  return cell_mass_[c] / cell_width_;
+}
+
+}  // namespace sensord

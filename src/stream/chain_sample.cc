@@ -1,0 +1,141 @@
+#include "stream/chain_sample.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sensord {
+
+ChainSample::ChainSample(size_t sample_size, size_t window_size, Rng rng)
+    : window_size_(window_size), chains_(sample_size), rng_(rng) {
+  assert(sample_size > 0);
+  assert(window_size > 0);
+}
+
+void ChainSample::PrewarmToSteadyState() {
+  assert(!seeded_ && "prewarm must precede the first Add()");
+  now_ = window_size_;
+}
+
+void ChainSample::DrawReplacement(uint32_t chain_idx, uint64_t index) {
+  // The replacement is drawn uniformly from the W indices following `index`;
+  // it arrives no later than the active element expires, so a warmed-up
+  // chain is never empty.
+  const uint64_t r = index + 1 + rng_.UniformUint64(window_size_);
+  chains_[chain_idx].next_replacement_index = r;
+  pending_replacement_[r].push_back(chain_idx);
+}
+
+void ChainSample::RegisterExpiry(uint32_t chain_idx) {
+  const Chain& chain = chains_[chain_idx];
+  assert(!chain.entries.empty());
+  pending_expiry_[chain.entries.front().index + window_size_].push_back(
+      chain_idx);
+}
+
+void ChainSample::RestartChain(uint32_t chain_idx, uint64_t index,
+                               const Point& value) {
+  ++version_;
+  Chain& chain = chains_[chain_idx];
+  chain.entries.clear();  // orphaned map registrations are skipped lazily
+  chain.entries.push_back({index, value});
+  RegisterExpiry(chain_idx);
+  DrawReplacement(chain_idx, index);
+}
+
+uint64_t ChainSample::GeometricSkip(double p) {
+  // Number of Bernoulli(p) failures before the next success.
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = rng_.UniformDouble();
+  if (u <= 0.0) u = 1e-300;  // UniformDouble is in [0,1); guard underflow
+  return static_cast<uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+bool ChainSample::Add(const Point& value) {
+  const uint64_t i = now_;  // 0-based arrival index of this element
+  ++now_;
+
+  if (!seeded_) {
+    // The first element ever observed seeds every chain.
+    for (uint32_t c = 0; c < chains_.size(); ++c) RestartChain(c, i, value);
+    seeded_ = true;
+    return true;
+  }
+
+  // 1. Chains whose pending replacement is this element: append it and draw
+  //    the next replacement.
+  if (const auto it = pending_replacement_.find(i);
+      it != pending_replacement_.end()) {
+    for (uint32_t c : it->second) {
+      Chain& chain = chains_[c];
+      if (chain.next_replacement_index != i) continue;  // stale (restarted)
+      chain.entries.push_back({i, value});
+      DrawReplacement(c, i);
+    }
+    pending_replacement_.erase(it);
+  }
+
+  // 2. Chains whose active element expires now: promote the next entry.
+  if (const auto it = pending_expiry_.find(i); it != pending_expiry_.end()) {
+    for (uint32_t c : it->second) {
+      Chain& chain = chains_[c];
+      if (chain.entries.empty() ||
+          chain.entries.front().index + window_size_ != i) {
+        continue;  // stale (restarted since registration)
+      }
+      chain.entries.pop_front();
+      assert(!chain.entries.empty() &&
+             "chain invariant: replacement arrives before expiry");
+      ++version_;  // the chain's active element changed
+      RegisterExpiry(c);
+    }
+    pending_expiry_.erase(it);
+  }
+
+  // 3. Restart each chain at this element independently with probability
+  //    1/min(i+1, W) — how fresh observations enter the sample uniformly.
+  //    Geometric skipping touches only the chains that restart.
+  const uint64_t denom = std::min<uint64_t>(i + 1, window_size_);
+  const double p_select = 1.0 / static_cast<double>(denom);
+  bool entered_sample = false;
+  uint64_t c = GeometricSkip(p_select);
+  while (c < chains_.size()) {
+    RestartChain(static_cast<uint32_t>(c), i, value);
+    entered_sample = true;
+    c += 1 + GeometricSkip(p_select);
+  }
+  return entered_sample;
+}
+
+const Point& ChainSample::ActiveElement(size_t i) const {
+  assert(i < chains_.size());
+  assert(!chains_[i].entries.empty());
+  return chains_[i].entries.front().value;
+}
+
+std::vector<Point> ChainSample::Snapshot() const {
+  std::vector<Point> out;
+  out.reserve(chains_.size());
+  for (const Chain& chain : chains_) {
+    if (!chain.entries.empty()) out.push_back(chain.entries.front().value);
+  }
+  return out;
+}
+
+size_t ChainSample::StoredElements() const {
+  size_t n = 0;
+  for (const Chain& chain : chains_) n += chain.entries.size();
+  return n;
+}
+
+size_t ChainSample::MemoryBytes(size_t dimensions,
+                                size_t bytes_per_number) const {
+  // Each stored entry keeps d coordinates plus one index; each chain keeps
+  // one pending replacement index.
+  const size_t numbers =
+      StoredElements() * (dimensions + 1) + chains_.size();
+  return numbers * bytes_per_number;
+}
+
+}  // namespace sensord

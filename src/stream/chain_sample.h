@@ -1,0 +1,138 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Chain sampling: a uniform random sample over a count-based sliding window.
+//
+// This is the "chain-sample" component the paper lists in its prototype
+// (Section 10, Implementation), following Babcock, Datar and Motwani,
+// "Sampling From a Moving Window Over Streaming Data", SODA 2002. A sample of
+// expected size |R| is maintained as |R| independent chains; each chain holds
+// one *active* element that is uniformly distributed over the current window,
+// plus the already-arrived future replacements that will take over when the
+// active element expires. Expected memory per chain is O(1), so the whole
+// sample costs O(d|R|) — the bound quoted in the paper's Theorem 1.
+//
+// Per-arrival cost is O(1 + changes) amortized, not O(|R|): the sampler
+// indexes chains by the arrival positions they are waiting for (pending
+// replacements and front expiries), and decides the Bernoulli(1/min(i+1,W))
+// chain restarts by geometric skipping, so only the chains that actually
+// change are touched. This is what lets the Figure 11 experiment simulate
+// thousands of sensors.
+//
+// The Add() return value reports whether the new observation entered the
+// sample: this is exactly the "if (S(i) included in R^w)" event of the D3 and
+// MGDD pseudo-code (Figure 4), which gates probabilistic propagation of the
+// observation to the parent node.
+
+#ifndef SENSORD_STREAM_CHAIN_SAMPLE_H_
+#define SENSORD_STREAM_CHAIN_SAMPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/math_utils.h"
+#include "util/rng.h"
+
+namespace sensord {
+
+/// Uniform random sample (with replacement across chains) of the last
+/// `window_size` stream elements, maintained in one pass.
+class ChainSample {
+ public:
+  /// Creates a sample of `sample_size` chains over a window of
+  /// `window_size` elements.
+  /// Pre: sample_size > 0, window_size > 0.
+  ChainSample(size_t sample_size, size_t window_size, Rng rng);
+
+  /// Feeds the next stream element. Returns true iff the element became the
+  /// active element of at least one chain (i.e. it "entered the sample").
+  bool Add(const Point& value);
+
+  /// Number of chains (the |R| of the paper).
+  size_t sample_size() const { return chains_.size(); }
+
+  /// Window length |W|.
+  size_t window_size() const { return window_size_; }
+
+  /// Total elements observed so far (plus the prewarm offset, if any).
+  uint64_t total_seen() const { return now_; }
+
+  /// True once the first element has been observed (the chains hold an
+  /// active sample from then on).
+  bool seeded() const { return seeded_; }
+
+  /// Jumps the arrival clock to one full window, so that subsequent
+  /// insertions happen at the steady-state probability 1/|W| instead of the
+  /// elevated early-stream rate. Used by long-horizon message-cost
+  /// experiments that measure steady-state traffic without simulating a
+  /// full warm-up window first. Call before the first Add().
+  void PrewarmToSteadyState();
+
+  /// Monotone counter that increments whenever the *active* sample (the set
+  /// returned by Snapshot) changes. Lets consumers cache derived structures
+  /// (e.g. a kernel estimator) and rebuild only on change.
+  uint64_t version() const { return version_; }
+
+  /// The current active element of chain `i`. Only meaningful once at least
+  /// one element has been observed. Pre: i < sample_size().
+  const Point& ActiveElement(size_t i) const;
+
+  /// Copies the current sample (one active element per chain).
+  /// Empty before the first Add().
+  std::vector<Point> Snapshot() const;
+
+  /// Total stored elements across all chains (active + queued replacements).
+  /// Expected O(sample_size); used by the memory-footprint experiment.
+  size_t StoredElements() const;
+
+  /// Approximate memory footprint of the stored sample in bytes, under the
+  /// paper's Section 10.3 convention of `bytes_per_number` bytes per numeric
+  /// value (the paper assumes a 16-bit architecture, i.e. 2).
+  size_t MemoryBytes(size_t dimensions, size_t bytes_per_number) const;
+
+ private:
+  struct ChainEntry {
+    uint64_t index;  // global 0-based arrival position
+    Point value;
+  };
+
+  // One chain: front() is the active sample element; later entries are
+  // replacements that have already arrived, ordered by index.
+  struct Chain {
+    std::deque<ChainEntry> entries;
+    uint64_t next_replacement_index = 0;  // index that extends the chain
+  };
+
+  // Restarts chain `c` at the element (index, value): the new element
+  // becomes the active sample member, queued replacements are discarded,
+  // and the chain's expiry and replacement are re-registered.
+  void RestartChain(uint32_t chain_idx, uint64_t index, const Point& value);
+
+  // Draws and registers the pending replacement index of chain `chain_idx`
+  // following the element at `index`.
+  void DrawReplacement(uint32_t chain_idx, uint64_t index);
+
+  // Registers chain `chain_idx`'s current front for expiry.
+  void RegisterExpiry(uint32_t chain_idx);
+
+  // Expected O(1) skip count of a run of Bernoulli(p) failures.
+  uint64_t GeometricSkip(double p);
+
+  size_t window_size_;
+  std::vector<Chain> chains_;
+  Rng rng_;
+  uint64_t now_ = 0;      // number of elements observed
+  uint64_t version_ = 0;  // bumped when the active sample changes
+  bool seeded_ = false;
+
+  // Arrival index -> chains waiting for that index. Entries may be stale
+  // after a chain restart; consumers re-validate against the chain state.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> pending_replacement_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> pending_expiry_;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_STREAM_CHAIN_SAMPLE_H_

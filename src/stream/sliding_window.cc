@@ -1,0 +1,60 @@
+#include "stream/sliding_window.h"
+
+#include <cassert>
+
+namespace sensord {
+
+SlidingWindow::SlidingWindow(size_t capacity, size_t dimensions)
+    : capacity_(capacity), dimensions_(dimensions) {
+  assert(capacity_ > 0);
+  assert(dimensions_ > 0);
+  ring_.resize(capacity_);
+}
+
+Status SlidingWindow::Add(const Point& p) {
+  if (p.size() != dimensions_) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  const size_t slot = (head_ + size_) % capacity_;
+  if (size_ == capacity_) {
+    ring_[head_] = p;
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    ring_[slot] = p;
+    ++size_;
+  }
+  ++total_seen_;
+  return Status::Ok();
+}
+
+const Point& SlidingWindow::At(size_t i) const {
+  assert(i < size_);
+  return ring_[(head_ + i) % capacity_];
+}
+
+uint64_t SlidingWindow::ArrivalTime(size_t i) const {
+  assert(i < size_);
+  return total_seen_ - size_ + i;
+}
+
+std::vector<Point> SlidingWindow::Snapshot() const {
+  std::vector<Point> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
+  return out;
+}
+
+std::vector<double> SlidingWindow::Coordinate(size_t dim) const {
+  assert(dim < dimensions_);
+  std::vector<double> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(At(i)[dim]);
+  return out;
+}
+
+void SlidingWindow::Clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace sensord

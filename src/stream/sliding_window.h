@@ -1,0 +1,83 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// A count-based sliding window over a stream of d-dimensional points.
+//
+// The paper's problem statement (Section 3) fixes the unit of analysis: "the
+// outlying values within a sliding window W that holds the last |W| values of
+// S". The approximate machinery (chain sample + variance sketch) never
+// materializes the window; this container exists for the exact baselines
+// (BruteForce-D / BruteForce-M), for ground-truth scoring, and for tests.
+
+#ifndef SENSORD_STREAM_SLIDING_WINDOW_H_
+#define SENSORD_STREAM_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/math_utils.h"
+#include "util/status.h"
+
+namespace sensord {
+
+/// Fixed-capacity ring buffer holding the most recent `capacity` points.
+///
+/// Indices are logical: index 0 is the oldest retained point, size()-1 the
+/// newest. Each point also carries the global stream position at which it
+/// arrived (`ArrivalTime`), which the evaluation layer uses to align window
+/// instances across sensors.
+class SlidingWindow {
+ public:
+  /// Creates a window retaining the last `capacity` points of a
+  /// `dimensions`-dimensional stream.
+  /// Pre: capacity > 0, dimensions > 0.
+  SlidingWindow(size_t capacity, size_t dimensions);
+
+  /// Appends a point, evicting the oldest if full.
+  /// Returns InvalidArgument if the point's dimensionality mismatches.
+  Status Add(const Point& p);
+
+  /// Number of points currently retained (<= capacity).
+  size_t size() const { return size_; }
+
+  /// Maximum number of retained points (the |W| of the paper).
+  size_t capacity() const { return capacity_; }
+
+  /// Stream dimensionality d.
+  size_t dimensions() const { return dimensions_; }
+
+  /// True once `capacity` points have been observed.
+  bool full() const { return size_ == capacity_; }
+
+  /// Total points ever observed (not just retained).
+  uint64_t total_seen() const { return total_seen_; }
+
+  /// The i-th oldest retained point. Pre: i < size().
+  const Point& At(size_t i) const;
+
+  /// Global stream position (0-based) of the i-th oldest retained point.
+  /// Pre: i < size().
+  uint64_t ArrivalTime(size_t i) const;
+
+  /// Copies the retained points, oldest first.
+  std::vector<Point> Snapshot() const;
+
+  /// Copies one coordinate of every retained point, oldest first.
+  /// Pre: dim < dimensions().
+  std::vector<double> Coordinate(size_t dim) const;
+
+  /// Discards all retained points (total_seen is preserved).
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t dimensions_;
+  std::vector<Point> ring_;
+  size_t head_ = 0;  // position of the oldest element in ring_
+  size_t size_ = 0;
+  uint64_t total_seen_ = 0;
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_STREAM_SLIDING_WINDOW_H_

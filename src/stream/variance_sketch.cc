@@ -1,0 +1,167 @@
+#include "stream/variance_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/math_utils.h"
+
+namespace sensord {
+
+VarianceSketch::VarianceSketch(size_t window_size, double epsilon)
+    : window_size_(window_size), epsilon_(epsilon) {
+  assert(window_size_ > 0);
+  assert(epsilon_ > 0.0 && epsilon_ <= 1.0);
+  k_ = 9.0 / (epsilon_ * epsilon_);
+  // One bucket "level" per doubling of the window plus the slack factor of
+  // buckets the invariant tolerates per level.
+  const size_t levels = static_cast<size_t>(Log2Ceil(window_size_)) + 2;
+  max_buckets_ = static_cast<size_t>(std::ceil(k_ + 1.0)) * levels;
+}
+
+VarianceSketch::Bucket VarianceSketch::Combine(const Bucket& a,
+                                               const Bucket& b) {
+  Bucket out;
+  out.first = std::min(a.first, b.first);
+  out.last = std::max(a.last, b.last);
+  out.n = a.n + b.n;
+  out.mean = (a.n * a.mean + b.n * b.mean) / out.n;
+  const double delta = a.mean - b.mean;
+  out.var = a.var + b.var + (a.n * b.n / out.n) * delta * delta;
+  return out;
+}
+
+VarianceSketch::Bucket VarianceSketch::PrefixCombined(size_t j) const {
+  Bucket acc{0, 0, 0.0, 0.0, 0.0};
+  bool any = false;
+  for (size_t i = 0; i < j; ++i) {
+    acc = any ? Combine(acc, buckets_[i]) : buckets_[i];
+    any = true;
+  }
+  return acc;
+}
+
+void VarianceSketch::Add(double x) {
+  const uint64_t t = now_;
+  ++now_;
+
+  buckets_.push_front(Bucket{t, t, 1.0, x, 0.0});
+
+  // Expire buckets whose newest element left the window (t - W, t].
+  while (!buckets_.empty() && buckets_.back().last + window_size_ <= t) {
+    buckets_.pop_back();
+  }
+
+  // The merge scan costs O(buckets); running it every kCompactInterval
+  // insertions amortizes that to O(buckets / interval) per element. Between
+  // scans at most kCompactInterval extra singleton buckets exist, which
+  // only *improves* estimates; the hard cap below still bounds memory
+  // deterministically.
+  if (++since_compact_ >= kCompactInterval ||
+      buckets_.size() >= max_buckets_) {
+    since_compact_ = 0;
+    Compact();
+  }
+}
+
+void VarianceSketch::Compact() {
+  // Merge rule: collapse the adjacent pair (j, j+1) — j newer — whenever the
+  // merged bucket's internal variance stays within a 1/k fraction of the
+  // combined variance of everything more recent than the pair. Scanning from
+  // the old end first compacts stale history aggressively.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (buckets_.size() < 3) break;
+    // Maintain the running prefix (newest-side) combination incrementally.
+    Bucket prefix = buckets_[0];
+    std::deque<Bucket>::size_type j = 1;
+    for (; j + 1 < buckets_.size(); ++j) {
+      const Bucket merged = Combine(buckets_[j], buckets_[j + 1]);
+      if (k_ * merged.var <= prefix.var) {
+        buckets_[j] = merged;
+        buckets_.erase(buckets_.begin() +
+                       static_cast<std::deque<Bucket>::difference_type>(j + 1));
+        changed = true;
+        break;
+      }
+      prefix = Combine(prefix, buckets_[j]);
+    }
+  }
+
+  // Hard cap: if the invariant alone left too many buckets (possible only
+  // transiently), merge at the old end where the error budget lives.
+  while (buckets_.size() > max_buckets_) {
+    const size_t m = buckets_.size();
+    buckets_[m - 2] = Combine(buckets_[m - 2], buckets_[m - 1]);
+    buckets_.pop_back();
+  }
+}
+
+double VarianceSketch::Variance() const {
+  if (buckets_.empty()) return 0.0;
+  if (buckets_.size() == 1) {
+    const Bucket& b = buckets_[0];
+    const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
+    if (b.first >= window_start) {
+      return b.n > 0 ? b.var / b.n : 0.0;
+    }
+    // Single, partially expired bucket: assume half survives with the same
+    // internal spread.
+    return b.n > 0 ? (b.var / 2.0) / std::max(1.0, b.n / 2.0) : 0.0;
+  }
+
+  const Bucket suffix = PrefixCombined(buckets_.size() - 1);
+  const Bucket& oldest = buckets_.back();
+  const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
+
+  Bucket total;
+  if (oldest.first >= window_start) {
+    // Oldest bucket is fully inside the window: the combination is exact.
+    total = Combine(suffix, oldest);
+  } else {
+    // Partially expired oldest bucket (the BDMO estimate): assume half of
+    // its elements survive, carrying half its internal variance and its
+    // mean. The maintenance invariant bounds the error of this guess.
+    Bucket half = oldest;
+    half.n = std::max(1.0, oldest.n / 2.0);
+    half.var = oldest.var / 2.0;
+    total = Combine(suffix, half);
+  }
+  return total.n > 0 ? total.var / total.n : 0.0;
+}
+
+double VarianceSketch::StdDev() const { return std::sqrt(Variance()); }
+
+double VarianceSketch::Mean() const {
+  if (buckets_.empty()) return 0.0;
+  const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
+  if (buckets_.size() == 1) return buckets_[0].mean;
+  const Bucket suffix = PrefixCombined(buckets_.size() - 1);
+  Bucket oldest = buckets_.back();
+  if (oldest.first < window_start) {
+    oldest.n = std::max(1.0, oldest.n / 2.0);
+    oldest.var /= 2.0;
+  }
+  return Combine(suffix, oldest).mean;
+}
+
+double VarianceSketch::Count() const {
+  if (buckets_.empty()) return 0.0;
+  const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
+  double n = 0.0;
+  for (size_t i = 0; i + 1 < buckets_.size(); ++i) n += buckets_[i].n;
+  const Bucket& oldest = buckets_.back();
+  n += oldest.first >= window_start ? oldest.n : std::max(1.0, oldest.n / 2.0);
+  return n;
+}
+
+size_t VarianceSketch::MemoryBytes(size_t bytes_per_number) const {
+  return buckets_.size() * 5 * bytes_per_number;
+}
+
+size_t VarianceSketch::TheoreticalBoundBytes(size_t bytes_per_number) const {
+  return max_buckets_ * 5 * bytes_per_number;
+}
+
+}  // namespace sensord

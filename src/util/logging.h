@@ -1,0 +1,55 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Minimal leveled logging. The benches and examples use this to narrate
+// experiment progress; the library core stays silent below kWarning.
+
+#ifndef SENSORD_UTIL_LOGGING_H_
+#define SENSORD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sensord {
+
+/// Severity of a log line. kDebug lines are compiled in but filtered at
+/// runtime by the global threshold.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that reaches stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SENSORD_LOG(level)                                            \
+  ::sensord::internal::LogMessage(::sensord::LogLevel::k##level,      \
+                                  __FILE__, __LINE__)
+
+}  // namespace sensord
+
+#endif  // SENSORD_UTIL_LOGGING_H_

@@ -1,0 +1,46 @@
+#include "util/math_utils.h"
+
+#include <cassert>
+
+namespace sensord {
+
+bool InUnitCube(const Point& p) {
+  for (double x : p) {
+    if (!(x >= 0.0 && x <= 1.0)) return false;
+  }
+  return true;
+}
+
+double Median(std::vector<double> v) {
+  assert(!v.empty());
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(std::vector<double> v, double q) {
+  assert(!v.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+int Log2Ceil(size_t x) {
+  assert(x >= 1);
+  int bits = 0;
+  size_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace sensord

@@ -1,0 +1,76 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Small numeric helpers shared across sensord: points in [0,1]^d, interval
+// clipping, Chebyshev (L-infinity) distance — the metric under which the
+// paper's box range query N(p, r) counts neighbours — and safe comparisons.
+
+#ifndef SENSORD_UTIL_MATH_UTILS_H_
+#define SENSORD_UTIL_MATH_UTILS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sensord {
+
+/// A d-dimensional observation. All sensord values live in [0,1]^d after
+/// normalization (the paper's domain assumption, Section 4).
+using Point = std::vector<double>;
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+/// Chebyshev / L-infinity distance between two points of equal dimension.
+///
+/// The paper's neighbourhood count N(p, r) integrates the density over the
+/// axis-aligned box [p - r, p + r] (Eq. 4-5), i.e. the L-infinity ball of
+/// radius r; every distance-based component of sensord uses this metric so
+/// that estimates and exact baselines count the same neighbours.
+inline double ChebyshevDistance(const Point& a, const Point& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  }
+  return d;
+}
+
+/// Euclidean (L2) distance; provided for applications that prefer it.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+/// True iff every coordinate of p lies in [0, 1].
+bool InUnitCube(const Point& p);
+
+/// True iff |a - b| <= tol.
+inline bool ApproxEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Overlap length of intervals [a1, b1] and [a2, b2]; 0 if disjoint.
+inline double IntervalOverlap(double a1, double b1, double a2, double b2) {
+  return std::max(0.0, std::min(b1, b2) - std::max(a1, a2));
+}
+
+/// Exact median of a (copied) vector. Pre: !v.empty(). Even-sized inputs
+/// return the average of the two middle order statistics.
+double Median(std::vector<double> v);
+
+/// Exact q-quantile (linear interpolation between order statistics).
+/// Pre: !v.empty(), 0 <= q <= 1.
+double Quantile(std::vector<double> v, double q);
+
+/// log2 of x rounded up to an integer; Log2Ceil(1) == 0. Pre: x >= 1.
+int Log2Ceil(size_t x);
+
+}  // namespace sensord
+
+#endif  // SENSORD_UTIL_MATH_UTILS_H_

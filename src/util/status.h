@@ -1,0 +1,128 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// RocksDB-style Status / StatusOr error handling. Fallible operations in
+// sensord return a Status (or StatusOr<T>) rather than throwing: sensors are
+// long-running unattended processes and every failure must be an explicit,
+// inspectable value on the caller's path.
+
+#ifndef SENSORD_UTIL_STATUS_H_
+#define SENSORD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sensord {
+
+/// Result of a fallible operation.
+///
+/// A Status is either OK or carries a code and a human-readable message.
+/// Statuses are cheap to copy (the message is only allocated on error).
+class Status {
+ public:
+  /// Error taxonomy. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,  ///< caller passed a value outside the documented domain
+    kNotFound,         ///< a named entity (node, file, column) does not exist
+    kOutOfRange,       ///< index/time outside the current window or domain
+    kFailedPrecondition,  ///< object not in a state that permits the call
+    kIoError,          ///< trace file or OS-level I/O failure
+    kInternal,         ///< invariant violation: a bug in sensord itself
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  Code code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" — for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit: enables `return value;`).
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status (implicit: enables `return status;`).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Accessing the value of an errored StatusOr is a program bug.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller: `SENSORD_RETURN_IF_ERROR(DoX());`
+#define SENSORD_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::sensord::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace sensord
+
+#endif  // SENSORD_UTIL_STATUS_H_

@@ -1,0 +1,96 @@
+#include "data/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(AnalyticTest, RejectsEmptyMarginals) {
+  EXPECT_FALSE(AnalyticDistribution::Create({}).ok());
+  EXPECT_FALSE(AnalyticDistribution::Create({{}}).ok());
+}
+
+TEST(AnalyticTest, RejectsBadComponents) {
+  EXPECT_FALSE(AnalyticDistribution::Create(
+                   {{MixtureComponent::MakeGaussian(0.0, 0.5, 0.1)}})
+                   .ok());
+  EXPECT_FALSE(AnalyticDistribution::Create(
+                   {{MixtureComponent::MakeGaussian(1.0, 0.5, 0.0)}})
+                   .ok());
+  EXPECT_FALSE(AnalyticDistribution::Create(
+                   {{MixtureComponent::MakeUniform(1.0, 0.7, 0.7)}})
+                   .ok());
+}
+
+TEST(AnalyticTest, GaussianTotalMassIsOne) {
+  const auto g = AnalyticDistribution::Gaussian1d(0.5, 0.1);
+  EXPECT_NEAR(g.BoxProbability({0.0}, {1.0}), 1.0, 1e-9);
+  EXPECT_NEAR(g.BoxProbability({-5.0}, {5.0}), 1.0, 1e-9);
+}
+
+TEST(AnalyticTest, GaussianSymmetry) {
+  const auto g = AnalyticDistribution::Gaussian1d(0.5, 0.1);
+  EXPECT_NEAR(g.BoxProbability({0.0}, {0.5}), 0.5, 1e-9);
+  EXPECT_NEAR(g.BoxProbability({0.4}, {0.5}), g.BoxProbability({0.5}, {0.6}),
+              1e-9);
+}
+
+TEST(AnalyticTest, GaussianPdfPeaksAtMean) {
+  const auto g = AnalyticDistribution::Gaussian1d(0.4, 0.05);
+  EXPECT_GT(g.Pdf({0.4}), g.Pdf({0.45}));
+  EXPECT_GT(g.Pdf({0.45}), g.Pdf({0.5}));
+  EXPECT_DOUBLE_EQ(g.Pdf({-0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(g.Pdf({1.1}), 0.0);
+}
+
+TEST(AnalyticTest, TruncationRenormalizes) {
+  // A Gaussian centred at 0 loses half its raw mass to truncation; the
+  // renormalized distribution must still integrate to 1 over [0,1].
+  auto g = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeGaussian(1.0, 0.0, 0.1)}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->BoxProbability({0.0}, {1.0}), 1.0, 1e-9);
+}
+
+TEST(AnalyticTest, UniformComponent) {
+  auto u = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeUniform(1.0, 0.2, 0.6)}});
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(u->BoxProbability({0.2}, {0.4}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(u->BoxProbability({0.7}, {0.9}), 0.0);
+  EXPECT_NEAR(u->Pdf({0.3}), 2.5, 1e-12);
+}
+
+TEST(AnalyticTest, MixtureWeightsRespected) {
+  // 75% at 0.2, 25% uniform noise in [0.5, 1].
+  auto m = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeGaussian(0.75, 0.2, 0.01),
+        MixtureComponent::MakeUniform(0.25, 0.5, 1.0)}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->BoxProbability({0.1}, {0.3}), 0.75, 1e-6);
+  EXPECT_NEAR(m->BoxProbability({0.5}, {1.0}), 0.25, 1e-6);
+}
+
+TEST(AnalyticTest, ProductStructure2d) {
+  auto p = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeUniform(1.0, 0.0, 1.0)},
+       {MixtureComponent::MakeGaussian(1.0, 0.5, 0.05)}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->dimensions(), 2u);
+  // Marginal factorization: P(box) = P_x * P_y.
+  const double px = 0.3;
+  const double py = p->BoxProbability({0.0, 0.45}, {1.0, 0.55});
+  EXPECT_NEAR(p->BoxProbability({0.2, 0.45}, {0.5, 0.55}), px * py, 1e-9);
+}
+
+TEST(AnalyticTest, PdfFactorizes) {
+  auto p = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeGaussian(1.0, 0.5, 0.1)},
+       {MixtureComponent::MakeGaussian(1.0, 0.5, 0.1)}});
+  ASSERT_TRUE(p.ok());
+  const auto g = AnalyticDistribution::Gaussian1d(0.5, 0.1);
+  EXPECT_NEAR(p->Pdf({0.4, 0.6}), g.Pdf({0.4}) * g.Pdf({0.6}), 1e-9);
+}
+
+}  // namespace
+}  // namespace sensord

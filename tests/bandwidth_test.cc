@@ -1,0 +1,76 @@
+#include "stats/bandwidth.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(BandwidthTest, MatchesScottFormula1d) {
+  // B = sqrt(5) * sigma * R^(-1/5) for d = 1.
+  const double sigma = 0.05;
+  const size_t n = 1000;
+  const double expected = std::sqrt(5.0) * sigma * std::pow(1000.0, -0.2);
+  EXPECT_NEAR(ScottBandwidth(sigma, n, 1), expected, 1e-12);
+}
+
+TEST(BandwidthTest, MatchesScottFormula2d) {
+  const double sigma = 0.1;
+  const size_t n = 500;
+  const double expected =
+      std::sqrt(5.0) * sigma * std::pow(500.0, -1.0 / 6.0);
+  EXPECT_NEAR(ScottBandwidth(sigma, n, 2), expected, 1e-12);
+}
+
+TEST(BandwidthTest, ShrinksWithSampleSize) {
+  EXPECT_GT(ScottBandwidth(0.1, 100, 1), ScottBandwidth(0.1, 10000, 1));
+}
+
+TEST(BandwidthTest, GrowsWithSpread) {
+  EXPECT_GT(ScottBandwidth(0.2, 100, 1), ScottBandwidth(0.05, 100, 1));
+}
+
+TEST(BandwidthTest, HigherDimensionGivesWiderBandwidth) {
+  // The exponent -1/(d+4) shrinks in magnitude with d.
+  EXPECT_LT(ScottBandwidth(0.1, 1000, 1), ScottBandwidth(0.1, 1000, 4));
+}
+
+TEST(BandwidthTest, ZeroStdDevFloored) {
+  EXPECT_EQ(ScottBandwidth(0.0, 100, 1), kMinBandwidth);
+}
+
+TEST(BandwidthTest, TinyStdDevFloored) {
+  EXPECT_EQ(ScottBandwidth(1e-12, 100, 1), kMinBandwidth);
+}
+
+TEST(RobustSpreadTest, AgreesWithSigmaOnGaussianData) {
+  // For Gaussian data IQR/1.349 == sigma, so min() is a no-op.
+  EXPECT_NEAR(RobustSpread(0.05, 0.05 * 1.349), 0.05, 1e-12);
+}
+
+TEST(RobustSpreadTest, TempersSigmaOnSpikyData) {
+  // Tight bulk (small IQR) + rare excursions (large sigma): robust wins.
+  EXPECT_NEAR(RobustSpread(0.05, 0.006 * 1.349), 0.006, 1e-12);
+}
+
+TEST(RobustSpreadTest, DegenerateIqrFallsBackToSigma) {
+  EXPECT_DOUBLE_EQ(RobustSpread(0.05, 0.0), 0.05);
+}
+
+TEST(RobustSpreadTest, NeverExceedsSigma) {
+  for (double iqr : {0.0, 0.01, 0.1, 1.0}) {
+    EXPECT_LE(RobustSpread(0.05, iqr), 0.05);
+  }
+}
+
+TEST(BandwidthTest, VectorVersionPerDimension) {
+  const auto b = ScottBandwidths({0.05, 0.1}, 400);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_NEAR(b[0], ScottBandwidth(0.05, 400, 2), 1e-15);
+  EXPECT_NEAR(b[1], ScottBandwidth(0.1, 400, 2), 1e-15);
+  EXPECT_LT(b[0], b[1]);
+}
+
+}  // namespace
+}  // namespace sensord

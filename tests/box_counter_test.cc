@@ -1,0 +1,140 @@
+#include "eval/box_counter.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(BoxCounterFactoryTest, PicksImplementationByDimension) {
+  EXPECT_NE(dynamic_cast<BoxCounter1d*>(MakeBoxCounter(1).get()), nullptr);
+  EXPECT_NE(dynamic_cast<BoxCounter2d*>(MakeBoxCounter(2).get()), nullptr);
+  EXPECT_NE(dynamic_cast<ScanBoxCounter*>(MakeBoxCounter(3).get()), nullptr);
+}
+
+TEST(BoxCounter1dTest, AddRemoveCount) {
+  BoxCounter1d c;
+  c.Add({0.5});
+  c.Add({0.5});
+  c.Add({0.7});
+  EXPECT_DOUBLE_EQ(c.Total(), 3.0);
+  EXPECT_DOUBLE_EQ(c.CountBox({0.4}, {0.6}), 2.0);
+  c.Remove({0.5});
+  EXPECT_DOUBLE_EQ(c.CountBox({0.4}, {0.6}), 1.0);
+  EXPECT_DOUBLE_EQ(c.Total(), 2.0);
+}
+
+TEST(BoxCounter1dTest, ClosedBoxBoundaries) {
+  BoxCounter1d c;
+  c.Add({0.3});
+  EXPECT_DOUBLE_EQ(c.CountBox({0.3}, {0.3}), 1.0);
+  EXPECT_DOUBLE_EQ(c.CountBox({0.3}, {0.4}), 1.0);
+  EXPECT_DOUBLE_EQ(c.CountBox({0.2}, {0.3}), 1.0);
+  EXPECT_DOUBLE_EQ(c.CountBox({0.30001}, {0.4}), 0.0);
+}
+
+TEST(BoxCounter1dTest, QueryBeyondDomainClamped) {
+  BoxCounter1d c;
+  c.Add({0.0});
+  c.Add({1.0});
+  EXPECT_DOUBLE_EQ(c.CountBox({-2.0}, {2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(c.CountBox({1.5}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(c.CountBox({0.5}, {0.2}), 0.0);  // inverted box
+}
+
+TEST(BoxCounter2dTest, AddRemoveCount) {
+  BoxCounter2d c;
+  c.Add({0.5, 0.5});
+  c.Add({0.51, 0.52});
+  c.Add({0.9, 0.9});
+  EXPECT_DOUBLE_EQ(c.CountBox({0.45, 0.45}, {0.55, 0.55}), 2.0);
+  c.Remove({0.51, 0.52});
+  EXPECT_DOUBLE_EQ(c.CountBox({0.45, 0.45}, {0.55, 0.55}), 1.0);
+}
+
+TEST(BoxCounter2dTest, CountBall) {
+  BoxCounter2d c;
+  c.Add({0.5, 0.5});
+  c.Add({0.56, 0.5});  // L-inf distance 0.06
+  EXPECT_DOUBLE_EQ(c.CountBall({0.5, 0.5}, 0.06), 2.0);
+  EXPECT_DOUBLE_EQ(c.CountBall({0.5, 0.5}, 0.05), 1.0);
+}
+
+// Property: the fast counters agree exactly with the linear-scan reference
+// under random adds, removals and queries.
+class BoxCounterEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BoxCounterEquivalenceTest, MatchesScanReference) {
+  const size_t d = GetParam();
+  auto fast = MakeBoxCounter(d);
+  ScanBoxCounter reference(d);
+  Rng rng(1234 + d);
+
+  std::vector<Point> live;
+  for (int step = 0; step < 4000; ++step) {
+    const double action = rng.UniformDouble();
+    if (action < 0.6 || live.empty()) {
+      Point p(d);
+      for (double& x : p) {
+        // Mix of clustered and spread data, including exact duplicates.
+        x = rng.Bernoulli(0.3) ? 0.25
+                               : rng.UniformDouble();
+      }
+      fast->Add(p);
+      reference.Add(p);
+      live.push_back(p);
+    } else if (action < 0.8) {
+      const size_t idx = rng.UniformUint64(live.size());
+      fast->Remove(live[idx]);
+      reference.Remove(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      Point lo(d), hi(d);
+      for (size_t i = 0; i < d; ++i) {
+        double a = rng.UniformDouble(-0.1, 1.1);
+        double b = rng.UniformDouble(-0.1, 1.1);
+        if (a > b) std::swap(a, b);
+        lo[i] = a;
+        hi[i] = b;
+      }
+      ASSERT_DOUBLE_EQ(fast->CountBox(lo, hi), reference.CountBox(lo, hi))
+          << "step " << step;
+    }
+    ASSERT_DOUBLE_EQ(fast->Total(), reference.Total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, BoxCounterEquivalenceTest,
+                         ::testing::Values(1, 2));
+
+TEST(BoxCounter2dTest, InteriorCellFastPathLargeBox) {
+  BoxCounter2d c(32);  // coarse grid to force interior-cell summation
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < 5000; ++i) {
+    pts.push_back({rng.UniformDouble(), rng.UniformDouble()});
+    c.Add(pts.back());
+  }
+  const Point lo{0.2, 0.3}, hi{0.8, 0.9};
+  size_t expected = 0;
+  for (const Point& p : pts) {
+    expected += (p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] &&
+                 p[1] <= hi[1]);
+  }
+  EXPECT_DOUBLE_EQ(c.CountBox(lo, hi), static_cast<double>(expected));
+}
+
+TEST(ScanBoxCounterTest, HighDimensional) {
+  ScanBoxCounter c(4);
+  c.Add({0.1, 0.2, 0.3, 0.4});
+  c.Add({0.5, 0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(
+      c.CountBox({0.0, 0.0, 0.0, 0.0}, {0.3, 0.3, 0.4, 0.5}), 1.0);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force_d.h"
+#include "baseline/brute_force_m.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(BruteForceDTest, NeighborCountIncludesSelf) {
+  const std::vector<Point> window{{0.5}, {0.505}, {0.6}};
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.01;
+  EXPECT_DOUBLE_EQ(BruteForceNeighborCount(window, {0.5}, cfg), 2.0);
+  EXPECT_DOUBLE_EQ(BruteForceNeighborCount(window, {0.6}, cfg), 1.0);
+}
+
+TEST(BruteForceDTest, ChebyshevSemantics2d) {
+  const std::vector<Point> window{{0.5, 0.5}, {0.52, 0.58}};
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.08;  // L-inf distance is max(0.02, 0.08) = 0.08 <= r
+  EXPECT_DOUBLE_EQ(BruteForceNeighborCount(window, {0.5, 0.5}, cfg), 2.0);
+  cfg.radius = 0.05;
+  EXPECT_DOUBLE_EQ(BruteForceNeighborCount(window, {0.5, 0.5}, cfg), 1.0);
+}
+
+TEST(BruteForceDTest, AllOutliersOnPlantedDataset) {
+  Rng rng(1);
+  std::vector<Point> window;
+  for (int i = 0; i < 500; ++i) {
+    window.push_back({Clamp(rng.Gaussian(0.4, 0.005), 0.0, 1.0)});
+  }
+  window.push_back({0.9});
+  window.push_back({0.95});
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.01;
+  cfg.neighbor_threshold = 10.0;
+  const auto outliers = BruteForceAllDistanceOutliers(window, cfg);
+  // Exactly the two planted values (they are > r apart from each other).
+  ASSERT_EQ(outliers.size(), 2u);
+  EXPECT_EQ(outliers[0], 500u);
+  EXPECT_EQ(outliers[1], 501u);
+}
+
+TEST(BruteForceDTest, EmptyOutlierSetOnTightCluster) {
+  std::vector<Point> window(100, Point{0.4});
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.01;
+  cfg.neighbor_threshold = 50.0;
+  EXPECT_TRUE(BruteForceAllDistanceOutliers(window, cfg).empty());
+}
+
+TEST(BruteForceMTest, MatchesComputeMdefOnEmpirical) {
+  Rng rng(2);
+  std::vector<Point> window;
+  for (int i = 0; i < 2000; ++i) {
+    window.push_back({rng.UniformDouble(0.3, 0.5)});
+  }
+  window.push_back({0.56});
+  MdefConfig cfg;
+  const auto r = BruteForceMdef(window, {0.56}, cfg);
+  EXPECT_TRUE(r.is_outlier);
+  const auto inlier = BruteForceMdef(window, {0.4}, cfg);
+  EXPECT_FALSE(inlier.is_outlier);
+}
+
+TEST(BruteForceMTest, AllMdefOutliersFindsPlanted) {
+  Rng rng(3);
+  std::vector<Point> window;
+  for (int i = 0; i < 3000; ++i) {
+    window.push_back({rng.UniformDouble(0.30, 0.42)});
+  }
+  window.push_back({0.49});
+  MdefConfig cfg;
+  const auto outliers = BruteForceAllMdefOutliers(window, cfg);
+  bool planted_found = false;
+  for (size_t idx : outliers) planted_found |= (idx == 3000u);
+  EXPECT_TRUE(planted_found);
+  // Points within alpha*r of the hard support edges are genuine MDEF
+  // outliers (half-empty counting neighbourhoods), ~17% of uniform data;
+  // the interior bulk must not be flagged.
+  EXPECT_LT(outliers.size(), 800u);
+  size_t interior_flagged = 0;
+  for (size_t idx : outliers) {
+    const double v = window[idx][0];
+    if (v > 0.32 && v < 0.40) ++interior_flagged;
+  }
+  EXPECT_LT(interior_flagged, 60u);
+}
+
+TEST(BruteForceMTest, TwoDimensional) {
+  Rng rng(4);
+  std::vector<Point> window;
+  for (int i = 0; i < 3000; ++i) {
+    window.push_back(
+        {rng.UniformDouble(0.3, 0.4), rng.UniformDouble(0.3, 0.4)});
+  }
+  window.push_back({0.46, 0.46});
+  MdefConfig cfg;
+  EXPECT_TRUE(BruteForceIsMdefOutlier(window, {0.46, 0.46}, cfg));
+  EXPECT_FALSE(BruteForceIsMdefOutlier(window, {0.35, 0.35}, cfg));
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,181 @@
+#include "stream/chain_sample.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(ChainSampleTest, FirstElementSeedsAllChains) {
+  ChainSample cs(5, 10, Rng(1));
+  EXPECT_TRUE(cs.Add({0.7}));
+  EXPECT_TRUE(cs.seeded());
+  const auto snap = cs.Snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (const Point& p : snap) EXPECT_DOUBLE_EQ(p[0], 0.7);
+}
+
+TEST(ChainSampleTest, SnapshotEmptyBeforeFirstAdd) {
+  ChainSample cs(4, 10, Rng(2));
+  EXPECT_TRUE(cs.Snapshot().empty());
+  EXPECT_FALSE(cs.seeded());
+}
+
+TEST(ChainSampleTest, ActiveElementsAlwaysFromCurrentWindow) {
+  const size_t window = 50;
+  ChainSample cs(8, window, Rng(3));
+  std::vector<double> history;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = static_cast<double>(i);
+    history.push_back(v);
+    cs.Add({v});
+    // Every active element must be one of the last `window` values.
+    for (size_t c = 0; c < cs.sample_size(); ++c) {
+      const double active = cs.ActiveElement(c)[0];
+      EXPECT_GE(active, std::max(0.0, v - static_cast<double>(window) + 1));
+      EXPECT_LE(active, v);
+    }
+  }
+}
+
+TEST(ChainSampleTest, SampleIsUniformOverWindow) {
+  // Feed values equal to (arrival index mod window); after warm-up each
+  // residue should be sampled roughly uniformly across many snapshots.
+  const size_t window = 20;
+  ChainSample cs(10, window, Rng(4));
+  std::map<int, int> hits;
+  for (int i = 0; i < 20000; ++i) {
+    cs.Add({static_cast<double>(i % window) / window});
+    if (i > 1000) {
+      for (size_t c = 0; c < cs.sample_size(); ++c) {
+        ++hits[static_cast<int>(cs.ActiveElement(c)[0] * window + 0.5)];
+      }
+    }
+  }
+  double total = 0;
+  for (const auto& [k, v] : hits) total += v;
+  const double expected = total / static_cast<double>(window);
+  for (const auto& [k, v] : hits) {
+    EXPECT_NEAR(v, expected, expected * 0.15)
+        << "residue " << k << " over/under-sampled";
+  }
+}
+
+TEST(ChainSampleTest, InsertionRateMatchesTheory) {
+  // In steady state a given chain restarts with probability 1/W per
+  // arrival, so Add() returns true with P = 1 - (1 - 1/W)^R.
+  const size_t window = 1000, sample = 100;
+  ChainSample cs(sample, window, Rng(5));
+  Rng values(6);
+  int insertions = 0;
+  const int warm = 2000, measured = 20000;
+  for (int i = 0; i < warm + measured; ++i) {
+    const bool in = cs.Add({values.UniformDouble()});
+    if (i >= warm) insertions += in ? 1 : 0;
+  }
+  const double p_theory =
+      1.0 - std::pow(1.0 - 1.0 / static_cast<double>(window), sample);
+  const double p_measured = static_cast<double>(insertions) / measured;
+  EXPECT_NEAR(p_measured, p_theory, 0.02);
+}
+
+TEST(ChainSampleTest, VersionAdvancesOnSampleChange) {
+  ChainSample cs(4, 10, Rng(7));
+  const uint64_t v0 = cs.version();
+  cs.Add({0.1});
+  EXPECT_GT(cs.version(), v0);  // seeding changes the active sample
+}
+
+TEST(ChainSampleTest, VersionStableWhenSampleUnchanged) {
+  ChainSample cs(2, 1000, Rng(8));
+  Rng values(9);
+  cs.Add({0.5});
+  uint64_t changes = 0, adds = 10000;
+  uint64_t prev = cs.version();
+  for (uint64_t i = 0; i < adds; ++i) {
+    cs.Add({values.UniformDouble()});
+    if (cs.version() != prev) ++changes;
+    prev = cs.version();
+  }
+  // With W=1000 and 2 chains, the active set changes rarely (~2/1000 per
+  // arrival for restarts plus ~2/1000 for expiries).
+  EXPECT_LT(changes, adds / 50);
+  EXPECT_GT(changes, 0u);
+}
+
+TEST(ChainSampleTest, StoredElementsStaysNearSampleSize) {
+  const size_t sample = 50;
+  ChainSample cs(sample, 500, Rng(10));
+  Rng values(11);
+  for (int i = 0; i < 5000; ++i) cs.Add({values.UniformDouble()});
+  // Expected chain length is O(1); in practice well below 4 per chain.
+  EXPECT_GE(cs.StoredElements(), sample);
+  EXPECT_LE(cs.StoredElements(), sample * 6);
+}
+
+TEST(ChainSampleTest, MemoryBytesAccounting) {
+  ChainSample cs(3, 10, Rng(12));
+  cs.Add({0.1, 0.2});  // d = 2
+  // 3 stored entries (one per chain) x (2 coords + 1 index) + 3 pending
+  // replacement indices = 12 numbers.
+  EXPECT_EQ(cs.MemoryBytes(2, 2), 12u * 2u);
+}
+
+TEST(ChainSampleTest, PrewarmStartsAtSteadyStateRate) {
+  const size_t window = 1000, sample = 100;
+  ChainSample cs(sample, window, Rng(13));
+  cs.PrewarmToSteadyState();
+  EXPECT_EQ(cs.total_seen(), window);
+  Rng values(14);
+  cs.Add({values.UniformDouble()});  // seeds
+  int insertions = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    insertions += cs.Add({values.UniformDouble()}) ? 1 : 0;
+  }
+  const double p_theory =
+      1.0 - std::pow(1.0 - 1.0 / static_cast<double>(window), sample);
+  EXPECT_NEAR(static_cast<double>(insertions) / n, p_theory, 0.02);
+}
+
+TEST(ChainSampleTest, MultiDimensionalValuesSupported) {
+  ChainSample cs(4, 20, Rng(15));
+  Rng values(16);
+  for (int i = 0; i < 500; ++i) {
+    cs.Add({values.UniformDouble(), values.UniformDouble(),
+            values.UniformDouble()});
+  }
+  for (const Point& p : cs.Snapshot()) EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(ChainSampleTest, WindowOfOneAlwaysHoldsLatest) {
+  ChainSample cs(3, 1, Rng(17));
+  for (int i = 0; i < 100; ++i) {
+    cs.Add({static_cast<double>(i)});
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(cs.ActiveElement(c)[0], static_cast<double>(i));
+    }
+  }
+}
+
+TEST(ChainSampleTest, DeterministicGivenSeed) {
+  ChainSample a(5, 50, Rng(18)), b(5, 50, Rng(18));
+  Rng va(19), vb(19);
+  for (int i = 0; i < 1000; ++i) {
+    const bool ia = a.Add({va.UniformDouble()});
+    const bool ib = b.Add({vb.UniformDouble()});
+    EXPECT_EQ(ia, ib);
+  }
+  const auto sa = a.Snapshot(), sb = b.Snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i][0], sb[i][0]);
+  }
+}
+
+}  // namespace
+}  // namespace sensord

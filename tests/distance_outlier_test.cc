@@ -1,0 +1,88 @@
+#include "core/distance_outlier.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/empirical.h"
+#include "stats/kde.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(DistanceOutlierTest, DenseValueIsNotOutlier) {
+  // 100 points at 0.5, window of 100: N(0.5, r) = 100 >> threshold.
+  std::vector<Point> data(100, Point{0.5});
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.01;
+  cfg.neighbor_threshold = 45;
+  EXPECT_FALSE(IsDistanceOutlier(*e, 100.0, {0.5}, cfg));
+  EXPECT_DOUBLE_EQ(EstimateNeighborCount(*e, 100.0, {0.5}, cfg), 100.0);
+}
+
+TEST(DistanceOutlierTest, IsolatedValueIsOutlier) {
+  std::vector<Point> data(99, Point{0.3});
+  data.push_back({0.9});
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.01;
+  cfg.neighbor_threshold = 45;
+  EXPECT_TRUE(IsDistanceOutlier(*e, 100.0, {0.9}, cfg));
+  EXPECT_FALSE(IsDistanceOutlier(*e, 100.0, {0.3}, cfg));
+}
+
+TEST(DistanceOutlierTest, ThresholdBoundaryIsStrict) {
+  // Exactly `threshold` neighbors: N(p, r) == t is NOT an outlier (flag
+  // only when N < t).
+  std::vector<Point> data(45, Point{0.5});
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.01;
+  cfg.neighbor_threshold = 45;
+  EXPECT_FALSE(IsDistanceOutlier(*e, 45.0, {0.5}, cfg));
+  cfg.neighbor_threshold = 46;
+  EXPECT_TRUE(IsDistanceOutlier(*e, 45.0, {0.5}, cfg));
+}
+
+TEST(DistanceOutlierTest, WindowCountScalesDecision) {
+  auto kde = KernelDensityEstimator::Create({{0.5}}, {0.05});
+  ASSERT_TRUE(kde.ok());
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.05;
+  cfg.neighbor_threshold = 45;
+  // Same mass; only the population differs.
+  EXPECT_TRUE(IsDistanceOutlier(*kde, 40.0, {0.5}, cfg));
+  EXPECT_FALSE(IsDistanceOutlier(*kde, 10000.0, {0.5}, cfg));
+}
+
+TEST(DistanceOutlierTest, RadiusGrowsNeighborhood) {
+  Rng rng(1);
+  std::vector<Point> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({Clamp(rng.Gaussian(0.5, 0.1), 0.0, 1.0)});
+  }
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  DistanceOutlierConfig small{0.01, 0.0}, large{0.1, 0.0};
+  EXPECT_LT(EstimateNeighborCount(*e, 1000.0, {0.5}, small),
+            EstimateNeighborCount(*e, 1000.0, {0.5}, large));
+}
+
+TEST(DistanceOutlierTest, MultiDimensionalBoxSemantics) {
+  // Point at L-infinity distance 0.05: inside radius 0.05 box, outside
+  // radius 0.04.
+  auto e = EmpiricalDistribution::Create({{0.5, 0.5}, {0.55, 0.52}});
+  ASSERT_TRUE(e.ok());
+  DistanceOutlierConfig cfg;
+  cfg.neighbor_threshold = 2;
+  cfg.radius = 0.05;
+  EXPECT_FALSE(IsDistanceOutlier(*e, 2.0, {0.5, 0.5}, cfg));
+  cfg.radius = 0.04;
+  EXPECT_TRUE(IsDistanceOutlier(*e, 2.0, {0.5, 0.5}, cfg));
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,134 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/analytic.h"
+#include "stats/empirical.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(KlDivergenceTest, IdenticalDistributionsAreZero) {
+  const std::vector<double> p{0.25, 0.25, 0.5};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, KnownValue) {
+  // D({1/2,1/2} || {1/4,3/4}) = 0.5*log2(2) + 0.5*log2(2/3).
+  const double expected = 0.5 * std::log2(2.0) + 0.5 * std::log2(2.0 / 3.0);
+  EXPECT_NEAR(KlDivergence({0.5, 0.5}, {0.25, 0.75}), expected, 1e-12);
+}
+
+TEST(KlDivergenceTest, InfiniteWhenSupportMismatch) {
+  // The exact failure mode the paper cites as disqualifying KL for kernel
+  // models (Section 6).
+  EXPECT_TRUE(std::isinf(KlDivergence({0.5, 0.5}, {1.0, 0.0})));
+}
+
+TEST(KlDivergenceTest, ZeroPEntriesContributeNothing) {
+  EXPECT_NEAR(KlDivergence({0.0, 1.0}, {0.5, 0.5}), 1.0, 1e-12);
+}
+
+TEST(JsDivergenceTest, IdenticalIsZero) {
+  EXPECT_NEAR(JsDivergence({0.3, 0.7}, {0.3, 0.7}), 0.0, 1e-12);
+}
+
+TEST(JsDivergenceTest, DisjointSupportIsOneBit) {
+  EXPECT_NEAR(JsDivergence({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(JsDivergenceTest, SymmetricAndBounded) {
+  const std::vector<double> p{0.1, 0.2, 0.7}, q{0.5, 0.3, 0.2};
+  const double js_pq = JsDivergence(p, q);
+  const double js_qp = JsDivergence(q, p);
+  EXPECT_NEAR(js_pq, js_qp, 1e-12);
+  EXPECT_GE(js_pq, 0.0);
+  EXPECT_LE(js_pq, 1.0);
+}
+
+TEST(JsDivergenceTest, FiniteDespiteZeros) {
+  EXPECT_LT(JsDivergence({0.5, 0.5, 0.0}, {0.0, 0.5, 0.5}), 1.0);
+  EXPECT_GT(JsDivergence({0.5, 0.5, 0.0}, {0.0, 0.5, 0.5}), 0.0);
+}
+
+TEST(JsDivergenceTest, NormalizesInputs) {
+  // Unnormalized inputs with the same shape are still distance zero.
+  EXPECT_NEAR(JsDivergence({2.0, 6.0}, {1.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(DiscretizeTest, UniformEstimatorGivesUniformGrid) {
+  auto mixture = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeUniform(1.0, 0.0, 1.0)}});
+  ASSERT_TRUE(mixture.ok());
+  const auto grid = DiscretizeOnGrid(*mixture, 10);
+  ASSERT_EQ(grid.size(), 10u);
+  for (double g : grid) EXPECT_NEAR(g, 0.1, 1e-9);
+}
+
+TEST(DiscretizeTest, TwoDimGridSize) {
+  auto mixture = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeUniform(1.0, 0.0, 1.0)},
+       {MixtureComponent::MakeUniform(1.0, 0.0, 1.0)}});
+  ASSERT_TRUE(mixture.ok());
+  const auto grid = DiscretizeOnGrid(*mixture, 8);
+  EXPECT_EQ(grid.size(), 64u);
+  double sum = 0;
+  for (double g : grid) sum += g;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(JsOnGridTest, DimensionMismatchRejected) {
+  const auto a = AnalyticDistribution::Gaussian1d(0.5, 0.1);
+  auto b = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeUniform(1.0, 0.0, 1.0)},
+       {MixtureComponent::MakeUniform(1.0, 0.0, 1.0)}});
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(JsDivergenceOnGrid(a, *b, 16).ok());
+}
+
+TEST(JsOnGridTest, ZeroCellsRejected) {
+  const auto a = AnalyticDistribution::Gaussian1d(0.5, 0.1);
+  EXPECT_FALSE(JsDivergenceOnGrid(a, a, 0).ok());
+}
+
+TEST(JsOnGridTest, SameDistributionIsZero) {
+  const auto a = AnalyticDistribution::Gaussian1d(0.4, 0.07);
+  auto js = JsDivergenceOnGrid(a, a, 64);
+  ASSERT_TRUE(js.ok());
+  EXPECT_NEAR(*js, 0.0, 1e-12);
+}
+
+TEST(JsOnGridTest, GrowsWithMeanSeparation) {
+  const auto base = AnalyticDistribution::Gaussian1d(0.3, 0.05);
+  double prev = -1.0;
+  for (double mean : {0.32, 0.4, 0.5, 0.7}) {
+    const auto other = AnalyticDistribution::Gaussian1d(mean, 0.05);
+    auto js = JsDivergenceOnGrid(base, other, 128);
+    ASSERT_TRUE(js.ok());
+    EXPECT_GT(*js, prev);
+    prev = *js;
+  }
+  EXPECT_GT(prev, 0.9);  // far-separated Gaussians approach 1 bit
+}
+
+TEST(JsOnGridTest, WorksAcrossEstimatorTypes) {
+  // Empirical sample of a Gaussian vs the analytic Gaussian: small JS.
+  Rng rng(1);
+  std::vector<Point> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back({Clamp(rng.Gaussian(0.5, 0.05), 0.0, 1.0)});
+  }
+  auto empirical = EmpiricalDistribution::Create(std::move(data));
+  ASSERT_TRUE(empirical.ok());
+  const auto truth = AnalyticDistribution::Gaussian1d(0.5, 0.05);
+  auto js = JsDivergenceOnGrid(*empirical, truth, 64);
+  ASSERT_TRUE(js.ok());
+  EXPECT_LT(*js, 0.01);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,66 @@
+#include "stats/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(EmpiricalTest, RejectsEmpty) {
+  EXPECT_FALSE(EmpiricalDistribution::Create({}).ok());
+}
+
+TEST(EmpiricalTest, RejectsInconsistentDimensions) {
+  EXPECT_FALSE(EmpiricalDistribution::Create({{0.1}, {0.1, 0.2}}).ok());
+}
+
+TEST(EmpiricalTest, ExactFractions1d) {
+  auto e = EmpiricalDistribution::Create({{0.1}, {0.2}, {0.3}, {0.4}});
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.15}, {0.35}), 0.5);
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.0}, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.5}, {0.9}), 0.0);
+}
+
+TEST(EmpiricalTest, ClosedBoxIncludesBoundaryPoints) {
+  auto e = EmpiricalDistribution::Create({{0.2}, {0.4}});
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.2}, {0.4}), 1.0);
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.2}, {0.2}), 0.5);
+}
+
+TEST(EmpiricalTest, ExactFractions2d) {
+  auto e = EmpiricalDistribution::Create(
+      {{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9}});
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.0, 0.0}, {0.5, 0.5}), 0.25);
+  EXPECT_DOUBLE_EQ(e->BoxProbability({0.0, 0.0}, {1.0, 0.5}), 0.5);
+}
+
+TEST(EmpiricalTest, PdfPositiveNearData) {
+  auto e = EmpiricalDistribution::Create({{0.5}});
+  ASSERT_TRUE(e.ok());
+  EXPECT_GT(e->Pdf({0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(e->Pdf({0.9}), 0.0);
+}
+
+TEST(EmpiricalTest, MatchesDirectCountOnRandomData) {
+  Rng rng(1);
+  std::vector<Point> data;
+  for (int i = 0; i < 2000; ++i) data.push_back({rng.UniformDouble()});
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  Rng q(2);
+  for (int i = 0; i < 50; ++i) {
+    double a = q.UniformDouble(), b = q.UniformDouble();
+    if (a > b) std::swap(a, b);
+    size_t count = 0;
+    for (const Point& p : data) count += (p[0] >= a && p[0] <= b);
+    EXPECT_DOUBLE_EQ(e->BoxProbability({a}, {b}),
+                     static_cast<double>(count) / data.size());
+  }
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,92 @@
+#include "net/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_DOUBLE_EQ(q.Now(), 0.0);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.ScheduleAt(5.0, [&] {
+    q.ScheduleAfter(2.0, [&] { fired_at = q.Now(); });
+  });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.ScheduleAt(t, [&fired, t] { fired.push_back(t); });
+  }
+  const uint64_t n = q.RunUntil(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.Now(), 2.5);  // clock advances to the horizon
+  EXPECT_EQ(q.Size(), 2u);
+}
+
+TEST(EventQueueTest, RunUntilIncludesExactHorizon) {
+  EventQueue q;
+  bool fired = false;
+  q.ScheduleAt(2.0, [&] { fired = true; });
+  q.RunUntil(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    ++count;
+    if (count < 5) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
+}
+
+TEST(EventQueueTest, RunOneFiresEarliest) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(2.0, [&] { fired = 2; });
+  q.ScheduleAt(1.0, [&] { fired = 1; });
+  q.RunOne();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,101 @@
+#include "core/faulty_sensor.h"
+
+#include <gtest/gtest.h>
+
+#include "data/analytic.h"
+
+namespace sensord {
+namespace {
+
+AnalyticDistribution Gaussian(double mean) {
+  return AnalyticDistribution::Gaussian1d(mean, 0.05);
+}
+
+TEST(FaultySensorTest, RequiresThreeChildren) {
+  const auto a = Gaussian(0.4), b = Gaussian(0.4);
+  FaultySensorConfig cfg;
+  EXPECT_FALSE(DetectFaultySensors({&a, &b}, cfg).ok());
+}
+
+TEST(FaultySensorTest, RejectsNullAndMismatchedChildren) {
+  const auto a = Gaussian(0.4), b = Gaussian(0.4), c = Gaussian(0.4);
+  FaultySensorConfig cfg;
+  EXPECT_FALSE(DetectFaultySensors({&a, &b, nullptr}, cfg).ok());
+  auto two_d = AnalyticDistribution::Create(
+      {{MixtureComponent::MakeUniform(1.0, 0.0, 1.0)},
+       {MixtureComponent::MakeUniform(1.0, 0.0, 1.0)}});
+  ASSERT_TRUE(two_d.ok());
+  EXPECT_FALSE(DetectFaultySensors({&a, &b, &*two_d}, cfg).ok());
+}
+
+TEST(FaultySensorTest, HealthyGroupHasNoFlags) {
+  const auto a = Gaussian(0.40), b = Gaussian(0.41), c = Gaussian(0.39),
+             d = Gaussian(0.40);
+  FaultySensorConfig cfg;
+  auto verdicts = DetectFaultySensors({&a, &b, &c, &d}, cfg);
+  ASSERT_TRUE(verdicts.ok());
+  for (const auto& v : *verdicts) {
+    EXPECT_FALSE(v.flagged) << "child " << v.child_index;
+  }
+}
+
+TEST(FaultySensorTest, DivergentChildIsFlagged) {
+  const auto a = Gaussian(0.40), b = Gaussian(0.41), c = Gaussian(0.39);
+  const auto broken = Gaussian(0.85);  // stuck reporting wrong values
+  FaultySensorConfig cfg;
+  auto verdicts = DetectFaultySensors({&a, &b, &broken, &c}, cfg);
+  ASSERT_TRUE(verdicts.ok());
+  ASSERT_EQ(verdicts->size(), 4u);
+  EXPECT_TRUE((*verdicts)[2].flagged);
+  EXPECT_FALSE((*verdicts)[0].flagged);
+  EXPECT_FALSE((*verdicts)[1].flagged);
+  EXPECT_FALSE((*verdicts)[3].flagged);
+  // The broken child's divergence dominates everyone else's.
+  for (size_t i : {0u, 1u, 3u}) {
+    EXPECT_GT((*verdicts)[2].js_to_peers, (*verdicts)[i].js_to_peers);
+  }
+}
+
+TEST(FaultySensorTest, ThresholdControlsSensitivity) {
+  const auto a = Gaussian(0.40), b = Gaussian(0.41), c = Gaussian(0.39);
+  const auto slightly_off = Gaussian(0.46);
+  FaultySensorConfig strict;
+  strict.js_threshold = 0.01;
+  FaultySensorConfig lax;
+  lax.js_threshold = 0.9;
+  auto v1 = DetectFaultySensors({&a, &b, &c, &slightly_off}, strict);
+  auto v2 = DetectFaultySensors({&a, &b, &c, &slightly_off}, lax);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE((*v1)[3].flagged);
+  EXPECT_FALSE((*v2)[3].flagged);
+}
+
+TEST(OutlierRateMonitorTest, CountsWithinWindow) {
+  OutlierRateMonitor mon(10.0);
+  mon.RecordOutlier(1.0);
+  mon.RecordOutlier(2.0);
+  mon.RecordOutlier(5.0);
+  EXPECT_EQ(mon.CountAt(5.0), 3u);
+  EXPECT_EQ(mon.CountAt(11.5), 2u);  // the t=1 event slid out
+  EXPECT_EQ(mon.CountAt(20.0), 0u);
+}
+
+TEST(OutlierRateMonitorTest, ThresholdQuery) {
+  OutlierRateMonitor mon(60.0);
+  for (int i = 0; i < 5; ++i) mon.RecordOutlier(10.0 + i);
+  EXPECT_TRUE(mon.ExceedsThreshold(15.0, 4));
+  EXPECT_FALSE(mon.ExceedsThreshold(15.0, 5));
+}
+
+TEST(OutlierRateMonitorTest, WindowBoundaryIsExclusive) {
+  OutlierRateMonitor mon(10.0);
+  mon.RecordOutlier(0.0);
+  EXPECT_EQ(mon.CountAt(10.0), 0u);  // event at exactly t - window expired
+  OutlierRateMonitor mon2(10.0);
+  mon2.RecordOutlier(0.1);
+  EXPECT_EQ(mon2.CountAt(10.0), 1u);
+}
+
+}  // namespace
+}  // namespace sensord

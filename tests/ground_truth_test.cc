@@ -1,0 +1,186 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force_d.h"
+#include "baseline/brute_force_m.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+GroundTruthOptions Options1d(size_t window, double counting_radius) {
+  GroundTruthOptions opts;
+  opts.dimensions = 1;
+  opts.leaf_window = window;
+  opts.mdef_cell_side = 2.0 * counting_radius;
+  return opts;
+}
+
+TEST(GroundTruthTest, LeafPoolMatchesLeafWindow) {
+  auto layout = BuildGridHierarchy(2, 2);
+  ASSERT_TRUE(layout.ok());
+  GroundTruthTracker tracker(*layout, Options1d(5, 0.01));
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    tracker.AddLeafReading(0, {rng.UniformDouble()});
+  }
+  EXPECT_DOUBLE_EQ(tracker.PoolSize(0), 5.0);  // capped at the window
+  EXPECT_EQ(tracker.LeafWindow(0).size(), 5u);
+}
+
+TEST(GroundTruthTest, ParentPoolIsUnionOfChildren) {
+  auto layout = BuildGridHierarchy(2, 2);  // slots 0,1 leaves; 2 root
+  ASSERT_TRUE(layout.ok());
+  GroundTruthTracker tracker(*layout, Options1d(10, 0.01));
+  tracker.AddLeafReading(0, {0.2});
+  tracker.AddLeafReading(1, {0.8});
+  EXPECT_DOUBLE_EQ(tracker.PoolSize(0), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.PoolSize(1), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.PoolSize(2), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.NeighborCount(2, {0.2}, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.NeighborCount(2, {0.8}, 0.01), 1.0);
+}
+
+TEST(GroundTruthTest, EvictionRemovesFromAllAncestors) {
+  auto layout = BuildGridHierarchy(2, 2);
+  ASSERT_TRUE(layout.ok());
+  GroundTruthTracker tracker(*layout, Options1d(3, 0.01));
+  tracker.AddLeafReading(0, {0.1});
+  tracker.AddLeafReading(0, {0.2});
+  tracker.AddLeafReading(0, {0.3});
+  tracker.AddLeafReading(0, {0.4});  // evicts 0.1 everywhere
+  EXPECT_DOUBLE_EQ(tracker.NeighborCount(0, {0.1}, 0.001), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.NeighborCount(2, {0.1}, 0.001), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.PoolSize(2), 3.0);
+}
+
+TEST(GroundTruthTest, DistanceTruthMatchesBruteForce) {
+  auto layout = BuildGridHierarchy(4, 4);
+  ASSERT_TRUE(layout.ok());
+  const size_t window = 200;
+  GroundTruthTracker tracker(*layout, Options1d(window, 0.01));
+
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.013;  // deliberately not bin-aligned
+  cfg.neighbor_threshold = 8.0;
+
+  Rng rng(2);
+  std::vector<std::vector<Point>> leaf_history(4);
+  const int root = tracker.RootSlot();
+
+  for (int round = 0; round < 600; ++round) {
+    for (int leaf = 0; leaf < 4; ++leaf) {
+      const Point p{rng.Bernoulli(0.9) ? rng.UniformDouble(0.3, 0.45)
+                                       : rng.UniformDouble()};
+      tracker.AddLeafReading(leaf, p);
+      leaf_history[leaf].push_back(p);
+      if (leaf_history[leaf].size() > window) {
+        leaf_history[leaf].erase(leaf_history[leaf].begin());
+      }
+
+      // Verify the leaf pool and the root pool against brute force.
+      EXPECT_EQ(tracker.IsTrueDistanceOutlier(leaf, p, cfg),
+                BruteForceIsDistanceOutlier(leaf_history[leaf], p, cfg));
+      if (round % 50 == 0) {
+        std::vector<Point> pooled;
+        for (const auto& h : leaf_history) {
+          pooled.insert(pooled.end(), h.begin(), h.end());
+        }
+        EXPECT_DOUBLE_EQ(tracker.NeighborCount(root, p, cfg.radius),
+                         BruteForceNeighborCount(pooled, p, cfg));
+      }
+    }
+  }
+}
+
+TEST(GroundTruthTest, MdefTruthMatchesBruteForce1d) {
+  auto layout = BuildGridHierarchy(2, 2);
+  ASSERT_TRUE(layout.ok());
+  MdefConfig cfg;
+  cfg.sampling_radius = 0.08;
+  cfg.counting_radius = 0.01;
+  const size_t window = 400;
+  GroundTruthTracker tracker(*layout, Options1d(window, cfg.counting_radius));
+
+  Rng rng(3);
+  std::vector<Point> pooled;
+  const int root = tracker.RootSlot();
+  for (int round = 0; round < 400; ++round) {
+    for (int leaf = 0; leaf < 2; ++leaf) {
+      const Point p{rng.UniformDouble(0.3, 0.5)};
+      tracker.AddLeafReading(leaf, p);
+      pooled.push_back(p);
+    }
+  }
+  // Nothing evicted yet (400 < window): pooled is the exact root pool.
+  Rng qrng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Point q{qrng.UniformDouble(0.25, 0.6)};
+    const auto truth = tracker.TrueMdef(root, q, cfg);
+    const auto brute = BruteForceMdef(pooled, q, cfg);
+    // Same formula over the same counts; empirical masses are fractions of
+    // the pool, the tracker works on raw counts — scale-invariant up to
+    // floating-point cancellation in the sigma term (hence the 1e-6 slack).
+    EXPECT_NEAR(truth.mdef, brute.mdef, 1e-9) << "q=" << q[0];
+    EXPECT_NEAR(truth.sigma_mdef, brute.sigma_mdef, 1e-6);
+    EXPECT_EQ(truth.is_outlier, brute.is_outlier);
+  }
+}
+
+TEST(GroundTruthTest, MdefTruthMatchesBruteForce2d) {
+  auto layout = BuildGridHierarchy(2, 2);
+  ASSERT_TRUE(layout.ok());
+  MdefConfig cfg;
+  cfg.sampling_radius = 0.08;
+  cfg.counting_radius = 0.01;
+  GroundTruthOptions opts;
+  opts.dimensions = 2;
+  opts.leaf_window = 2000;
+  opts.mdef_cell_side = 2.0 * cfg.counting_radius;
+  GroundTruthTracker tracker(*layout, opts);
+
+  Rng rng(5);
+  std::vector<Point> pooled;
+  for (int i = 0; i < 800; ++i) {
+    for (int leaf = 0; leaf < 2; ++leaf) {
+      const Point p{rng.UniformDouble(0.3, 0.45),
+                    rng.UniformDouble(0.3, 0.45)};
+      tracker.AddLeafReading(leaf, p);
+      pooled.push_back(p);
+    }
+  }
+  const int root = tracker.RootSlot();
+  Rng qrng(6);
+  for (int i = 0; i < 30; ++i) {
+    const Point q{qrng.UniformDouble(0.28, 0.5),
+                  qrng.UniformDouble(0.28, 0.5)};
+    const auto truth = tracker.TrueMdef(root, q, cfg);
+    const auto brute = BruteForceMdef(pooled, q, cfg);
+    EXPECT_NEAR(truth.mdef, brute.mdef, 1e-8);
+    EXPECT_EQ(truth.is_outlier, brute.is_outlier);
+  }
+}
+
+TEST(GroundTruthTest, PlantedOutlierDetectedAtRightLevels) {
+  // A value common at leaf 0's sibling but absent elsewhere: outlier for
+  // leaf 0, not an outlier for the pool that contains the sibling.
+  auto layout = BuildGridHierarchy(2, 2);
+  ASSERT_TRUE(layout.ok());
+  GroundTruthTracker tracker(*layout, Options1d(1000, 0.01));
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    tracker.AddLeafReading(0, {rng.UniformDouble(0.30, 0.34)});
+    tracker.AddLeafReading(1, {rng.UniformDouble(0.60, 0.64)});
+  }
+  DistanceOutlierConfig cfg;
+  cfg.radius = 0.02;
+  cfg.neighbor_threshold = 20.0;
+  const Point q{0.62};
+  EXPECT_TRUE(tracker.IsTrueDistanceOutlier(0, q, cfg));
+  EXPECT_FALSE(tracker.IsTrueDistanceOutlier(1, q, cfg));
+  EXPECT_FALSE(tracker.IsTrueDistanceOutlier(tracker.RootSlot(), q, cfg));
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,117 @@
+#include "net/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(HierarchyTest, RejectsZeroLeaves) {
+  EXPECT_FALSE(BuildGridHierarchy(0, 4).ok());
+}
+
+TEST(HierarchyTest, RejectsFanoutBelowTwo) {
+  EXPECT_FALSE(BuildGridHierarchy(8, 1).ok());
+}
+
+TEST(HierarchyTest, SingleLeafIsItsOwnRoot) {
+  auto layout = BuildGridHierarchy(1, 4);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->NumNodes(), 1u);
+  EXPECT_EQ(layout->NumLevels(), 1);
+  EXPECT_EQ(layout->nodes[0].parent_slot, -1);
+}
+
+TEST(HierarchyTest, PaperShape32LeavesFanout4) {
+  // 32 -> 8 -> 2 -> 1: the four detection levels of Figures 7/9/10.
+  auto layout = BuildGridHierarchy(32, 4);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->NumLevels(), 4);
+  EXPECT_EQ(layout->slots_by_level[0].size(), 32u);
+  EXPECT_EQ(layout->slots_by_level[1].size(), 8u);
+  EXPECT_EQ(layout->slots_by_level[2].size(), 2u);
+  EXPECT_EQ(layout->slots_by_level[3].size(), 1u);
+  EXPECT_EQ(layout->NumNodes(), 43u);
+  EXPECT_EQ(layout->NumLeaves(), 32u);
+}
+
+TEST(HierarchyTest, EveryNonRootHasAParent) {
+  auto layout = BuildGridHierarchy(20, 3);
+  ASSERT_TRUE(layout.ok());
+  int roots = 0;
+  for (const auto& node : layout->nodes) {
+    if (node.parent_slot < 0) {
+      ++roots;
+    } else {
+      ASSERT_LT(static_cast<size_t>(node.parent_slot),
+                layout->nodes.size());
+    }
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(HierarchyTest, ParentChildLinksAreConsistent) {
+  auto layout = BuildGridHierarchy(17, 4);
+  ASSERT_TRUE(layout.ok());
+  for (size_t slot = 0; slot < layout->nodes.size(); ++slot) {
+    for (int child : layout->nodes[slot].child_slots) {
+      EXPECT_EQ(layout->nodes[static_cast<size_t>(child)].parent_slot,
+                static_cast<int>(slot));
+    }
+  }
+}
+
+TEST(HierarchyTest, FanoutBound) {
+  auto layout = BuildGridHierarchy(100, 5);
+  ASSERT_TRUE(layout.ok());
+  for (const auto& node : layout->nodes) {
+    EXPECT_LE(node.child_slots.size(), 5u);
+  }
+}
+
+TEST(HierarchyTest, LevelsAscendFromLeaves) {
+  auto layout = BuildGridHierarchy(16, 2);
+  ASSERT_TRUE(layout.ok());
+  for (const auto& node : layout->nodes) {
+    if (node.parent_slot >= 0) {
+      EXPECT_EQ(layout->nodes[static_cast<size_t>(node.parent_slot)].level,
+                node.level + 1);
+    }
+  }
+}
+
+TEST(HierarchyTest, LeafPositionsInsideUnitPlane) {
+  auto layout = BuildGridHierarchy(48, 4);
+  ASSERT_TRUE(layout.ok());
+  for (const auto& node : layout->nodes) {
+    EXPECT_GE(node.position.x, 0.0);
+    EXPECT_LE(node.position.x, 1.0);
+    EXPECT_GE(node.position.y, 0.0);
+    EXPECT_LE(node.position.y, 1.0);
+  }
+}
+
+TEST(HierarchyTest, LeaderSitsAtChildCentroid) {
+  auto layout = BuildGridHierarchy(4, 4);
+  ASSERT_TRUE(layout.ok());
+  ASSERT_EQ(layout->NumLevels(), 2);
+  const auto& root = layout->nodes[layout->slots_by_level[1][0]];
+  double cx = 0, cy = 0;
+  for (int child : root.child_slots) {
+    cx += layout->nodes[static_cast<size_t>(child)].position.x;
+    cy += layout->nodes[static_cast<size_t>(child)].position.y;
+  }
+  EXPECT_NEAR(root.position.x, cx / 4.0, 1e-12);
+  EXPECT_NEAR(root.position.y, cy / 4.0, 1e-12);
+}
+
+TEST(HierarchyTest, NonPowerLeafCounts) {
+  for (size_t leaves : {3u, 7u, 13u, 33u, 100u}) {
+    auto layout = BuildGridHierarchy(leaves, 4);
+    ASSERT_TRUE(layout.ok()) << leaves;
+    EXPECT_EQ(layout->NumLeaves(), leaves);
+    EXPECT_EQ(layout->slots_by_level.back().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sensord

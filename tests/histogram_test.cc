@@ -1,0 +1,135 @@
+#include "stats/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+std::vector<Point> Uniform1d(Rng* rng, size_t n) {
+  std::vector<Point> out;
+  for (size_t i = 0; i < n; ++i) out.push_back({rng->UniformDouble()});
+  return out;
+}
+
+TEST(HistogramTest, RejectsEmptyData) {
+  EXPECT_FALSE(EquiDepthHistogram::Build({}, 4).ok());
+}
+
+TEST(HistogramTest, RejectsZeroBuckets) {
+  EXPECT_FALSE(EquiDepthHistogram::Build({{0.5}}, 0).ok());
+}
+
+TEST(HistogramTest, RejectsMixedDimensionality) {
+  EXPECT_FALSE(EquiDepthHistogram::Build({{0.5}, {0.5, 0.5}}, 4).ok());
+}
+
+TEST(HistogramTest, TotalMassIsOne) {
+  Rng rng(1);
+  auto h = EquiDepthHistogram::Build(Uniform1d(&rng, 500), 16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->BoxProbability({-1.0}, {2.0}), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, EquiDepthBucketsOnUniformData) {
+  // On uniform data every bucket holds ~1/B of the mass over ~1/B of the
+  // span.
+  Rng rng(2);
+  auto h = EquiDepthHistogram::Build(Uniform1d(&rng, 10000), 10);
+  ASSERT_TRUE(h.ok());
+  for (int b = 0; b < 10; ++b) {
+    const double lo = b / 10.0, hi = (b + 1) / 10.0;
+    EXPECT_NEAR(h->BoxProbability({lo}, {hi}), 0.1, 0.02) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, SkewedDataGetsFinerBucketsInDenseRegion) {
+  // 90% of mass near 0.2: quantile edges must cluster there.
+  std::vector<Point> data;
+  Rng rng(3);
+  for (int i = 0; i < 9000; ++i) {
+    data.push_back({Clamp(rng.Gaussian(0.2, 0.01), 0.0, 1.0)});
+  }
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({rng.UniformDouble(0.5, 1.0)});
+  }
+  auto h = EquiDepthHistogram::Build(data, 20);
+  ASSERT_TRUE(h.ok());
+  const auto& e = h->Edges(0);
+  int edges_near_mode = 0;
+  for (double x : e) {
+    if (x > 0.15 && x < 0.25) ++edges_near_mode;
+  }
+  EXPECT_GE(edges_near_mode, 10);
+}
+
+TEST(HistogramTest, BoxProbabilityMatchesEmpiricalOnLargeBoxes) {
+  Rng rng(4);
+  const auto data = Uniform1d(&rng, 20000);
+  auto h = EquiDepthHistogram::Build(data, 50);
+  ASSERT_TRUE(h.ok());
+  for (double lo : {0.1, 0.3, 0.6}) {
+    const double hi = lo + 0.25;
+    size_t count = 0;
+    for (const Point& p : data) count += (p[0] >= lo && p[0] <= hi);
+    EXPECT_NEAR(h->BoxProbability({lo}, {hi}),
+                static_cast<double>(count) / data.size(), 0.02);
+  }
+}
+
+TEST(HistogramTest, PointMassBuckets) {
+  // Heavy duplication collapses edges; a point query must still see mass.
+  std::vector<Point> data(100, Point{0.5});
+  data.push_back({0.9});
+  auto h = EquiDepthHistogram::Build(data, 8);
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(h->BoxProbability({0.49}, {0.51}), 0.9);
+}
+
+TEST(HistogramTest, TwoDimGridCellCount) {
+  Rng rng(5);
+  std::vector<Point> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+  auto h = EquiDepthHistogram::Build(data, 100);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->dimensions(), 2u);
+  EXPECT_EQ(h->NumCells(), 100u);  // ceil(sqrt(100)) = 10 per dim
+  EXPECT_NEAR(h->BoxProbability({0.0, 0.0}, {1.0, 1.0}), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, TwoDimQuadrantMass) {
+  Rng rng(6);
+  std::vector<Point> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+  auto h = EquiDepthHistogram::Build(data, 64);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->BoxProbability({0.0, 0.0}, {0.5, 0.5}), 0.25, 0.03);
+}
+
+TEST(HistogramTest, PdfIsDensityOfContainingBucket) {
+  Rng rng(7);
+  auto h = EquiDepthHistogram::Build(Uniform1d(&rng, 50000), 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->Pdf({0.5}), 1.0, 0.15);  // uniform density = 1
+  EXPECT_DOUBLE_EQ(h->Pdf({-0.5}), 0.0);
+}
+
+TEST(HistogramTest, MemoryScalesWithBuckets) {
+  Rng rng(8);
+  const auto data = Uniform1d(&rng, 1000);
+  auto small = EquiDepthHistogram::Build(data, 8);
+  auto large = EquiDepthHistogram::Build(data, 64);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(small->MemoryBytes(2), large->MemoryBytes(2));
+}
+
+}  // namespace
+}  // namespace sensord

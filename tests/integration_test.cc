@@ -1,0 +1,249 @@
+// End-to-end integration: the full pipeline from workload generation through
+// the simulated hierarchy to detection and ground-truth scoring, plus the
+// interplay of modules that unit tests exercise in isolation.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force_d.h"
+#include "core/d3.h"
+#include "core/distance_outlier.h"
+#include "core/faulty_sensor.h"
+#include "core/mgdd.h"
+#include "core/range_query.h"
+#include "data/engine_trace.h"
+#include "data/synthetic.h"
+#include "data/trace_io.h"
+#include "eval/ground_truth.h"
+#include "eval/scoring.h"
+#include "net/hierarchy.h"
+#include "net/network.h"
+#include "stats/divergence.h"
+
+namespace sensord {
+namespace {
+
+class CollectingObserver : public OutlierObserver {
+ public:
+  void OnOutlierDetected(const OutlierEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<OutlierEvent> events;
+};
+
+TEST(IntegrationTest, D3PipelineAgainstGroundTruth) {
+  // 4 leaves + root; engine-like workload with planted deviations; score
+  // leaf-level D3 decisions against the exact tracker.
+  const size_t kWindow = 1500, kSample = 200;
+  auto layout = BuildGridHierarchy(4, 4);
+  ASSERT_TRUE(layout.ok());
+
+  GroundTruthOptions gt;
+  gt.dimensions = 1;
+  gt.leaf_window = kWindow;
+  GroundTruthTracker tracker(*layout, gt);
+
+  Simulator sim;
+  CollectingObserver observer;
+  Rng rng(1);
+  D3Options opts;
+  opts.model.window_size = kWindow;
+  opts.model.sample_size = kSample;
+  opts.outlier.radius = 0.01;
+  opts.outlier.neighbor_threshold = 8.0;  // ~0.5% of |W|, the paper's ratio
+  opts.min_observations = kSample;
+  const auto ids = sim.Instantiate(
+      *layout, [&](int, const HierarchyNodeSpec& spec)
+                   -> std::unique_ptr<Node> {
+        if (spec.level == 1) {
+          return std::make_unique<D3LeafNode>(opts, rng.Split(), &observer);
+        }
+        D3Options parent = opts;
+        parent.model = LeaderModelConfig(opts.model, 4, 0.5, spec.level);
+        return std::make_unique<D3ParentNode>(parent, rng.Split(),
+                                              &observer);
+      });
+
+  std::vector<std::unique_ptr<SyntheticMixtureStream>> streams;
+  Rng seeds(2);
+  for (int i = 0; i < 4; ++i) {
+    streams.push_back(std::make_unique<SyntheticMixtureStream>(
+        SyntheticOptions{}, seeds.Split()));
+  }
+
+  PrecisionRecall leaf_pr;
+  double t = 0.0;
+  const int warmup = 2000, total = 2600;
+  for (int round = 0; round < total; ++round) {
+    std::set<std::pair<NodeId, uint64_t>> flagged;
+    std::vector<std::pair<int, Point>> arrivals;
+    for (int leaf = 0; leaf < 4; ++leaf) {
+      const Point p = streams[static_cast<size_t>(leaf)]->Next();
+      tracker.AddLeafReading(leaf, p);
+      arrivals.push_back({leaf, p});
+      observer.events.clear();
+      sim.DeliverReading(ids[static_cast<size_t>(leaf)], p);
+      if (round >= warmup) {
+        bool leaf_flag = false;
+        for (const auto& e : observer.events) {
+          leaf_flag |= (e.level == 1);
+        }
+        leaf_pr.Record(
+            tracker.IsTrueDistanceOutlier(leaf, p, opts.outlier), leaf_flag);
+      }
+    }
+    t += 1.0;
+    sim.RunUntil(t);
+  }
+
+  EXPECT_GT(leaf_pr.total(), 0u);
+  EXPECT_GT(leaf_pr.Precision(), 0.8) << leaf_pr.ToString();
+  EXPECT_GT(leaf_pr.Recall(), 0.5) << leaf_pr.ToString();
+  // There must be actual events in the run (planted noise exists).
+  EXPECT_GT(leaf_pr.true_positives() + leaf_pr.false_negatives(), 0u);
+}
+
+TEST(IntegrationTest, FaultySensorDetectionFromLiveModels) {
+  // Three healthy sensors + one broken sensor; build density models from
+  // live streams and let the parent-level fault check identify the broken
+  // one (Section 9 application).
+  DensityModelConfig cfg;
+  cfg.window_size = 1000;
+  cfg.sample_size = 150;
+  Rng rng(3);
+  std::vector<DensityModel> models;
+  for (int i = 0; i < 4; ++i) models.emplace_back(cfg, rng.Split());
+
+  Rng values(4);
+  for (int i = 0; i < 3000; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      models[static_cast<size_t>(s)].Observe(
+          {Clamp(values.Gaussian(0.4, 0.03), 0.0, 1.0)});
+    }
+    // The broken sensor is stuck near a wrong value.
+    models[3].Observe({Clamp(values.Gaussian(0.75, 0.01), 0.0, 1.0)});
+  }
+
+  std::vector<const DistributionEstimator*> children;
+  for (const auto& m : models) children.push_back(&m.Estimator());
+  FaultySensorConfig fault_cfg;
+  auto verdicts = DetectFaultySensors(children, fault_cfg);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_FALSE((*verdicts)[0].flagged);
+  EXPECT_FALSE((*verdicts)[1].flagged);
+  EXPECT_FALSE((*verdicts)[2].flagged);
+  EXPECT_TRUE((*verdicts)[3].flagged);
+}
+
+TEST(IntegrationTest, RangeQueriesOverLiveModel) {
+  DensityModelConfig cfg;
+  cfg.window_size = 2000;
+  cfg.sample_size = 300;
+  DensityModel model(cfg, Rng(5));
+  EngineTraceGenerator engine(Rng(6));
+  std::vector<double> window_values;
+  for (int i = 0; i < 2000; ++i) {
+    const Point p = engine.Next();
+    model.Observe(p);
+    window_values.push_back(p[0]);
+  }
+  RangeQueryEngine engine_q(&model.Estimator(), model.WindowCount());
+
+  // Count of healthy-range readings: compare against the exact window.
+  size_t exact = 0;
+  for (double v : window_values) exact += (v >= 0.40 && v <= 0.43);
+  const double approx = engine_q.Count({0.40}, {0.43});
+  EXPECT_NEAR(approx, static_cast<double>(exact),
+              0.15 * static_cast<double>(window_values.size()));
+
+  auto avg = engine_q.Average(0, {0.35}, {0.43});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(*avg, 0.418, 0.02);
+}
+
+TEST(IntegrationTest, TraceRoundTripDrivesDetector) {
+  // Persist a generated trace, reload it, and drive a model from the replay
+  // — the quickstart path for users with their own sensor logs.
+  const std::string path = testing::TempDir() + "/sensord_integration.csv";
+  EngineTraceOptions engine_opts;
+  engine_opts.mean_healthy_duration = 600.0;  // guarantee a few failures
+  EngineTraceGenerator gen(engine_opts, Rng(7));
+  ASSERT_TRUE(WriteTraceCsv(path, gen.Take(3000)).ok());
+  auto trace = ReadTraceCsv(path);
+  ASSERT_TRUE(trace.ok());
+  auto replay = ReplayStream::Create(std::move(trace).value());
+  ASSERT_TRUE(replay.ok());
+
+  DensityModelConfig cfg;
+  cfg.window_size = 1000;
+  cfg.sample_size = 150;
+  DensityModel model(cfg, Rng(8));
+  DistanceOutlierConfig outlier;
+  outlier.radius = 0.01;
+  outlier.neighbor_threshold = 10.0;
+
+  int detections = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Point p = replay->Next();
+    model.Observe(p);
+    if (i > 500 && IsDistanceOutlier(model.Estimator(), model.WindowCount(),
+                                     p, outlier)) {
+      ++detections;
+    }
+  }
+  // The engine trace contains failure excursions; some must be flagged,
+  // and the healthy bulk must not be.
+  EXPECT_GT(detections, 0);
+  EXPECT_LT(detections, 600);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, MgddGlobalModelConvergesToPooledDistribution) {
+  // Two leaves with disjoint distributions: the root's global model must
+  // cover both modes, and each leaf's replica must agree with the root.
+  auto layout = BuildGridHierarchy(2, 2);
+  ASSERT_TRUE(layout.ok());
+  Simulator sim;
+  CollectingObserver observer;
+  Rng rng(9);
+  MgddOptions opts;
+  opts.model.window_size = 800;
+  opts.model.sample_size = 120;
+  opts.min_observations = 200;
+  const auto ids = sim.Instantiate(
+      *layout, [&](int, const HierarchyNodeSpec& spec)
+                   -> std::unique_ptr<Node> {
+        if (spec.level == 1) {
+          return std::make_unique<MgddLeafNode>(opts, rng.Split(),
+                                                &observer);
+        }
+        MgddOptions internal = opts;
+        internal.model = LeaderModelConfig(opts.model, 2, 0.5, spec.level);
+        return std::make_unique<MgddInternalNode>(internal, rng.Split());
+      });
+
+  Rng values(10);
+  double t = 0.0;
+  for (int round = 0; round < 2500; ++round) {
+    sim.DeliverReading(ids[0],
+                       {Clamp(values.Gaussian(0.3, 0.02), 0.0, 1.0)});
+    sim.DeliverReading(ids[1],
+                       {Clamp(values.Gaussian(0.6, 0.02), 0.0, 1.0)});
+    t += 1.0;
+    sim.RunUntil(t);
+  }
+
+  const auto& leaf = static_cast<const MgddLeafNode&>(sim.node(ids[0]));
+  ASSERT_TRUE(leaf.HasGlobalModel());
+  const auto& global = leaf.GlobalEstimator();
+  // Both modes present with roughly equal mass.
+  const double low = global.BoxProbability({0.2}, {0.4});
+  const double high = global.BoxProbability({0.5}, {0.7});
+  EXPECT_GT(low, 0.25);
+  EXPECT_GT(high, 0.25);
+  EXPECT_NEAR(low + high, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sensord

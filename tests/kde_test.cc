@@ -1,0 +1,171 @@
+#include "stats/kde.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/analytic.h"
+#include "stats/divergence.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+std::vector<Point> Sample1d(Rng* rng, size_t n, double mean, double sd) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({Clamp(rng->Gaussian(mean, sd), 0.0, 1.0)});
+  }
+  return out;
+}
+
+TEST(KdeTest, CreateRejectsEmptySample) {
+  auto kde = KernelDensityEstimator::Create({}, {0.1});
+  EXPECT_FALSE(kde.ok());
+  EXPECT_EQ(kde.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(KdeTest, CreateRejectsDimensionMismatch) {
+  auto kde = KernelDensityEstimator::Create({{0.5, 0.5}}, {0.1});
+  EXPECT_FALSE(kde.ok());
+}
+
+TEST(KdeTest, CreateRejectsNonPositiveBandwidth) {
+  EXPECT_FALSE(KernelDensityEstimator::Create({{0.5}}, {0.0}).ok());
+  EXPECT_FALSE(KernelDensityEstimator::Create({{0.5}}, {-0.1}).ok());
+}
+
+TEST(KdeTest, TotalMassIsOneWhenAwayFromBoundary) {
+  Rng rng(1);
+  auto kde = KernelDensityEstimator::Create(Sample1d(&rng, 200, 0.5, 0.05),
+                                            {0.02});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->BoxProbability({-1.0}, {2.0}), 1.0, 1e-12);
+  EXPECT_NEAR(kde->BoxProbability({0.0}, {1.0}), 1.0, 1e-9);
+}
+
+TEST(KdeTest, SingleKernelBoxProbability) {
+  auto kde = KernelDensityEstimator::Create({{0.5}}, {0.1});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->BoxProbability({0.4}, {0.6}), 1.0, 1e-12);
+  EXPECT_NEAR(kde->BoxProbability({0.5}, {0.6}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(kde->BoxProbability({0.7}, {0.9}), 0.0);
+}
+
+TEST(KdeTest, PdfMatchesKernelShape) {
+  auto kde = KernelDensityEstimator::Create({{0.5}}, {0.1});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->Pdf({0.5}), 7.5, 1e-12);  // (3/4)/0.1
+  EXPECT_DOUBLE_EQ(kde->Pdf({0.65}), 0.0);
+}
+
+TEST(KdeTest, OneDimFastPathMatchesDirectSum) {
+  Rng rng(2);
+  const auto sample = Sample1d(&rng, 300, 0.4, 0.1);
+  const double bw = 0.03;
+  auto kde = KernelDensityEstimator::Create(sample, {bw});
+  ASSERT_TRUE(kde.ok());
+
+  EpanechnikovKernel kernel(bw);
+  Rng queries(3);
+  for (int i = 0; i < 200; ++i) {
+    double a = queries.UniformDouble();
+    double b = queries.UniformDouble();
+    if (a > b) std::swap(a, b);
+    double direct = 0.0;
+    for (const Point& t : sample) direct += kernel.MassInInterval(t[0], a, b);
+    direct /= static_cast<double>(sample.size());
+    EXPECT_NEAR(kde->BoxProbability({a}, {b}), direct, 1e-12);
+  }
+}
+
+TEST(KdeTest, TwoDimBoxProbabilityIsProductForSingleKernel) {
+  auto kde = KernelDensityEstimator::Create({{0.5, 0.5}}, {0.1, 0.2});
+  ASSERT_TRUE(kde.ok());
+  EpanechnikovKernel kx(0.1), ky(0.2);
+  const double expected =
+      kx.MassInInterval(0.5, 0.45, 0.6) * ky.MassInInterval(0.5, 0.4, 0.55);
+  EXPECT_NEAR(kde->BoxProbability({0.45, 0.4}, {0.6, 0.55}), expected,
+              1e-12);
+}
+
+TEST(KdeTest, ConvergesToTrueDistribution) {
+  // JS divergence to the generating Gaussian must shrink as |R| grows.
+  const AnalyticDistribution truth =
+      AnalyticDistribution::Gaussian1d(0.4, 0.05);
+  Rng rng(4);
+  double prev_js = 1.0;
+  for (size_t n : {50u, 500u, 5000u}) {
+    auto sample = Sample1d(&rng, n, 0.4, 0.05);
+    auto kde =
+        KernelDensityEstimator::CreateWithScottBandwidths(sample, {0.05});
+    ASSERT_TRUE(kde.ok());
+    auto js = JsDivergenceOnGrid(*kde, truth, 128);
+    ASSERT_TRUE(js.ok());
+    EXPECT_LT(*js, prev_js + 0.005) << "n=" << n;
+    prev_js = *js;
+  }
+  EXPECT_LT(prev_js, 0.01);  // large-sample estimate is close to truth
+}
+
+TEST(KdeTest, SampleSortedFor1d) {
+  auto kde = KernelDensityEstimator::Create({{0.9}, {0.1}, {0.5}}, {0.05});
+  ASSERT_TRUE(kde.ok());
+  const auto& s = kde->sample();
+  EXPECT_DOUBLE_EQ(s[0][0], 0.1);
+  EXPECT_DOUBLE_EQ(s[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(s[2][0], 0.9);
+}
+
+TEST(KdeTest, NeighborCountScalesWithWindow) {
+  auto kde = KernelDensityEstimator::Create({{0.5}}, {0.1});
+  ASSERT_TRUE(kde.ok());
+  const double mass = kde->BallProbability({0.5}, 0.05);
+  EXPECT_NEAR(kde->NeighborCount({0.5}, 0.05, 1000.0), mass * 1000.0, 1e-9);
+}
+
+TEST(KdeTest, ScottFactoryUsesPerDimensionStddev) {
+  std::vector<Point> sample{{0.3, 0.3}, {0.5, 0.5}, {0.7, 0.7}};
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      sample, {0.05, 0.2});
+  ASSERT_TRUE(kde.ok());
+  const auto b = kde->bandwidths();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_LT(b[0], b[1]);
+}
+
+TEST(KdeTest, MemoryBytesAccounting) {
+  auto kde = KernelDensityEstimator::Create({{0.1, 0.2}, {0.3, 0.4}},
+                                            {0.1, 0.1});
+  ASSERT_TRUE(kde.ok());
+  // 2 points x 2 dims + 2 bandwidths = 6 numbers.
+  EXPECT_EQ(kde->MemoryBytes(2), 12u);
+}
+
+TEST(KdeTest, PdfIntegratesToBoxProbability) {
+  Rng rng(5);
+  auto kde = KernelDensityEstimator::Create(Sample1d(&rng, 100, 0.5, 0.08),
+                                            {0.04});
+  ASSERT_TRUE(kde.ok());
+  const double a = 0.42, b = 0.58;
+  const int n = 20000;
+  double riemann = 0.0;
+  for (int i = 0; i < n; ++i) {
+    riemann += kde->Pdf({a + (b - a) * (i + 0.5) / n});
+  }
+  riemann *= (b - a) / n;
+  EXPECT_NEAR(riemann, kde->BoxProbability({a}, {b}), 1e-4);
+}
+
+TEST(KdeTest, DuplicatePointsAreWeighted) {
+  auto kde = KernelDensityEstimator::Create({{0.3}, {0.3}, {0.3}, {0.9}},
+                                            {0.05});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->BoxProbability({0.25}, {0.35}), 0.75, 1e-12);
+  EXPECT_NEAR(kde->BoxProbability({0.85}, {0.95}), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace sensord

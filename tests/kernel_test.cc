@@ -1,0 +1,83 @@
+#include "stats/kernel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(EpanechnikovKernelTest, PeakAtCenter) {
+  EpanechnikovKernel k(1.0);
+  EXPECT_DOUBLE_EQ(k.Value(0.0), 0.75);
+  EpanechnikovKernel half(0.5);
+  EXPECT_DOUBLE_EQ(half.Value(0.0), 1.5);
+}
+
+TEST(EpanechnikovKernelTest, ZeroOutsideSupport) {
+  EpanechnikovKernel k(0.2);
+  EXPECT_DOUBLE_EQ(k.Value(0.2), 0.0);
+  EXPECT_DOUBLE_EQ(k.Value(-0.2), 0.0);
+  EXPECT_DOUBLE_EQ(k.Value(0.5), 0.0);
+}
+
+TEST(EpanechnikovKernelTest, SymmetricInOffset) {
+  EpanechnikovKernel k(0.3);
+  for (double x : {0.05, 0.1, 0.2, 0.29}) {
+    EXPECT_DOUBLE_EQ(k.Value(x), k.Value(-x));
+  }
+}
+
+TEST(EpanechnikovKernelTest, IntegratesToOneOverSupport) {
+  for (double b : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+    EpanechnikovKernel k(b);
+    EXPECT_NEAR(k.IntegralOver(-b, b), 1.0, 1e-12) << "bandwidth " << b;
+  }
+}
+
+TEST(EpanechnikovKernelTest, IntegralClipsOutsideSupport) {
+  EpanechnikovKernel k(0.5);
+  EXPECT_NEAR(k.IntegralOver(-10.0, 10.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(k.IntegralOver(0.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.IntegralOver(-3.0, -0.5), 0.0);
+}
+
+TEST(EpanechnikovKernelTest, HalfMassOnEachSide) {
+  EpanechnikovKernel k(0.7);
+  EXPECT_NEAR(k.IntegralOver(-0.7, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(k.IntegralOver(0.0, 0.7), 0.5, 1e-12);
+}
+
+TEST(EpanechnikovKernelTest, IntegralMatchesNumericQuadrature) {
+  EpanechnikovKernel k(0.3);
+  const double a = -0.1, b = 0.25;
+  // Midpoint rule with fine resolution.
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a + (b - a) * (i + 0.5) / n;
+    sum += k.Value(x);
+  }
+  sum *= (b - a) / n;
+  EXPECT_NEAR(k.IntegralOver(a, b), sum, 1e-6);
+}
+
+TEST(EpanechnikovKernelTest, MassInIntervalShiftsWithCenter) {
+  EpanechnikovKernel k(0.2);
+  EXPECT_NEAR(k.MassInInterval(0.5, 0.3, 0.7), 1.0, 1e-12);
+  EXPECT_NEAR(k.MassInInterval(0.5, 0.5, 0.7), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(k.MassInInterval(0.5, 0.8, 0.9), 0.0);
+}
+
+TEST(EpanechnikovKernelTest, IntegralMonotoneInUpperLimit) {
+  EpanechnikovKernel k(1.0);
+  double prev = 0.0;
+  for (double u = -1.0; u <= 1.0; u += 0.05) {
+    const double cur = k.IntegralOver(-1.0, u);
+    EXPECT_GE(cur, prev - 1e-15);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,104 @@
+#include "net/leader_election.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+LeaderElectionConfig DefaultConfig() {
+  LeaderElectionConfig cfg;
+  cfg.initial_energy = 100.0;
+  cfg.hysteresis = 0.05;
+  return cfg;
+}
+
+TEST(LeaderElectionTest, RejectsBadInput) {
+  EXPECT_FALSE(LeaderElection::Create({}, DefaultConfig()).ok());
+  EXPECT_FALSE(LeaderElection::Create({{1, 2}, {}}, DefaultConfig()).ok());
+  LeaderElectionConfig bad = DefaultConfig();
+  bad.initial_energy = 0.0;
+  EXPECT_FALSE(LeaderElection::Create({{1}}, bad).ok());
+  bad = DefaultConfig();
+  bad.hysteresis = -0.1;
+  EXPECT_FALSE(LeaderElection::Create({{1}}, bad).ok());
+}
+
+TEST(LeaderElectionTest, FirstMemberLeadsInitially) {
+  auto election =
+      LeaderElection::Create({{3, 4, 5}, {7, 8}}, DefaultConfig());
+  ASSERT_TRUE(election.ok());
+  EXPECT_EQ(election->NumCells(), 2u);
+  EXPECT_EQ(election->LeaderOf(0), 3u);
+  EXPECT_EQ(election->LeaderOf(1), 7u);
+}
+
+TEST(LeaderElectionTest, DrainedLeaderIsReplaced) {
+  auto election = LeaderElection::Create({{1, 2, 3}}, DefaultConfig());
+  ASSERT_TRUE(election.ok());
+  std::map<NodeId, double> consumed{{1, 50.0}, {2, 5.0}, {3, 10.0}};
+  const auto changed =
+      election->Rotate([&](NodeId n) { return consumed[n]; });
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(election->LeaderOf(0), 2u);  // most residual energy
+  EXPECT_EQ(election->handoffs(), 1u);
+}
+
+TEST(LeaderElectionTest, HysteresisPreventsFlapping) {
+  auto election = LeaderElection::Create({{1, 2}}, DefaultConfig());
+  ASSERT_TRUE(election.ok());
+  // Challenger marginally better: within the 5% band, no hand-off.
+  std::map<NodeId, double> consumed{{1, 10.0}, {2, 9.0}};
+  EXPECT_TRUE(election->Rotate([&](NodeId n) { return consumed[n]; })
+                  .empty());
+  EXPECT_EQ(election->LeaderOf(0), 1u);
+  // Clearly better challenger: hand-off.
+  consumed[1] = 30.0;
+  EXPECT_EQ(election->Rotate([&](NodeId n) { return consumed[n]; }).size(),
+            1u);
+  EXPECT_EQ(election->LeaderOf(0), 2u);
+}
+
+TEST(LeaderElectionTest, RotationBalancesLoadOverTime) {
+  // Simulate leadership costing energy: the leader pays 5 units per epoch,
+  // members pay 1. Over many epochs every member should lead some of the
+  // time and consumption should stay balanced.
+  auto election = LeaderElection::Create({{0, 1, 2, 3}}, DefaultConfig());
+  ASSERT_TRUE(election.ok());
+  std::map<NodeId, double> consumed{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  std::map<NodeId, int> epochs_led;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    const NodeId leader = election->LeaderOf(0);
+    ++epochs_led[leader];
+    for (auto& [node, used] : consumed) {
+      used += node == leader ? 5.0 : 1.0;
+    }
+    election->Rotate([&](NodeId n) { return consumed[n]; });
+  }
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_GT(epochs_led[n], 5) << "node " << n << " never rotated in";
+  }
+  double min_used = 1e9, max_used = 0;
+  for (const auto& [node, used] : consumed) {
+    min_used = std::min(min_used, used);
+    max_used = std::max(max_used, used);
+  }
+  EXPECT_LT(max_used - min_used, 15.0) << "rotation failed to balance load";
+}
+
+TEST(LeaderElectionTest, MultipleCellsIndependent) {
+  auto election =
+      LeaderElection::Create({{1, 2}, {3, 4}}, DefaultConfig());
+  ASSERT_TRUE(election.ok());
+  std::map<NodeId, double> consumed{{1, 90.0}, {2, 0.0}, {3, 0.0}, {4, 0.0}};
+  const auto changed =
+      election->Rotate([&](NodeId n) { return consumed[n]; });
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], 0u);
+  EXPECT_EQ(election->LeaderOf(0), 2u);
+  EXPECT_EQ(election->LeaderOf(1), 3u);  // untouched
+}
+
+}  // namespace
+}  // namespace sensord

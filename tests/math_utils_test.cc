@@ -1,0 +1,95 @@
+#include "util/math_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-0.5, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(1.5, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(0.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(1.0, 0.0, 1.0), 1.0);
+}
+
+TEST(ChebyshevDistanceTest, OneDimension) {
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({0.2}, {0.7}), 0.5);
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({0.7}, {0.2}), 0.5);
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({0.3}, {0.3}), 0.0);
+}
+
+TEST(ChebyshevDistanceTest, TakesMaxCoordinate) {
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({0.0, 0.0}, {0.3, 0.1}), 0.3);
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({0.0, 0.0}, {0.1, 0.3}), 0.3);
+}
+
+TEST(EuclideanDistanceTest, PythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0.0, 0.0}, {0.3, 0.4}), 0.5);
+}
+
+TEST(EuclideanDistanceTest, DominatesChebyshev) {
+  const Point a{0.1, 0.9}, b{0.4, 0.2};
+  EXPECT_GE(EuclideanDistance(a, b), ChebyshevDistance(a, b));
+}
+
+TEST(InUnitCubeTest, Boundaries) {
+  EXPECT_TRUE(InUnitCube({0.0, 1.0}));
+  EXPECT_TRUE(InUnitCube({0.5}));
+  EXPECT_FALSE(InUnitCube({-0.001}));
+  EXPECT_FALSE(InUnitCube({0.5, 1.001}));
+}
+
+TEST(ApproxEqualTest, Tolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.0001));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0001, 1e-3));
+}
+
+TEST(IntervalOverlapTest, Cases) {
+  EXPECT_DOUBLE_EQ(IntervalOverlap(0.0, 1.0, 0.5, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(IntervalOverlap(0.0, 1.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalOverlap(0.0, 1.0, 0.2, 0.8), 0.6);
+  EXPECT_DOUBLE_EQ(IntervalOverlap(0.2, 0.8, 0.0, 1.0), 0.6);
+  EXPECT_DOUBLE_EQ(IntervalOverlap(0.0, 1.0, 1.0, 2.0), 0.0);
+}
+
+TEST(MedianTest, OddCount) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(MedianTest, EvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0}), 1.5);
+}
+
+TEST(MedianTest, Duplicates) {
+  EXPECT_DOUBLE_EQ(Median({2.0, 2.0, 2.0, 9.0}), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> v{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 0.75);
+}
+
+TEST(Log2CeilTest, PowersAndBetween) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+}  // namespace
+}  // namespace sensord

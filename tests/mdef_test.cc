@@ -1,0 +1,179 @@
+#include "core/mdef.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/empirical.h"
+#include "stats/kde.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+MdefConfig DefaultConfig() {
+  MdefConfig cfg;
+  cfg.sampling_radius = 0.08;
+  cfg.counting_radius = 0.01;
+  cfg.k_sigma = 3.0;
+  return cfg;
+}
+
+std::vector<Point> UniformCluster(Rng* rng, size_t n, double lo, double hi) {
+  std::vector<Point> out;
+  for (size_t i = 0; i < n; ++i) out.push_back({rng->UniformDouble(lo, hi)});
+  return out;
+}
+
+TEST(MdefTest, UniformRegionValueIsNotOutlier) {
+  Rng rng(1);
+  auto data = UniformCluster(&rng, 5000, 0.3, 0.5);
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  const auto r = ComputeMdef(*e, {0.4}, DefaultConfig());
+  EXPECT_FALSE(r.is_outlier);
+  // In a homogeneous region the value's count matches the local average.
+  EXPECT_NEAR(r.mdef, 0.0, 0.5);
+  EXPECT_GT(r.cells_considered, 0u);
+}
+
+TEST(MdefTest, IsolatedValueIsOutlier) {
+  Rng rng(2);
+  auto data = UniformCluster(&rng, 5000, 0.3, 0.4);
+  data.push_back({0.46});  // sparse point, dense cluster inside its r-ball
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  const auto r = ComputeMdef(*e, {0.46}, DefaultConfig());
+  EXPECT_TRUE(r.is_outlier);
+  EXPECT_GT(r.mdef, 0.5);
+}
+
+TEST(MdefTest, EmptyNeighborhoodIsNotFlagged) {
+  auto e = EmpiricalDistribution::Create({{0.1}});
+  ASSERT_TRUE(e.ok());
+  // Nothing within the sampling radius of 0.9.
+  const auto r = ComputeMdef(*e, {0.9}, DefaultConfig());
+  EXPECT_FALSE(r.is_outlier);
+  EXPECT_DOUBLE_EQ(r.avg_mass, 0.0);
+}
+
+TEST(MdefTest, LocalDensityAdaptation) {
+  // The MDEF advantage over (D, r)-outliers: a point that is "sparse" in
+  // absolute terms but consistent with its locally sparse region must NOT
+  // be flagged, while the same count inside a dense region must be flagged.
+  Rng rng(3);
+  std::vector<Point> data;
+  // Dense region around 0.3 (5000 points), sparse region around 0.7 (50).
+  for (const Point& p : UniformCluster(&rng, 5000, 0.25, 0.35)) {
+    data.push_back(p);
+  }
+  for (const Point& p : UniformCluster(&rng, 50, 0.65, 0.75)) {
+    data.push_back(p);
+  }
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  const auto sparse_native = ComputeMdef(*e, {0.7}, DefaultConfig());
+  EXPECT_FALSE(sparse_native.is_outlier)
+      << "point consistent with its sparse region was flagged";
+}
+
+TEST(MdefTest, MdefFromMassesScaleInvariant) {
+  MdefConfig cfg = DefaultConfig();
+  const auto a = MdefFromMasses(0.001, 0.1, 0.004, 0.0002, 8, cfg);
+  const auto b =
+      MdefFromMasses(10.0, 1000.0, 400000.0, 200000000.0, 8, cfg);
+  EXPECT_NEAR(a.mdef, b.mdef, 1e-9);
+  EXPECT_NEAR(a.sigma_mdef, b.sigma_mdef, 1e-9);
+  EXPECT_EQ(a.is_outlier, b.is_outlier);
+}
+
+TEST(MdefTest, KSigmaControlsCutoff) {
+  Rng rng(4);
+  auto data = UniformCluster(&rng, 2000, 0.3, 0.5);
+  data.push_back({0.55});
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  MdefConfig strict = DefaultConfig();
+  strict.k_sigma = 0.1;  // nearly everything deviates
+  MdefConfig lax = DefaultConfig();
+  lax.k_sigma = 1000.0;  // nothing deviates
+  EXPECT_TRUE(ComputeMdef(*e, {0.55}, strict).is_outlier);
+  EXPECT_FALSE(ComputeMdef(*e, {0.55}, lax).is_outlier);
+}
+
+TEST(MdefTest, KdeFastPathMatchesGenericIn2d) {
+  Rng rng(5);
+  std::vector<Point> sample;
+  for (int i = 0; i < 300; ++i) {
+    sample.push_back({Clamp(rng.Gaussian(0.4, 0.05), 0.0, 1.0),
+                      Clamp(rng.Gaussian(0.4, 0.05), 0.0, 1.0)});
+  }
+  auto kde = KernelDensityEstimator::Create(sample, {0.02, 0.02});
+  ASSERT_TRUE(kde.ok());
+  MdefConfig cfg = DefaultConfig();
+  Rng qrng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Point q{qrng.UniformDouble(0.2, 0.6), qrng.UniformDouble(0.2, 0.6)};
+    const auto fast = ComputeMdef(*kde, q, cfg);  // KDE overload
+    const auto generic =
+        ComputeMdef(static_cast<const DistributionEstimator&>(*kde), q, cfg);
+    EXPECT_NEAR(fast.counting_mass, generic.counting_mass, 1e-9);
+    EXPECT_NEAR(fast.avg_mass, generic.avg_mass, 1e-9);
+    EXPECT_NEAR(fast.sigma_mass, generic.sigma_mass, 1e-9);
+    EXPECT_EQ(fast.is_outlier, generic.is_outlier);
+    EXPECT_EQ(fast.cells_considered, generic.cells_considered);
+  }
+}
+
+TEST(MdefTest, KdeEstimateAgreesWithEmpiricalTruth) {
+  // The kernel-based MDEF decision should usually match the exact one.
+  Rng rng(7);
+  std::vector<Point> window;
+  for (int i = 0; i < 8000; ++i) {
+    window.push_back({Clamp(rng.Gaussian(0.35, 0.04), 0.0, 1.0)});
+  }
+  auto e = EmpiricalDistribution::Create(window);
+  ASSERT_TRUE(e.ok());
+  // Build the KDE from a random subsample (as the online system would).
+  std::vector<Point> sample;
+  for (int i = 0; i < 400; ++i) {
+    sample.push_back(window[rng.UniformUint64(window.size())]);
+  }
+  auto kde =
+      KernelDensityEstimator::CreateWithScottBandwidths(sample, {0.04});
+  ASSERT_TRUE(kde.ok());
+
+  const MdefConfig cfg = DefaultConfig();
+  int agree = 0, total = 0;
+  Rng qrng(8);
+  for (int i = 0; i < 200; ++i) {
+    const Point q{qrng.UniformDouble(0.2, 0.55)};
+    const bool truth = ComputeMdef(*e, q, cfg).is_outlier;
+    const bool est = ComputeMdef(*kde, q, cfg).is_outlier;
+    agree += (truth == est);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.85);
+}
+
+TEST(MdefTest, CellsConsideredMatchesGeometry1d) {
+  // r = 0.08, cell side 0.02: cells with centres in [p-r, p+r] -> 8 cells
+  // for a centred p.
+  Rng rng(9);
+  auto e = EmpiricalDistribution::Create(UniformCluster(&rng, 100, 0.0, 1.0));
+  ASSERT_TRUE(e.ok());
+  const auto r = ComputeMdef(*e, {0.5}, DefaultConfig());
+  EXPECT_GE(r.cells_considered, 7u);
+  EXPECT_LE(r.cells_considered, 9u);
+}
+
+TEST(MdefTest, DomainEdgeClampsCells) {
+  Rng rng(10);
+  auto e = EmpiricalDistribution::Create(UniformCluster(&rng, 100, 0.0, 1.0));
+  ASSERT_TRUE(e.ok());
+  const auto r = ComputeMdef(*e, {0.01}, DefaultConfig());
+  // Near the boundary only ~half the cells exist.
+  EXPECT_LT(r.cells_considered, 7u);
+  EXPECT_GT(r.cells_considered, 0u);
+}
+
+}  // namespace
+}  // namespace sensord

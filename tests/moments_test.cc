@@ -1,0 +1,103 @@
+#include "stats/moments.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(SummarizeTest, KnownSmallDataset) {
+  const auto s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.skew, 0.0, 1e-12);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const auto s = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.skew, 0.0);
+}
+
+TEST(SummarizeTest, NegativeSkewForLeftTail) {
+  // Mostly high values with a few deep dips: the engine-trace shape.
+  std::vector<double> v(1000, 0.42);
+  for (int i = 0; i < 20; ++i) v.push_back(0.05);
+  const auto s = Summarize(v);
+  EXPECT_LT(s.skew, -3.0);
+  EXPECT_LT(s.mean, s.median);
+}
+
+TEST(SummarizeTest, PositiveSkewForRightTail) {
+  std::vector<double> v(1000, 0.1);
+  for (int i = 0; i < 20; ++i) v.push_back(0.9);
+  EXPECT_GT(Summarize(v).skew, 3.0);
+}
+
+TEST(SummarizeTest, ToStringContainsFields) {
+  const auto str = Summarize({1.0, 2.0}).ToString();
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("skew="), std::string::npos);
+}
+
+TEST(MomentsAccumulatorTest, EmptyDefaults) {
+  MomentsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Skewness(), 0.0);
+}
+
+TEST(MomentsAccumulatorTest, MinMaxTracking) {
+  MomentsAccumulator acc;
+  for (double v : {3.0, -1.0, 7.0, 2.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+  EXPECT_EQ(acc.count(), 4u);
+}
+
+TEST(MomentsAccumulatorTest, MatchesBatchOnRandomData) {
+  Rng rng(1);
+  std::vector<double> data;
+  MomentsAccumulator acc;
+  for (int i = 0; i < 10000; ++i) {
+    // Skewed data: exponential-ish via -log(U).
+    const double v = -std::log(1.0 - rng.UniformDouble());
+    data.push_back(v);
+    acc.Add(v);
+  }
+  const auto s = Summarize(data);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.StdDev(), s.stddev, 1e-9);
+  EXPECT_NEAR(acc.Skewness(), s.skew, 1e-9);
+  // Exponential distribution has skewness 2.
+  EXPECT_NEAR(acc.Skewness(), 2.0, 0.15);
+}
+
+TEST(MomentsAccumulatorTest, ConstantStream) {
+  MomentsAccumulator acc;
+  for (int i = 0; i < 100; ++i) acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Skewness(), 0.0);
+}
+
+TEST(MomentsAccumulatorTest, GaussianSkewNearZero) {
+  Rng rng(2);
+  MomentsAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.Add(rng.Gaussian(10.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.StdDev(), 3.0, 0.05);
+  EXPECT_NEAR(acc.Skewness(), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,251 @@
+#include "net/network.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+// Test node: records everything it receives and can echo to a target.
+class ProbeNode : public Node {
+ public:
+  void HandleMessage(const Message& msg) override {
+    received.push_back(msg);
+  }
+  void OnReading(const Point& value) override { readings.push_back(value); }
+  void OnStart() override { started = true; }
+
+  std::vector<Message> received;
+  std::vector<Point> readings;
+  bool started = false;
+};
+
+TEST(SimulatorTest, AddNodeAssignsDenseIds) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(sim.NumNodes(), 2u);
+}
+
+TEST(SimulatorTest, SendDeliversAfterLatency) {
+  SimulatorOptions opts;
+  opts.hop_latency = 0.25;
+  Simulator sim(opts);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+
+  Message msg;
+  msg.from = a;
+  msg.to = b;
+  msg.kind = 42;
+  msg.size_numbers = 3;
+  sim.Send(std::move(msg));
+
+  auto& receiver = static_cast<ProbeNode&>(sim.node(b));
+  EXPECT_TRUE(receiver.received.empty());
+  sim.RunUntil(0.2);
+  EXPECT_TRUE(receiver.received.empty());  // still in flight
+  sim.RunUntil(0.3);
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.received[0].kind, 42);
+  EXPECT_EQ(receiver.received[0].from, a);
+}
+
+TEST(SimulatorTest, StatsCountMessagesAndBytes) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  for (int i = 0; i < 5; ++i) {
+    Message msg;
+    msg.from = a;
+    msg.to = b;
+    msg.kind = 7;
+    msg.size_numbers = 2;
+    sim.Send(std::move(msg));
+  }
+  EXPECT_EQ(sim.stats().TotalMessages(), 5u);
+  EXPECT_EQ(sim.stats().MessagesOfKind(7), 5u);
+  EXPECT_EQ(sim.stats().MessagesOfKind(8), 0u);
+  EXPECT_EQ(sim.stats().TotalNumbers(), 10u);
+  EXPECT_EQ(sim.stats().TotalBytes(2), 20u);
+  EXPECT_DOUBLE_EQ(sim.stats().MessagesPerSecond(5.0), 1.0);
+}
+
+TEST(SimulatorTest, StatsReset) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  Message msg;
+  msg.from = a;
+  msg.to = b;
+  sim.Send(std::move(msg));
+  sim.stats().Reset();
+  EXPECT_EQ(sim.stats().TotalMessages(), 0u);
+}
+
+TEST(SimulatorTest, InstantiateWiresHierarchy) {
+  auto layout = BuildGridHierarchy(4, 2);
+  ASSERT_TRUE(layout.ok());
+  Simulator sim;
+  const auto ids = sim.Instantiate(
+      *layout, [](int, const HierarchyNodeSpec&) {
+        return std::make_unique<ProbeNode>();
+      });
+  ASSERT_EQ(ids.size(), 7u);  // 4 + 2 + 1
+
+  int leaves = 0, roots = 0;
+  for (NodeId id : ids) {
+    const Node& n = sim.node(id);
+    if (n.is_leaf()) {
+      ++leaves;
+      EXPECT_NE(n.parent(), kNoNode);
+      EXPECT_TRUE(n.children().empty());
+    }
+    if (n.is_root()) {
+      ++roots;
+      EXPECT_EQ(n.level(), 3);
+    }
+    EXPECT_TRUE(static_cast<const ProbeNode&>(n).started);
+  }
+  EXPECT_EQ(leaves, 4);
+  EXPECT_EQ(roots, 1);
+
+  // Parent of leaf 0 lists leaf 0 among its children.
+  const Node& leaf0 = sim.node(ids[0]);
+  const Node& parent = sim.node(leaf0.parent());
+  bool found = false;
+  for (NodeId c : parent.children()) found |= (c == ids[0]);
+  EXPECT_TRUE(found);
+}
+
+TEST(SimulatorTest, DeliverReadingIsImmediateAndFree) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.DeliverReading(a, {0.5});
+  auto& node = static_cast<ProbeNode&>(sim.node(a));
+  ASSERT_EQ(node.readings.size(), 1u);
+  EXPECT_DOUBLE_EQ(node.readings[0][0], 0.5);
+  EXPECT_EQ(sim.stats().TotalMessages(), 0u);  // sensing is not a message
+}
+
+TEST(SimulatorTest, PeriodicReadingsRespectHorizon) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  int produced = 0;
+  sim.SchedulePeriodicReadings(a, 0.0, 1.0, [&]() {
+    ++produced;
+    return Point{0.1};
+  });
+  sim.RunUntil(10.0);
+  auto& node = static_cast<ProbeNode&>(sim.node(a));
+  EXPECT_EQ(node.readings.size(), 11u);  // t = 0..10 inclusive
+  EXPECT_EQ(produced, 11);
+}
+
+TEST(SimulatorTest, PeriodicReadingsResumeAcrossRunUntilCalls) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.SchedulePeriodicReadings(a, 0.5, 1.0, []() { return Point{0.2}; });
+  sim.RunUntil(2.0);
+  auto& node = static_cast<ProbeNode&>(sim.node(a));
+  EXPECT_EQ(node.readings.size(), 2u);  // 0.5, 1.5
+  sim.RunUntil(4.0);
+  EXPECT_EQ(node.readings.size(), 4u);  // + 2.5, 3.5
+}
+
+TEST(SimulatorTest, PacketLossDropsButCounts) {
+  SimulatorOptions opts;
+  opts.drop_probability = 0.5;
+  Simulator sim(opts);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) {
+    Message msg;
+    msg.from = a;
+    msg.to = b;
+    sim.Send(std::move(msg));
+  }
+  sim.RunUntil(1.0);
+  auto& receiver = static_cast<ProbeNode&>(sim.node(b));
+  // All sends are charged (the radio spent the energy) ...
+  EXPECT_EQ(sim.stats().TotalMessages(), static_cast<uint64_t>(sent));
+  // ... but about half never arrive.
+  EXPECT_EQ(receiver.received.size() + sim.MessagesDropped(),
+            static_cast<uint64_t>(sent));
+  EXPECT_NEAR(static_cast<double>(sim.MessagesDropped()) / sent, 0.5, 0.05);
+}
+
+TEST(SimulatorTest, EnergyAccounting) {
+  SimulatorOptions opts;
+  opts.tx_cost_per_message = 1.0;
+  opts.tx_cost_per_number = 0.1;
+  opts.rx_cost_per_message = 0.5;
+  opts.rx_cost_per_number = 0.05;
+  Simulator sim(opts);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  Message msg;
+  msg.from = a;
+  msg.to = b;
+  msg.size_numbers = 4;
+  sim.Send(std::move(msg));
+  sim.RunUntil(1.0);
+  EXPECT_DOUBLE_EQ(sim.EnergyConsumed(a), 1.0 + 0.4);  // tx
+  EXPECT_DOUBLE_EQ(sim.EnergyConsumed(b), 0.5 + 0.2);  // rx
+  EXPECT_DOUBLE_EQ(sim.TotalEnergyConsumed(), 2.1);
+}
+
+TEST(SimulatorTest, DroppedMessageStillChargesSender) {
+  SimulatorOptions opts;
+  opts.drop_probability = 1.0 - 1e-12;  // effectively always dropped
+  Simulator sim(opts);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  for (int i = 0; i < 10; ++i) {
+    Message msg;
+    msg.from = a;
+    msg.to = b;
+    sim.Send(std::move(msg));
+  }
+  sim.RunUntil(1.0);
+  EXPECT_GT(sim.EnergyConsumed(a), 9.0);   // every tx was paid for
+  EXPECT_DOUBLE_EQ(sim.EnergyConsumed(b), 0.0);  // nothing arrived
+}
+
+TEST(SimulatorTest, ReliableLinksDropNothing) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  for (int i = 0; i < 100; ++i) {
+    Message msg;
+    msg.from = a;
+    msg.to = b;
+    sim.Send(std::move(msg));
+  }
+  sim.RunUntil(1.0);
+  EXPECT_EQ(sim.MessagesDropped(), 0u);
+  EXPECT_EQ(static_cast<ProbeNode&>(sim.node(b)).received.size(), 100u);
+}
+
+TEST(SimulatorTest, ZeroLatencyStillUsesEventQueue) {
+  SimulatorOptions opts;
+  opts.hop_latency = 0.0;
+  Simulator sim(opts);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  Message msg;
+  msg.from = a;
+  msg.to = b;
+  sim.Send(std::move(msg));
+  auto& receiver = static_cast<ProbeNode&>(sim.node(b));
+  EXPECT_TRUE(receiver.received.empty());  // not synchronous
+  sim.RunUntil(0.0);
+  EXPECT_EQ(receiver.received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sensord

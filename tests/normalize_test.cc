@@ -1,0 +1,70 @@
+#include "data/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(NormalizerTest, FromRangesRejectsBadInput) {
+  EXPECT_FALSE(Normalizer::FromRanges({}, {}).ok());
+  EXPECT_FALSE(Normalizer::FromRanges({0.0}, {0.0, 1.0}).ok());
+  EXPECT_FALSE(Normalizer::FromRanges({1.0}, {1.0}).ok());
+  EXPECT_FALSE(Normalizer::FromRanges({2.0}, {1.0}).ok());
+}
+
+TEST(NormalizerTest, MapsRangeToUnit) {
+  auto n = Normalizer::FromRanges({-10.0}, {10.0});
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(n->ToUnit({-10.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(n->ToUnit({10.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(n->ToUnit({0.0})[0], 0.5);
+}
+
+TEST(NormalizerTest, ClampsOutOfRange) {
+  auto n = Normalizer::FromRanges({0.0}, {1.0});
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(n->ToUnit({-5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(n->ToUnit({5.0})[0], 1.0);
+}
+
+TEST(NormalizerTest, RoundTripInsideRange) {
+  auto n = Normalizer::FromRanges({900.0, -40.0}, {1100.0, 60.0});
+  ASSERT_TRUE(n.ok());
+  const Point physical{1013.0, 12.5};
+  const Point back = n->FromUnit(n->ToUnit(physical));
+  EXPECT_NEAR(back[0], physical[0], 1e-9);
+  EXPECT_NEAR(back[1], physical[1], 1e-9);
+}
+
+TEST(NormalizerTest, FitCoversDataWithMargin) {
+  auto n = Normalizer::Fit({{10.0}, {20.0}, {15.0}}, 0.1);
+  ASSERT_TRUE(n.ok());
+  // Data extremes map strictly inside (0, 1) thanks to the margin.
+  EXPECT_GT(n->ToUnit({10.0})[0], 0.0);
+  EXPECT_LT(n->ToUnit({20.0})[0], 1.0);
+}
+
+TEST(NormalizerTest, FitRejectsEmptyAndInconsistent) {
+  EXPECT_FALSE(Normalizer::Fit({}).ok());
+  EXPECT_FALSE(Normalizer::Fit({{1.0}, {1.0, 2.0}}).ok());
+}
+
+TEST(NormalizerTest, FitHandlesConstantDimension) {
+  auto n = Normalizer::Fit({{5.0}, {5.0}, {5.0}});
+  ASSERT_TRUE(n.ok());
+  const double u = n->ToUnit({5.0})[0];
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+TEST(NormalizerTest, ToUnitTrace) {
+  auto n = Normalizer::FromRanges({0.0}, {10.0});
+  ASSERT_TRUE(n.ok());
+  const auto unit = n->ToUnitTrace({{2.0}, {5.0}});
+  ASSERT_EQ(unit.size(), 2u);
+  EXPECT_DOUBLE_EQ(unit[0][0], 0.2);
+  EXPECT_DOUBLE_EQ(unit[1][0], 0.5);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,58 @@
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(ProtocolTest, KindValuesAreStable) {
+  // The wire protocol is part of the public contract; renumbering would
+  // break mixed-version deployments.
+  EXPECT_EQ(kMsgSampleValue, 1);
+  EXPECT_EQ(kMsgOutlierReport, 2);
+  EXPECT_EQ(kMsgGlobalModelUpdate, 3);
+  EXPECT_EQ(kMsgRawReading, 4);
+  EXPECT_EQ(kMsgQueryRequest, 5);
+  EXPECT_EQ(kMsgQueryResponse, 6);
+}
+
+TEST(ProtocolTest, KindsBelowApplicationRange) {
+  for (MessageKind k : {kMsgSampleValue, kMsgOutlierReport,
+                        kMsgGlobalModelUpdate, kMsgRawReading,
+                        kMsgQueryRequest, kMsgQueryResponse}) {
+    EXPECT_LT(k, 100) << "reserved range per net/message.h";
+  }
+}
+
+TEST(ProtocolTest, GlobalUpdateSizeAccounting) {
+  GlobalModelUpdatePayload payload;
+  payload.stddevs = {0.1, 0.2};
+  payload.updates.push_back({0, {0.5, 0.5}});
+  payload.updates.push_back({3, {0.1, 0.9}});
+  // 2 updates x (slot + 2 coords) + 2 sigmas + version tag = 9 numbers.
+  EXPECT_EQ(payload.SizeNumbers(2), 9u);
+}
+
+TEST(ProtocolTest, GlobalUpdateEmptyIsJustSigmasAndVersion) {
+  GlobalModelUpdatePayload payload;
+  payload.stddevs = {0.1};
+  EXPECT_EQ(payload.SizeNumbers(1), 2u);
+}
+
+TEST(ProtocolTest, OutlierReportCarriesProvenance) {
+  OutlierReportPayload report;
+  report.value = {0.9};
+  report.origin_level = 2;
+  report.source_leaf = 7;
+  report.source_seq = 1234;
+  // Round-trip through the std::any a Message carries.
+  Message msg;
+  msg.payload = report;
+  const auto& out = std::any_cast<const OutlierReportPayload&>(msg.payload);
+  EXPECT_EQ(out.source_leaf, 7u);
+  EXPECT_EQ(out.source_seq, 1234u);
+  EXPECT_EQ(out.origin_level, 2);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,139 @@
+// Validates that the surrogate "real" traces reproduce the statistical
+// fingerprint the paper reports for the original datasets (Figure 5), which
+// is the basis for substituting them (see DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include "data/engine_trace.h"
+#include "data/environmental_trace.h"
+#include "stats/moments.h"
+
+namespace sensord {
+namespace {
+
+constexpr int kTraceLength = 50000;
+
+SummaryStats EngineStats(uint64_t seed) {
+  EngineTraceGenerator gen{Rng(seed)};
+  std::vector<double> v;
+  v.reserve(kTraceLength);
+  for (int i = 0; i < kTraceLength; ++i) v.push_back(gen.Next()[0]);
+  return Summarize(v);
+}
+
+TEST(EngineTraceTest, ValuesWithinDatasetRange) {
+  EngineTraceGenerator gen(Rng(1));
+  for (int i = 0; i < 20000; ++i) {
+    const double v = gen.Next()[0];
+    EXPECT_GE(v, 0.020);
+    EXPECT_LE(v, 0.427);
+  }
+}
+
+TEST(EngineTraceTest, MatchesFigure5Row) {
+  // Paper: min 0.020 max 0.427 mean 0.410 median 0.419 stddev 0.053
+  // skew -6.844. Bands allow for sampling variation across seeds.
+  const auto s = EngineStats(2);
+  EXPECT_NEAR(s.mean, 0.410, 0.012);
+  EXPECT_NEAR(s.median, 0.419, 0.008);
+  EXPECT_NEAR(s.stddev, 0.053, 0.02);
+  EXPECT_LT(s.skew, -4.0);
+  EXPECT_GT(s.skew, -10.0);
+  EXPECT_LT(s.min, 0.08);
+  EXPECT_GT(s.max, 0.41);
+}
+
+TEST(EngineTraceTest, StableAcrossSeeds) {
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    const auto s = EngineStats(seed);
+    EXPECT_NEAR(s.mean, 0.410, 0.015) << "seed " << seed;
+    EXPECT_LT(s.skew, -3.0) << "seed " << seed;
+  }
+}
+
+TEST(EngineTraceTest, FailureEpisodesAreRareAndLabeled) {
+  EngineTraceGenerator gen(Rng(6));
+  int failure_readings = 0;
+  for (int i = 0; i < kTraceLength; ++i) {
+    gen.Next();
+    failure_readings += gen.InFailureEpisode() ? 1 : 0;
+  }
+  const double rate = static_cast<double>(failure_readings) / kTraceLength;
+  EXPECT_GT(rate, 0.002);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(EngineTraceTest, SmoothBetweenConsecutiveReadings) {
+  EngineTraceGenerator gen(Rng(7));
+  double prev = gen.Next()[0];
+  for (int i = 0; i < 20000; ++i) {
+    const double cur = gen.Next()[0];
+    EXPECT_LT(std::fabs(cur - prev), 0.08) << "jump at " << i;
+    prev = cur;
+  }
+}
+
+TEST(EnvironmentalTraceTest, ValuesWithinDatasetRanges) {
+  EnvironmentalTraceGenerator gen(Rng(8));
+  for (int i = 0; i < 20000; ++i) {
+    const Point p = gen.Next();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_GE(p[0], 0.422);
+    EXPECT_LE(p[0], 0.848);
+    EXPECT_GE(p[1], 0.113);
+    EXPECT_LE(p[1], 0.282);
+  }
+}
+
+TEST(EnvironmentalTraceTest, MatchesFigure5Rows) {
+  // Pressure: mean 0.677 median 0.681 stddev 0.063 skew -0.399.
+  // Dew-point: mean 0.213 median 0.212 stddev 0.027 skew -0.182.
+  EnvironmentalTraceGenerator gen(Rng(9));
+  std::vector<double> pressure, dewpoint;
+  for (int i = 0; i < 35000; ++i) {
+    const Point p = gen.Next();
+    pressure.push_back(p[0]);
+    dewpoint.push_back(p[1]);
+  }
+  const auto sp = Summarize(pressure);
+  const auto sd = Summarize(dewpoint);
+  EXPECT_NEAR(sp.mean, 0.677, 0.03);
+  EXPECT_NEAR(sp.stddev, 0.063, 0.025);
+  EXPECT_LT(sp.skew, 0.1);
+  EXPECT_NEAR(sd.mean, 0.213, 0.02);
+  EXPECT_NEAR(sd.stddev, 0.027, 0.015);
+  EXPECT_LT(sd.skew, 0.25);
+}
+
+TEST(EnvironmentalTraceTest, CoordinatesAreCorrelated) {
+  EnvironmentalTraceGenerator gen(Rng(10));
+  std::vector<Point> data;
+  for (int i = 0; i < 35000; ++i) data.push_back(gen.Next());
+  double mx = 0, my = 0;
+  for (const Point& p : data) {
+    mx += p[0];
+    my += p[1];
+  }
+  mx /= data.size();
+  my /= data.size();
+  double cov = 0, vx = 0, vy = 0;
+  for (const Point& p : data) {
+    cov += (p[0] - mx) * (p[1] - my);
+    vx += (p[0] - mx) * (p[0] - mx);
+    vy += (p[1] - my) * (p[1] - my);
+  }
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_GT(std::fabs(corr), 0.15);  // shared weather forcing
+}
+
+TEST(EnvironmentalTraceTest, DifferentSeedsDifferentPhases) {
+  EnvironmentalTraceGenerator a(Rng(11)), b(Rng(12));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,157 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  // Must not get stuck at zero.
+  bool nonzero = false;
+  for (int i = 0; i < 10; ++i) nonzero |= (r.NextUint64() != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.UniformDouble(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsCentered) {
+  Rng r(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng r(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.UniformUint64(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformUint64CoversAllResidues) {
+  Rng r(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[r.UniformUint64(5)];
+  for (int c : counts) EXPECT_GT(c, 800);  // ~1000 each
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(12);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng r(13);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng r(14);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.Gaussian(5.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+    EXPECT_FALSE(r.Bernoulli(-0.5));
+    EXPECT_TRUE(r.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng r(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(17);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(18), b(18);
+  Rng ca = a.Split();
+  Rng cb = b.Split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
+  }
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,83 @@
+#include "eval/scoring.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(PrecisionRecallTest, EmptyIsVacuouslyPerfect) {
+  PrecisionRecall pr;
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+  EXPECT_EQ(pr.total(), 0u);
+}
+
+TEST(PrecisionRecallTest, CountsEachOutcome) {
+  PrecisionRecall pr;
+  pr.Record(true, true);    // TP
+  pr.Record(false, true);   // FP
+  pr.Record(true, false);   // FN
+  pr.Record(false, false);  // TN
+  EXPECT_EQ(pr.true_positives(), 1u);
+  EXPECT_EQ(pr.false_positives(), 1u);
+  EXPECT_EQ(pr.false_negatives(), 1u);
+  EXPECT_EQ(pr.true_negatives(), 1u);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 0.5);
+}
+
+TEST(PrecisionRecallTest, PerfectDetector) {
+  PrecisionRecall pr;
+  for (int i = 0; i < 10; ++i) pr.Record(true, true);
+  for (int i = 0; i < 90; ++i) pr.Record(false, false);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+TEST(PrecisionRecallTest, OverEagerDetectorLosesPrecision) {
+  PrecisionRecall pr;
+  for (int i = 0; i < 5; ++i) pr.Record(true, true);
+  for (int i = 0; i < 15; ++i) pr.Record(false, true);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 0.25);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+}
+
+TEST(PrecisionRecallTest, BlindDetectorLosesRecall) {
+  PrecisionRecall pr;
+  for (int i = 0; i < 4; ++i) pr.Record(true, false);
+  pr.Record(true, true);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 0.2);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+}
+
+TEST(PrecisionRecallTest, F1HarmonicMean) {
+  PrecisionRecall pr;
+  pr.Record(true, true);
+  pr.Record(false, true);  // P = 0.5
+  // R = 1.0 -> F1 = 2*0.5*1/(1.5) = 2/3.
+  EXPECT_NEAR(pr.F1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionRecallTest, MergeAccumulates) {
+  PrecisionRecall a, b;
+  a.Record(true, true);
+  b.Record(true, false);
+  b.Record(false, true);
+  a.Merge(b);
+  EXPECT_EQ(a.true_positives(), 1u);
+  EXPECT_EQ(a.false_negatives(), 1u);
+  EXPECT_EQ(a.false_positives(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(PrecisionRecallTest, ToStringFormat) {
+  PrecisionRecall pr;
+  pr.Record(true, true);
+  const std::string s = pr.ToString();
+  EXPECT_NE(s.find("P=100.0%"), std::string::npos) << s;
+  EXPECT_NE(s.find("tp=1"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace sensord

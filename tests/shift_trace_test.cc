@@ -1,0 +1,66 @@
+#include "data/shift_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+
+namespace sensord {
+namespace {
+
+TEST(ShiftTraceTest, PhaseAlternatesEveryPhaseLength) {
+  ShiftTraceOptions opts;
+  opts.phase_length = 100;
+  ShiftingGaussianStream s(opts, Rng(1));
+  EXPECT_TRUE(s.IsPhaseA(0));
+  EXPECT_TRUE(s.IsPhaseA(99));
+  EXPECT_FALSE(s.IsPhaseA(100));
+  EXPECT_FALSE(s.IsPhaseA(199));
+  EXPECT_TRUE(s.IsPhaseA(200));
+}
+
+TEST(ShiftTraceTest, MeansMatchPhases) {
+  ShiftTraceOptions opts;
+  opts.phase_length = 5000;
+  ShiftingGaussianStream s(opts, Rng(2));
+  MomentsAccumulator phase_a, phase_b;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = s.Next()[0];
+    (i < 5000 ? phase_a : phase_b).Add(v);
+  }
+  EXPECT_NEAR(phase_a.mean(), 0.3, 0.01);
+  EXPECT_NEAR(phase_b.mean(), 0.5, 0.01);
+  EXPECT_NEAR(phase_a.StdDev(), 0.05, 0.01);
+}
+
+TEST(ShiftTraceTest, TrueDistributionTracksPhase) {
+  ShiftTraceOptions opts;
+  opts.phase_length = 10;
+  ShiftingGaussianStream s(opts, Rng(3));
+  const auto early = s.TrueDistributionAt(5);
+  const auto late = s.TrueDistributionAt(15);
+  EXPECT_GT(early.Pdf({0.3}), early.Pdf({0.5}));
+  EXPECT_GT(late.Pdf({0.5}), late.Pdf({0.3}));
+}
+
+TEST(ShiftTraceTest, PositionAdvances) {
+  ShiftingGaussianStream s(ShiftTraceOptions{}, Rng(4));
+  EXPECT_EQ(s.position(), 0u);
+  s.Next();
+  s.Next();
+  EXPECT_EQ(s.position(), 2u);
+}
+
+TEST(ShiftTraceTest, ValuesClampedToUnit) {
+  ShiftTraceOptions opts;
+  opts.mean_a = 0.02;
+  opts.stddev = 0.2;
+  ShiftingGaussianStream s(opts, Rng(5));
+  for (int i = 0; i < 1000; ++i) {
+    const double v = s.Next()[0];
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,88 @@
+#include "stream/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(SlidingWindowTest, StartsEmpty) {
+  SlidingWindow w(4, 1);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.capacity(), 4u);
+  EXPECT_EQ(w.dimensions(), 1u);
+  EXPECT_FALSE(w.full());
+  EXPECT_EQ(w.total_seen(), 0u);
+}
+
+TEST(SlidingWindowTest, FillsThenEvictsOldest) {
+  SlidingWindow w(3, 1);
+  for (double v : {1.0, 2.0, 3.0}) ASSERT_TRUE(w.Add({v}).ok());
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.At(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(w.At(2)[0], 3.0);
+
+  ASSERT_TRUE(w.Add({4.0}).ok());
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.At(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(w.At(2)[0], 4.0);
+  EXPECT_EQ(w.total_seen(), 4u);
+}
+
+TEST(SlidingWindowTest, DimensionMismatchRejected) {
+  SlidingWindow w(3, 2);
+  EXPECT_FALSE(w.Add({1.0}).ok());
+  EXPECT_EQ(w.Add({1.0}).code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(w.Add({1.0, 2.0}).ok());
+}
+
+TEST(SlidingWindowTest, ArrivalTimesTrackStreamPosition) {
+  SlidingWindow w(2, 1);
+  ASSERT_TRUE(w.Add({1.0}).ok());
+  ASSERT_TRUE(w.Add({2.0}).ok());
+  ASSERT_TRUE(w.Add({3.0}).ok());
+  // Window holds readings 1 and 2 (0-based).
+  EXPECT_EQ(w.ArrivalTime(0), 1u);
+  EXPECT_EQ(w.ArrivalTime(1), 2u);
+}
+
+TEST(SlidingWindowTest, SnapshotOrderedOldestFirst) {
+  SlidingWindow w(3, 1);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) ASSERT_TRUE(w.Add({v}).ok());
+  const auto snap = w.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(snap[1][0], 4.0);
+  EXPECT_DOUBLE_EQ(snap[2][0], 5.0);
+}
+
+TEST(SlidingWindowTest, CoordinateExtraction) {
+  SlidingWindow w(3, 2);
+  ASSERT_TRUE(w.Add({1.0, 10.0}).ok());
+  ASSERT_TRUE(w.Add({2.0, 20.0}).ok());
+  const auto ys = w.Coordinate(1);
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_DOUBLE_EQ(ys[0], 10.0);
+  EXPECT_DOUBLE_EQ(ys[1], 20.0);
+}
+
+TEST(SlidingWindowTest, ClearKeepsTotalSeen) {
+  SlidingWindow w(3, 1);
+  ASSERT_TRUE(w.Add({1.0}).ok());
+  ASSERT_TRUE(w.Add({2.0}).ok());
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.total_seen(), 2u);
+  ASSERT_TRUE(w.Add({3.0}).ok());
+  EXPECT_DOUBLE_EQ(w.At(0)[0], 3.0);
+}
+
+TEST(SlidingWindowTest, LongStreamWrapsCleanly) {
+  SlidingWindow w(7, 1);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(w.Add({double(i)}).ok());
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(w.At(i)[0], static_cast<double>(993 + i));
+  }
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,66 @@
+#include "net/stats_collector.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+Message MakeMessage(MessageKind kind, size_t numbers) {
+  Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.kind = kind;
+  msg.size_numbers = numbers;
+  return msg;
+}
+
+TEST(StatsCollectorTest, StartsEmpty) {
+  StatsCollector stats;
+  EXPECT_EQ(stats.TotalMessages(), 0u);
+  EXPECT_EQ(stats.TotalNumbers(), 0u);
+  EXPECT_EQ(stats.MessagesOfKind(1), 0u);
+}
+
+TEST(StatsCollectorTest, AccumulatesByKind) {
+  StatsCollector stats;
+  stats.RecordSend(MakeMessage(1, 2));
+  stats.RecordSend(MakeMessage(1, 3));
+  stats.RecordSend(MakeMessage(2, 10));
+  EXPECT_EQ(stats.TotalMessages(), 3u);
+  EXPECT_EQ(stats.MessagesOfKind(1), 2u);
+  EXPECT_EQ(stats.MessagesOfKind(2), 1u);
+  EXPECT_EQ(stats.MessagesOfKind(3), 0u);
+  EXPECT_EQ(stats.TotalNumbers(), 15u);
+}
+
+TEST(StatsCollectorTest, ByteConversion) {
+  StatsCollector stats;
+  stats.RecordSend(MakeMessage(1, 7));
+  EXPECT_EQ(stats.TotalBytes(2), 14u);
+  EXPECT_EQ(stats.TotalBytes(8), 56u);
+}
+
+TEST(StatsCollectorTest, RateComputation) {
+  StatsCollector stats;
+  for (int i = 0; i < 30; ++i) stats.RecordSend(MakeMessage(1, 1));
+  EXPECT_DOUBLE_EQ(stats.MessagesPerSecond(10.0), 3.0);
+}
+
+TEST(StatsCollectorTest, ResetClearsEverything) {
+  StatsCollector stats;
+  stats.RecordSend(MakeMessage(5, 9));
+  stats.Reset();
+  EXPECT_EQ(stats.TotalMessages(), 0u);
+  EXPECT_EQ(stats.TotalNumbers(), 0u);
+  EXPECT_EQ(stats.MessagesOfKind(5), 0u);
+}
+
+TEST(StatsCollectorTest, ZeroSizeMessagesCountAsMessages) {
+  StatsCollector stats;
+  stats.RecordSend(MakeMessage(1, 0));
+  EXPECT_EQ(stats.TotalMessages(), 1u);
+  EXPECT_EQ(stats.TotalNumbers(), 0u);
+}
+
+}  // namespace
+}  // namespace sensord

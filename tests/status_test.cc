@@ -1,0 +1,98 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), Status::Code::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), Status::Code::kNotFound, "NotFound"},
+      {Status::OutOfRange("c"), Status::Code::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("d"), Status::Code::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::IoError("e"), Status::Code::kIoError, "IoError"},
+      {Status::Internal("f"), Status::Code::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos)
+        << c.status.ToString();
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusOrTest, ImplicitConversionFromValueAndStatus) {
+  auto make = [](bool ok) -> StatusOr<double> {
+    if (ok) return 1.5;
+    return Status::InvalidArgument("nope");
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_FALSE(make(false).ok());
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) {
+    return fail ? Status::Internal("boom") : Status::Ok();
+  };
+  auto outer = [&](bool fail) -> Status {
+    SENSORD_RETURN_IF_ERROR(inner(fail));
+    return Status::Ok();
+  };
+  EXPECT_TRUE(outer(false).ok());
+  EXPECT_EQ(outer(true).code(), Status::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace sensord

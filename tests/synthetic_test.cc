@@ -1,0 +1,109 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/divergence.h"
+#include "stats/empirical.h"
+#include "stats/moments.h"
+
+namespace sensord {
+namespace {
+
+TEST(SyntheticTest, ValuesInUnitCube) {
+  SyntheticOptions opts;
+  opts.dimensions = 2;
+  SyntheticMixtureStream s(opts, Rng(1));
+  for (int i = 0; i < 5000; ++i) {
+    const Point p = s.Next();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_TRUE(InUnitCube(p));
+  }
+}
+
+TEST(SyntheticTest, ComponentMeansFromPool) {
+  SyntheticMixtureStream s(SyntheticOptions{}, Rng(2));
+  for (double m : s.ComponentMeans(0)) {
+    EXPECT_TRUE(m == 0.3 || m == 0.35 || m == 0.45) << m;
+  }
+}
+
+TEST(SyntheticTest, NoiseRateApproximatelyHalfPercent) {
+  SyntheticMixtureStream s(SyntheticOptions{}, Rng(3));
+  int noise = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    // Values >= 0.6 are essentially always noise: the highest mixture
+    // component (mean 0.45, sigma 0.03) is 5 sigma below 0.6, while the
+    // uniform noise on [0.5, 1] puts 80% of its mass there.
+    if (s.Next()[0] >= 0.6) ++noise;
+  }
+  EXPECT_NEAR(static_cast<double>(noise) / n, 0.005 * 0.8, 0.0015);
+}
+
+TEST(SyntheticTest, BulkOfMassNearComponentMeans) {
+  SyntheticMixtureStream s(SyntheticOptions{}, Rng(4));
+  MomentsAccumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.Add(s.Next()[0]);
+  EXPECT_GT(acc.mean(), 0.25);
+  EXPECT_LT(acc.mean(), 0.50);
+}
+
+TEST(SyntheticTest, EmpiricalMatchesTrueDistribution) {
+  SyntheticMixtureStream s(SyntheticOptions{}, Rng(5));
+  std::vector<Point> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(s.Next());
+  auto empirical = EmpiricalDistribution::Create(std::move(data));
+  ASSERT_TRUE(empirical.ok());
+  auto js = JsDivergenceOnGrid(*empirical, s.TrueDistribution(), 64);
+  ASSERT_TRUE(js.ok());
+  EXPECT_LT(*js, 0.01);
+}
+
+TEST(SyntheticTest, DifferentSeedsCanPickDifferentMixtures) {
+  // Across many seeds, at least two streams must differ in their means.
+  bool found_difference = false;
+  SyntheticMixtureStream first(SyntheticOptions{}, Rng(100));
+  for (uint64_t seed = 101; seed < 120 && !found_difference; ++seed) {
+    SyntheticMixtureStream other(SyntheticOptions{}, Rng(seed));
+    found_difference = other.ComponentMeans(0) != first.ComponentMeans(0);
+  }
+  EXPECT_TRUE(found_difference);
+}
+
+TEST(SyntheticTest, NoiseIsJointIn2d) {
+  SyntheticOptions opts;
+  opts.dimensions = 2;
+  opts.noise_probability = 0.5;  // exaggerate for the test
+  SyntheticMixtureStream s(opts, Rng(6));
+  int joint = 0, total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Point p = s.Next();
+    // 0.6 cleanly separates noise from the mixture tails (5 sigma).
+    const bool x_noise = p[0] >= 0.6;
+    const bool y_noise = p[1] >= 0.6;
+    if (x_noise || y_noise) {
+      ++total;
+      joint += (x_noise && y_noise);
+    }
+  }
+  // Noise replaces the whole reading, so noisy coordinates co-occur (both
+  // coordinates independently exceed 0.6 with probability 0.8 each).
+  EXPECT_GT(static_cast<double>(joint) / total, 0.5);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticMixtureStream a(SyntheticOptions{}, Rng(7));
+  SyntheticMixtureStream b(SyntheticOptions{}, Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SyntheticTest, TakeMaterializes) {
+  SyntheticMixtureStream s(SyntheticOptions{}, Rng(8));
+  const auto batch = s.Take(100);
+  EXPECT_EQ(batch.size(), 100u);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,118 @@
+#include "data/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sensord {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string Path(const char* name) {
+    return testing::TempDir() + "/sensord_" + name;
+  }
+};
+
+TEST_F(TraceIoTest, RoundTrip1d) {
+  const std::string path = Path("roundtrip1d.csv");
+  const std::vector<Point> trace{{0.1}, {0.25}, {0.9}};
+  ASSERT_TRUE(WriteTraceCsv(path, trace).ok());
+  auto read = ReadTraceCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*read)[i][0], trace[i][0], 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, RoundTrip2d) {
+  const std::string path = Path("roundtrip2d.csv");
+  const std::vector<Point> trace{{0.1, 0.2}, {0.3, 0.4}};
+  ASSERT_TRUE(WriteTraceCsv(path, trace).ok());
+  auto read = ReadTraceCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_NEAR((*read)[1][1], 0.4, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, ReadMissingFileFails) {
+  auto read = ReadTraceCsv("/nonexistent/path/file.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kIoError);
+}
+
+TEST_F(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = Path("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n0.5\n# inline comment\n0.6\n\n";
+  }
+  auto read = ReadTraceCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, InconsistentArityFails) {
+  const std::string path = Path("badarity.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,0.2\n0.3\n";
+  }
+  EXPECT_FALSE(ReadTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, GarbageNumberFails) {
+  const std::string path = Path("garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1\nhello\n";
+  }
+  EXPECT_FALSE(ReadTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, EmptyTraceFails) {
+  const std::string path = Path("empty.csv");
+  {
+    std::ofstream out(path);
+    out << "# only comments\n";
+  }
+  EXPECT_FALSE(ReadTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ReplayStreamTest, RejectsEmpty) {
+  EXPECT_FALSE(ReplayStream::Create({}).ok());
+}
+
+TEST(ReplayStreamTest, WrapsAround) {
+  auto s = ReplayStream::Create({{1.0}, {2.0}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->Next()[0], 1.0);
+  EXPECT_DOUBLE_EQ(s->Next()[0], 2.0);
+  EXPECT_DOUBLE_EQ(s->Next()[0], 1.0);
+}
+
+TEST(ReplayStreamTest, NoWrapHoldsLast) {
+  auto s = ReplayStream::Create({{1.0}, {2.0}}, /*wrap=*/false);
+  ASSERT_TRUE(s.ok());
+  s->Next();
+  s->Next();
+  EXPECT_DOUBLE_EQ(s->Next()[0], 2.0);
+  EXPECT_DOUBLE_EQ(s->Next()[0], 2.0);
+}
+
+TEST(ReplayStreamTest, DimensionsFromTrace) {
+  auto s = ReplayStream::Create({{1.0, 2.0, 3.0}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->dimensions(), 3u);
+}
+
+}  // namespace
+}  // namespace sensord

@@ -1,0 +1,192 @@
+#include "stream/variance_sketch.h"
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+// Exact reference: windowed population variance by direct computation.
+class ExactWindowVariance {
+ public:
+  explicit ExactWindowVariance(size_t window) : window_(window) {}
+
+  void Add(double x) {
+    values_.push_back(x);
+    if (values_.size() > window_) values_.pop_front();
+  }
+
+  double Mean() const {
+    double s = 0;
+    for (double v : values_) s += v;
+    return values_.empty() ? 0.0 : s / static_cast<double>(values_.size());
+  }
+
+  double Variance() const {
+    if (values_.empty()) return 0.0;
+    const double m = Mean();
+    double s = 0;
+    for (double v : values_) s += (v - m) * (v - m);
+    return s / static_cast<double>(values_.size());
+  }
+
+ private:
+  size_t window_;
+  std::deque<double> values_;
+};
+
+TEST(VarianceSketchTest, EmptyIsZero) {
+  VarianceSketch s(100, 0.2);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Count(), 0.0);
+}
+
+TEST(VarianceSketchTest, SingleValue) {
+  VarianceSketch s(100, 0.2);
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+}
+
+TEST(VarianceSketchTest, ConstantStreamHasZeroVariance) {
+  VarianceSketch s(50, 0.2);
+  for (int i = 0; i < 500; ++i) s.Add(2.0);
+  EXPECT_NEAR(s.Variance(), 0.0, 1e-12);
+  EXPECT_NEAR(s.Mean(), 2.0, 1e-12);
+}
+
+TEST(VarianceSketchTest, ExactBeforeWindowFills) {
+  // While nothing has expired, every bucket is exact and so is the estimate
+  // (merging preserves exact combined statistics).
+  VarianceSketch s(1000, 0.2);
+  ExactWindowVariance exact(1000);
+  Rng rng(1);
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.UniformDouble();
+    s.Add(x);
+    exact.Add(x);
+  }
+  EXPECT_NEAR(s.Variance(), exact.Variance(),
+              0.0001 + 0.001 * exact.Variance());
+}
+
+// The headline guarantee: relative error within epsilon once the window is
+// in steady state, across stream types and epsilons.
+struct SketchCase {
+  double epsilon;
+  int stream_kind;  // 0 = uniform, 1 = gaussian, 2 = drifting, 3 = bimodal
+};
+
+class VarianceSketchErrorTest : public ::testing::TestWithParam<SketchCase> {};
+
+TEST_P(VarianceSketchErrorTest, RelativeErrorWithinEpsilon) {
+  const SketchCase param = GetParam();
+  const size_t window = 500;
+  VarianceSketch sketch(window, param.epsilon);
+  ExactWindowVariance exact(window);
+  Rng rng(42 + param.stream_kind);
+
+  double worst = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    double x = 0.0;
+    switch (param.stream_kind) {
+      case 0:
+        x = rng.UniformDouble();
+        break;
+      case 1:
+        x = rng.Gaussian(0.4, 0.05);
+        break;
+      case 2:
+        x = rng.Gaussian(0.2 + 0.4 * (i / 5000.0), 0.05);
+        break;
+      case 3:
+        x = rng.Bernoulli(0.5) ? rng.Gaussian(0.2, 0.02)
+                               : rng.Gaussian(0.8, 0.02);
+        break;
+    }
+    sketch.Add(x);
+    exact.Add(x);
+    if (i > static_cast<int>(window)) {
+      const double truth = exact.Variance();
+      if (truth > 1e-9) {
+        worst = std::max(worst,
+                         std::fabs(sketch.Variance() - truth) / truth);
+      }
+    }
+  }
+  EXPECT_LE(worst, param.epsilon)
+      << "eps=" << param.epsilon << " kind=" << param.stream_kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VarianceSketchErrorTest,
+    ::testing::Values(SketchCase{0.1, 0}, SketchCase{0.1, 1},
+                      SketchCase{0.1, 2}, SketchCase{0.1, 3},
+                      SketchCase{0.2, 0}, SketchCase{0.2, 1},
+                      SketchCase{0.2, 2}, SketchCase{0.2, 3},
+                      SketchCase{0.5, 0}, SketchCase{0.5, 1},
+                      SketchCase{0.5, 2}, SketchCase{0.5, 3}));
+
+TEST(VarianceSketchTest, BucketCountStaysWithinBound) {
+  VarianceSketch s(10000, 0.2);
+  Rng rng(7);
+  size_t max_buckets = 0;
+  for (int i = 0; i < 30000; ++i) {
+    s.Add(rng.Gaussian(0.5, 0.1));
+    max_buckets = std::max(max_buckets, s.NumBuckets());
+  }
+  EXPECT_LE(max_buckets, s.TheoreticalBoundBuckets());
+}
+
+TEST(VarianceSketchTest, MemoryWellBelowTheoreticalBound) {
+  // The paper reports actual memory 55-65% below the bound (Section 10.3);
+  // we assert the weaker, stable property of being clearly below it.
+  VarianceSketch s(20000, 0.2);
+  Rng rng(8);
+  for (int i = 0; i < 60000; ++i) s.Add(rng.Gaussian(0.4, 0.05));
+  EXPECT_LT(s.MemoryBytes(2), s.TheoreticalBoundBytes(2));
+  EXPECT_LT(static_cast<double>(s.MemoryBytes(2)),
+            0.7 * static_cast<double>(s.TheoreticalBoundBytes(2)));
+}
+
+TEST(VarianceSketchTest, MeanTracksWindowAfterDistributionShift) {
+  const size_t window = 500;
+  VarianceSketch s(window, 0.2);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) s.Add(rng.Gaussian(0.2, 0.01));
+  for (int i = 0; i < 2000; ++i) s.Add(rng.Gaussian(0.8, 0.01));
+  // Two full windows after the shift, the old phase must be forgotten.
+  EXPECT_NEAR(s.Mean(), 0.8, 0.05);
+}
+
+TEST(VarianceSketchTest, CountApproximatesWindowSize) {
+  const size_t window = 1000;
+  VarianceSketch s(window, 0.2);
+  Rng rng(10);
+  for (int i = 0; i < 5000; ++i) s.Add(rng.UniformDouble());
+  EXPECT_NEAR(s.Count(), static_cast<double>(window),
+              0.25 * static_cast<double>(window));
+}
+
+TEST(VarianceSketchTest, StdDevIsSqrtOfVariance) {
+  VarianceSketch s(100, 0.2);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) s.Add(rng.UniformDouble());
+  EXPECT_DOUBLE_EQ(s.StdDev(), std::sqrt(s.Variance()));
+}
+
+TEST(VarianceSketchTest, TotalSeenCounts) {
+  VarianceSketch s(10, 0.5);
+  for (int i = 0; i < 25; ++i) s.Add(0.1 * i);
+  EXPECT_EQ(s.total_seen(), 25u);
+}
+
+}  // namespace
+}  // namespace sensord

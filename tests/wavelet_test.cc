@@ -1,0 +1,120 @@
+#include "stats/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "stats/divergence.h"
+#include "stats/empirical.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+std::vector<Point> GaussianData(Rng* rng, size_t n, double mean, double sd) {
+  std::vector<Point> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({Clamp(rng->Gaussian(mean, sd), 0.0, 1.0)});
+  }
+  return out;
+}
+
+TEST(WaveletTest, RejectsBadInput) {
+  EXPECT_FALSE(WaveletSynopsis::Build({}, 8).ok());
+  EXPECT_FALSE(WaveletSynopsis::Build({{0.5}}, 0).ok());
+  EXPECT_FALSE(WaveletSynopsis::Build({{0.5, 0.5}}, 8).ok());
+  EXPECT_FALSE(WaveletSynopsis::Build({{0.5}}, 8, 0).ok());
+  EXPECT_FALSE(WaveletSynopsis::Build({{0.5}}, 8, 21).ok());
+}
+
+TEST(WaveletTest, TotalMassIsOne) {
+  Rng rng(1);
+  auto w = WaveletSynopsis::Build(GaussianData(&rng, 2000, 0.4, 0.08), 64);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w->BoxProbability({-1.0}, {2.0}), 1.0, 1e-9);
+  EXPECT_NEAR(w->BoxProbability({0.0}, {1.0}), 1.0, 1e-9);
+}
+
+TEST(WaveletTest, FullCoefficientSetIsExactOnGrid) {
+  // With every coefficient kept, the synopsis is the exact equi-width
+  // histogram of the data at the grid resolution.
+  Rng rng(2);
+  const auto data = GaussianData(&rng, 3000, 0.5, 0.1);
+  auto w = WaveletSynopsis::Build(data, 1u << 8, /*levels=*/8);
+  ASSERT_TRUE(w.ok());
+  // Compare mass on grid-aligned intervals against the exact empirical.
+  auto e = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(e.ok());
+  for (int b = 0; b < 16; ++b) {
+    const double lo = b / 16.0, hi = (b + 1) / 16.0;
+    // Half-open alignment: shrink the top to avoid boundary-point
+    // double-count differences.
+    EXPECT_NEAR(w->BoxProbability({lo}, {hi}),
+                e->BoxProbability({lo}, {hi - 1e-12}), 0.01)
+        << "bucket " << b;
+  }
+}
+
+TEST(WaveletTest, CoefficientBudgetRespected) {
+  Rng rng(3);
+  const auto data = GaussianData(&rng, 2000, 0.4, 0.08);
+  for (size_t budget : {4u, 16u, 64u}) {
+    auto w = WaveletSynopsis::Build(data, budget);
+    ASSERT_TRUE(w.ok());
+    EXPECT_LE(w->NumCoefficients(), budget);
+    EXPECT_EQ(w->MemoryBytes(2), w->NumCoefficients() * 4);
+  }
+}
+
+TEST(WaveletTest, AccuracyImprovesWithBudget) {
+  SyntheticMixtureStream stream(SyntheticOptions{}, Rng(4));
+  std::vector<Point> data = stream.Take(20000);
+  auto truth = EmpiricalDistribution::Create(data);
+  ASSERT_TRUE(truth.ok());
+  double prev = 1.0;
+  for (size_t budget : {8u, 32u, 256u}) {
+    auto w = WaveletSynopsis::Build(data, budget);
+    ASSERT_TRUE(w.ok());
+    auto js = JsDivergenceOnGrid(*w, *truth, 64);
+    ASSERT_TRUE(js.ok());
+    EXPECT_LE(*js, prev + 0.01) << "budget " << budget;
+    prev = *js;
+  }
+  EXPECT_LT(prev, 0.05);
+}
+
+TEST(WaveletTest, PdfPiecewiseUniform) {
+  Rng rng(5);
+  auto w = WaveletSynopsis::Build(GaussianData(&rng, 5000, 0.5, 0.05), 128);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w->Pdf({0.5}), w->Pdf({0.3}));
+  EXPECT_DOUBLE_EQ(w->Pdf({-0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(w->Pdf({1.1}), 0.0);
+}
+
+TEST(WaveletTest, NonNegativeEverywhere) {
+  // Aggressive truncation must not leak negative masses.
+  Rng rng(6);
+  auto w = WaveletSynopsis::Build(GaussianData(&rng, 1000, 0.2, 0.02), 3);
+  ASSERT_TRUE(w.ok());
+  Rng q(7);
+  for (int i = 0; i < 200; ++i) {
+    double a = q.UniformDouble(), b = q.UniformDouble();
+    if (a > b) std::swap(a, b);
+    EXPECT_GE(w->BoxProbability({a}, {b}), 0.0);
+  }
+}
+
+TEST(WaveletTest, FractionalCellCoverage) {
+  // A single point mass in one cell: querying half the cell returns half
+  // its mass under the piecewise-uniform model.
+  std::vector<Point> data(100, Point{0.5001});
+  auto w = WaveletSynopsis::Build(data, 1u << 6, /*levels=*/6);
+  ASSERT_TRUE(w.ok());
+  const double cell = 1.0 / 64.0;
+  const size_t idx = static_cast<size_t>(0.5001 / cell);
+  const double lo = static_cast<double>(idx) * cell;
+  EXPECT_NEAR(w->BoxProbability({lo}, {lo + cell / 2}), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace sensord
