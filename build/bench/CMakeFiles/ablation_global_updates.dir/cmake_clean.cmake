@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_global_updates.dir/ablation_global_updates.cc.o"
+  "CMakeFiles/ablation_global_updates.dir/ablation_global_updates.cc.o.d"
+  "ablation_global_updates"
+  "ablation_global_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_global_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

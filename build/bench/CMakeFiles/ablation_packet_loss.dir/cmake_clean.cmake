@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packet_loss.dir/ablation_packet_loss.cc.o"
+  "CMakeFiles/ablation_packet_loss.dir/ablation_packet_loss.cc.o.d"
+  "ablation_packet_loss"
+  "ablation_packet_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dataset_stats.dir/fig05_dataset_stats.cc.o"
+  "CMakeFiles/fig05_dataset_stats.dir/fig05_dataset_stats.cc.o.d"
+  "fig05_dataset_stats"
+  "fig05_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_estimation_accuracy.dir/fig06_estimation_accuracy.cc.o"
+  "CMakeFiles/fig06_estimation_accuracy.dir/fig06_estimation_accuracy.cc.o.d"
+  "fig06_estimation_accuracy"
+  "fig06_estimation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_estimation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

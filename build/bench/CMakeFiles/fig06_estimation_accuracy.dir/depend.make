@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_estimation_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_accuracy_1d.dir/fig07_accuracy_1d.cc.o"
+  "CMakeFiles/fig07_accuracy_1d.dir/fig07_accuracy_1d.cc.o.d"
+  "fig07_accuracy_1d"
+  "fig07_accuracy_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_accuracy_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_accuracy_1d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mgdd_fraction.dir/fig08_mgdd_fraction.cc.o"
+  "CMakeFiles/fig08_mgdd_fraction.dir/fig08_mgdd_fraction.cc.o.d"
+  "fig08_mgdd_fraction"
+  "fig08_mgdd_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mgdd_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

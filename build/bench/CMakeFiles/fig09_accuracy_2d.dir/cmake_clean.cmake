@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_accuracy_2d.dir/fig09_accuracy_2d.cc.o"
+  "CMakeFiles/fig09_accuracy_2d.dir/fig09_accuracy_2d.cc.o.d"
+  "fig09_accuracy_2d"
+  "fig09_accuracy_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_accuracy_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_real_data.dir/fig10_real_data.cc.o"
+  "CMakeFiles/fig10_real_data.dir/fig10_real_data.cc.o.d"
+  "fig10_real_data"
+  "fig10_real_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_real_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

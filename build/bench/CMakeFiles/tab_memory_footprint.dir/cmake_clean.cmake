@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_memory_footprint.dir/tab_memory_footprint.cc.o"
+  "CMakeFiles/tab_memory_footprint.dir/tab_memory_footprint.cc.o.d"
+  "tab_memory_footprint"
+  "tab_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

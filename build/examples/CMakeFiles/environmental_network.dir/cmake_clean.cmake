@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environmental_network.dir/environmental_network.cpp.o"
+  "CMakeFiles/environmental_network.dir/environmental_network.cpp.o.d"
+  "environmental_network"
+  "environmental_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environmental_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faulty_sensor_audit.dir/faulty_sensor_audit.cpp.o"
+  "CMakeFiles/faulty_sensor_audit.dir/faulty_sensor_audit.cpp.o.d"
+  "faulty_sensor_audit"
+  "faulty_sensor_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faulty_sensor_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

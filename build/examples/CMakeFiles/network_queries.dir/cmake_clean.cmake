@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_queries.dir/network_queries.cpp.o"
+  "CMakeFiles/network_queries.dir/network_queries.cpp.o.d"
+  "network_queries"
+  "network_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_outliers.dir/trace_outliers.cpp.o"
+  "CMakeFiles/trace_outliers.dir/trace_outliers.cpp.o.d"
+  "trace_outliers"
+  "trace_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_baseline.dir/brute_force_d.cc.o"
+  "CMakeFiles/sensord_baseline.dir/brute_force_d.cc.o.d"
+  "CMakeFiles/sensord_baseline.dir/brute_force_m.cc.o"
+  "CMakeFiles/sensord_baseline.dir/brute_force_m.cc.o.d"
+  "CMakeFiles/sensord_baseline.dir/centralized.cc.o"
+  "CMakeFiles/sensord_baseline.dir/centralized.cc.o.d"
+  "libsensord_baseline.a"
+  "libsensord_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/d3.cc" "src/core/CMakeFiles/sensord_core.dir/d3.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/d3.cc.o.d"
+  "/root/repo/src/core/density_model.cc" "src/core/CMakeFiles/sensord_core.dir/density_model.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/density_model.cc.o.d"
+  "/root/repo/src/core/distance_outlier.cc" "src/core/CMakeFiles/sensord_core.dir/distance_outlier.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/distance_outlier.cc.o.d"
+  "/root/repo/src/core/faulty_sensor.cc" "src/core/CMakeFiles/sensord_core.dir/faulty_sensor.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/faulty_sensor.cc.o.d"
+  "/root/repo/src/core/mdef.cc" "src/core/CMakeFiles/sensord_core.dir/mdef.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/mdef.cc.o.d"
+  "/root/repo/src/core/mgdd.cc" "src/core/CMakeFiles/sensord_core.dir/mgdd.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/mgdd.cc.o.d"
+  "/root/repo/src/core/query_processing.cc" "src/core/CMakeFiles/sensord_core.dir/query_processing.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/query_processing.cc.o.d"
+  "/root/repo/src/core/range_query.cc" "src/core/CMakeFiles/sensord_core.dir/range_query.cc.o" "gcc" "src/core/CMakeFiles/sensord_core.dir/range_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sensord_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sensord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sensord_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

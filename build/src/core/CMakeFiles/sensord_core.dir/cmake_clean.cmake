@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_core.dir/d3.cc.o"
+  "CMakeFiles/sensord_core.dir/d3.cc.o.d"
+  "CMakeFiles/sensord_core.dir/density_model.cc.o"
+  "CMakeFiles/sensord_core.dir/density_model.cc.o.d"
+  "CMakeFiles/sensord_core.dir/distance_outlier.cc.o"
+  "CMakeFiles/sensord_core.dir/distance_outlier.cc.o.d"
+  "CMakeFiles/sensord_core.dir/faulty_sensor.cc.o"
+  "CMakeFiles/sensord_core.dir/faulty_sensor.cc.o.d"
+  "CMakeFiles/sensord_core.dir/mdef.cc.o"
+  "CMakeFiles/sensord_core.dir/mdef.cc.o.d"
+  "CMakeFiles/sensord_core.dir/mgdd.cc.o"
+  "CMakeFiles/sensord_core.dir/mgdd.cc.o.d"
+  "CMakeFiles/sensord_core.dir/query_processing.cc.o"
+  "CMakeFiles/sensord_core.dir/query_processing.cc.o.d"
+  "CMakeFiles/sensord_core.dir/range_query.cc.o"
+  "CMakeFiles/sensord_core.dir/range_query.cc.o.d"
+  "libsensord_core.a"
+  "libsensord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/analytic.cc" "src/data/CMakeFiles/sensord_data.dir/analytic.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/analytic.cc.o.d"
+  "/root/repo/src/data/engine_trace.cc" "src/data/CMakeFiles/sensord_data.dir/engine_trace.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/engine_trace.cc.o.d"
+  "/root/repo/src/data/environmental_trace.cc" "src/data/CMakeFiles/sensord_data.dir/environmental_trace.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/environmental_trace.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/data/CMakeFiles/sensord_data.dir/normalize.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/normalize.cc.o.d"
+  "/root/repo/src/data/shift_trace.cc" "src/data/CMakeFiles/sensord_data.dir/shift_trace.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/shift_trace.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/sensord_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/trace_io.cc" "src/data/CMakeFiles/sensord_data.dir/trace_io.cc.o" "gcc" "src/data/CMakeFiles/sensord_data.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sensord_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

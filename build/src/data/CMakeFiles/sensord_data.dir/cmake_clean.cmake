@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_data.dir/analytic.cc.o"
+  "CMakeFiles/sensord_data.dir/analytic.cc.o.d"
+  "CMakeFiles/sensord_data.dir/engine_trace.cc.o"
+  "CMakeFiles/sensord_data.dir/engine_trace.cc.o.d"
+  "CMakeFiles/sensord_data.dir/environmental_trace.cc.o"
+  "CMakeFiles/sensord_data.dir/environmental_trace.cc.o.d"
+  "CMakeFiles/sensord_data.dir/normalize.cc.o"
+  "CMakeFiles/sensord_data.dir/normalize.cc.o.d"
+  "CMakeFiles/sensord_data.dir/shift_trace.cc.o"
+  "CMakeFiles/sensord_data.dir/shift_trace.cc.o.d"
+  "CMakeFiles/sensord_data.dir/synthetic.cc.o"
+  "CMakeFiles/sensord_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/sensord_data.dir/trace_io.cc.o"
+  "CMakeFiles/sensord_data.dir/trace_io.cc.o.d"
+  "libsensord_data.a"
+  "libsensord_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/box_counter.cc" "src/eval/CMakeFiles/sensord_eval.dir/box_counter.cc.o" "gcc" "src/eval/CMakeFiles/sensord_eval.dir/box_counter.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/sensord_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/sensord_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/ground_truth.cc" "src/eval/CMakeFiles/sensord_eval.dir/ground_truth.cc.o" "gcc" "src/eval/CMakeFiles/sensord_eval.dir/ground_truth.cc.o.d"
+  "/root/repo/src/eval/scoring.cc" "src/eval/CMakeFiles/sensord_eval.dir/scoring.cc.o" "gcc" "src/eval/CMakeFiles/sensord_eval.dir/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sensord_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sensord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sensord_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sensord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sensord_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sensord_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_eval.dir/box_counter.cc.o"
+  "CMakeFiles/sensord_eval.dir/box_counter.cc.o.d"
+  "CMakeFiles/sensord_eval.dir/experiment.cc.o"
+  "CMakeFiles/sensord_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/sensord_eval.dir/ground_truth.cc.o"
+  "CMakeFiles/sensord_eval.dir/ground_truth.cc.o.d"
+  "CMakeFiles/sensord_eval.dir/scoring.cc.o"
+  "CMakeFiles/sensord_eval.dir/scoring.cc.o.d"
+  "libsensord_eval.a"
+  "libsensord_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

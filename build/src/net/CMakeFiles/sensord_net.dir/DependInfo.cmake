@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_queue.cc" "src/net/CMakeFiles/sensord_net.dir/event_queue.cc.o" "gcc" "src/net/CMakeFiles/sensord_net.dir/event_queue.cc.o.d"
+  "/root/repo/src/net/hierarchy.cc" "src/net/CMakeFiles/sensord_net.dir/hierarchy.cc.o" "gcc" "src/net/CMakeFiles/sensord_net.dir/hierarchy.cc.o.d"
+  "/root/repo/src/net/leader_election.cc" "src/net/CMakeFiles/sensord_net.dir/leader_election.cc.o" "gcc" "src/net/CMakeFiles/sensord_net.dir/leader_election.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/sensord_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/sensord_net.dir/network.cc.o.d"
+  "/root/repo/src/net/stats_collector.cc" "src/net/CMakeFiles/sensord_net.dir/stats_collector.cc.o" "gcc" "src/net/CMakeFiles/sensord_net.dir/stats_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_net.dir/event_queue.cc.o"
+  "CMakeFiles/sensord_net.dir/event_queue.cc.o.d"
+  "CMakeFiles/sensord_net.dir/hierarchy.cc.o"
+  "CMakeFiles/sensord_net.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sensord_net.dir/leader_election.cc.o"
+  "CMakeFiles/sensord_net.dir/leader_election.cc.o.d"
+  "CMakeFiles/sensord_net.dir/network.cc.o"
+  "CMakeFiles/sensord_net.dir/network.cc.o.d"
+  "CMakeFiles/sensord_net.dir/stats_collector.cc.o"
+  "CMakeFiles/sensord_net.dir/stats_collector.cc.o.d"
+  "libsensord_net.a"
+  "libsensord_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bandwidth.cc" "src/stats/CMakeFiles/sensord_stats.dir/bandwidth.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/bandwidth.cc.o.d"
+  "/root/repo/src/stats/divergence.cc" "src/stats/CMakeFiles/sensord_stats.dir/divergence.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/divergence.cc.o.d"
+  "/root/repo/src/stats/empirical.cc" "src/stats/CMakeFiles/sensord_stats.dir/empirical.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/empirical.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/sensord_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/stats/CMakeFiles/sensord_stats.dir/kde.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/kde.cc.o.d"
+  "/root/repo/src/stats/kernel.cc" "src/stats/CMakeFiles/sensord_stats.dir/kernel.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/kernel.cc.o.d"
+  "/root/repo/src/stats/moments.cc" "src/stats/CMakeFiles/sensord_stats.dir/moments.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/moments.cc.o.d"
+  "/root/repo/src/stats/wavelet.cc" "src/stats/CMakeFiles/sensord_stats.dir/wavelet.cc.o" "gcc" "src/stats/CMakeFiles/sensord_stats.dir/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

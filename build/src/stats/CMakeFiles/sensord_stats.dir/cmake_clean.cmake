@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_stats.dir/bandwidth.cc.o"
+  "CMakeFiles/sensord_stats.dir/bandwidth.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/divergence.cc.o"
+  "CMakeFiles/sensord_stats.dir/divergence.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/empirical.cc.o"
+  "CMakeFiles/sensord_stats.dir/empirical.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/histogram.cc.o"
+  "CMakeFiles/sensord_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/kde.cc.o"
+  "CMakeFiles/sensord_stats.dir/kde.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/kernel.cc.o"
+  "CMakeFiles/sensord_stats.dir/kernel.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/moments.cc.o"
+  "CMakeFiles/sensord_stats.dir/moments.cc.o.d"
+  "CMakeFiles/sensord_stats.dir/wavelet.cc.o"
+  "CMakeFiles/sensord_stats.dir/wavelet.cc.o.d"
+  "libsensord_stats.a"
+  "libsensord_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/chain_sample.cc" "src/stream/CMakeFiles/sensord_stream.dir/chain_sample.cc.o" "gcc" "src/stream/CMakeFiles/sensord_stream.dir/chain_sample.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/stream/CMakeFiles/sensord_stream.dir/sliding_window.cc.o" "gcc" "src/stream/CMakeFiles/sensord_stream.dir/sliding_window.cc.o.d"
+  "/root/repo/src/stream/variance_sketch.cc" "src/stream/CMakeFiles/sensord_stream.dir/variance_sketch.cc.o" "gcc" "src/stream/CMakeFiles/sensord_stream.dir/variance_sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

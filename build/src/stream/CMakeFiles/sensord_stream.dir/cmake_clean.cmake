@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_stream.dir/chain_sample.cc.o"
+  "CMakeFiles/sensord_stream.dir/chain_sample.cc.o.d"
+  "CMakeFiles/sensord_stream.dir/sliding_window.cc.o"
+  "CMakeFiles/sensord_stream.dir/sliding_window.cc.o.d"
+  "CMakeFiles/sensord_stream.dir/variance_sketch.cc.o"
+  "CMakeFiles/sensord_stream.dir/variance_sketch.cc.o.d"
+  "libsensord_stream.a"
+  "libsensord_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

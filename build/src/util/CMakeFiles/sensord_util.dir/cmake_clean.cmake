@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensord_util.dir/logging.cc.o"
+  "CMakeFiles/sensord_util.dir/logging.cc.o.d"
+  "CMakeFiles/sensord_util.dir/math_utils.cc.o"
+  "CMakeFiles/sensord_util.dir/math_utils.cc.o.d"
+  "CMakeFiles/sensord_util.dir/rng.cc.o"
+  "CMakeFiles/sensord_util.dir/rng.cc.o.d"
+  "CMakeFiles/sensord_util.dir/status.cc.o"
+  "CMakeFiles/sensord_util.dir/status.cc.o.d"
+  "libsensord_util.a"
+  "libsensord_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensord_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

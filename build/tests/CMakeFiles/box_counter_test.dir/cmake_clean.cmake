@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_counter_test.dir/box_counter_test.cc.o"
+  "CMakeFiles/box_counter_test.dir/box_counter_test.cc.o.d"
+  "box_counter_test"
+  "box_counter_test.pdb"
+  "box_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

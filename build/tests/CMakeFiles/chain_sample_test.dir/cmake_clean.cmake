@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_sample_test.dir/chain_sample_test.cc.o"
+  "CMakeFiles/chain_sample_test.dir/chain_sample_test.cc.o.d"
+  "chain_sample_test"
+  "chain_sample_test.pdb"
+  "chain_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

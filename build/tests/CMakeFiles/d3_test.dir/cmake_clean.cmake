@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d3_test.dir/d3_test.cc.o"
+  "CMakeFiles/d3_test.dir/d3_test.cc.o.d"
+  "d3_test"
+  "d3_test.pdb"
+  "d3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_outlier_test.dir/distance_outlier_test.cc.o"
+  "CMakeFiles/distance_outlier_test.dir/distance_outlier_test.cc.o.d"
+  "distance_outlier_test"
+  "distance_outlier_test.pdb"
+  "distance_outlier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_outlier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

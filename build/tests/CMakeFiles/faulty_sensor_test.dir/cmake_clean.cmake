@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faulty_sensor_test.dir/faulty_sensor_test.cc.o"
+  "CMakeFiles/faulty_sensor_test.dir/faulty_sensor_test.cc.o.d"
+  "faulty_sensor_test"
+  "faulty_sensor_test.pdb"
+  "faulty_sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faulty_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdef_test.dir/mdef_test.cc.o"
+  "CMakeFiles/mdef_test.dir/mdef_test.cc.o.d"
+  "mdef_test"
+  "mdef_test.pdb"
+  "mdef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

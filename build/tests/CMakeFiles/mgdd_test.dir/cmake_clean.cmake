@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgdd_test.dir/mgdd_test.cc.o"
+  "CMakeFiles/mgdd_test.dir/mgdd_test.cc.o.d"
+  "mgdd_test"
+  "mgdd_test.pdb"
+  "mgdd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sensord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sensord_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sensord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sensord_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sensord_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sensord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sensord_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sensord_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_processing_test.dir/query_processing_test.cc.o"
+  "CMakeFiles/query_processing_test.dir/query_processing_test.cc.o.d"
+  "query_processing_test"
+  "query_processing_test.pdb"
+  "query_processing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_processing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_trace_test.dir/real_trace_test.cc.o"
+  "CMakeFiles/real_trace_test.dir/real_trace_test.cc.o.d"
+  "real_trace_test"
+  "real_trace_test.pdb"
+  "real_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_trace_test.dir/shift_trace_test.cc.o"
+  "CMakeFiles/shift_trace_test.dir/shift_trace_test.cc.o.d"
+  "shift_trace_test"
+  "shift_trace_test.pdb"
+  "shift_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

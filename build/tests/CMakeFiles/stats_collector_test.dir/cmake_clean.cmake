@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_collector_test.dir/stats_collector_test.cc.o"
+  "CMakeFiles/stats_collector_test.dir/stats_collector_test.cc.o.d"
+  "stats_collector_test"
+  "stats_collector_test.pdb"
+  "stats_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_sketch_test.dir/variance_sketch_test.cc.o"
+  "CMakeFiles/variance_sketch_test.dir/variance_sketch_test.cc.o.d"
+  "variance_sketch_test"
+  "variance_sketch_test.pdb"
+  "variance_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
