@@ -95,11 +95,13 @@ int main(int argc, char** argv) {
     }
   }
   if (flagged > 20) std::printf("  ... and %zu more\n", flagged - 20);
+  const size_t scored = n > warmup ? n - warmup : 0;
   std::printf("flagged %zu of %zu readings (%.2f%%); model memory %zu bytes"
               "\n",
-              flagged, n - warmup,
-              100.0 * static_cast<double>(flagged) /
-                  static_cast<double>(n - warmup),
+              flagged, scored,
+              scored == 0 ? 0.0
+                          : 100.0 * static_cast<double>(flagged) /
+                                static_cast<double>(scored),
               model.MemoryBytes(2));
   return 0;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the asan-ubsan preset (Debug: every SENSORD_DCHECK active) and runs
+# the full ctest suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Exits nonzero on any build failure, test failure, or sanitizer report.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+# halt_on_error turns every sanitizer finding into a test failure; leak
+# detection is on so fixture teardown bugs surface too. abort_on_error=0
+# keeps UBSan's exit path (exitcode 1) instead of a core dump.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1:detect_stack_use_after_return=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${JOBS}"
+ctest --test-dir build/asan-ubsan --output-on-failure -j "${JOBS}" "$@"
+echo "check.sh: asan-ubsan suite clean"

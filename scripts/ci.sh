@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The one-command tier-1 + sanitizer gate:
+#   1. Release preset: build + full ctest suite (what ships).
+#   2. ASan/UBSan preset: build + full ctest suite (what catches UB/leaks),
+#      via scripts/check.sh.
+#   3. clang-tidy over src/ via scripts/lint.sh (skipped with a notice if
+#      clang-tidy is not installed).
+# Exits nonzero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== ci.sh [1/3] release build + ctest ==="
+cmake --preset release
+cmake --build --preset release -j "${JOBS}"
+ctest --test-dir build/release --output-on-failure -j "${JOBS}"
+
+echo "=== ci.sh [2/3] asan-ubsan build + ctest ==="
+scripts/check.sh
+
+echo "=== ci.sh [3/3] clang-tidy ==="
+scripts/lint.sh
+
+echo "ci.sh: all gates green"

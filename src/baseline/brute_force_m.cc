@@ -1,16 +1,16 @@
 #include "baseline/brute_force_m.h"
 
-#include <cassert>
-
 #include "stats/empirical.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
 MdefResult BruteForceMdef(const std::vector<Point>& window, const Point& p,
                           const MdefConfig& config) {
-  assert(!window.empty());
+  SENSORD_CHECK(!window.empty());
   auto empirical = EmpiricalDistribution::Create(window);
-  assert(empirical.ok());
+  SENSORD_CHECK_OK(empirical);
   return ComputeMdef(*empirical, p, config);
 }
 
@@ -21,9 +21,9 @@ bool BruteForceIsMdefOutlier(const std::vector<Point>& window, const Point& p,
 
 std::vector<size_t> BruteForceAllMdefOutliers(const std::vector<Point>& window,
                                               const MdefConfig& config) {
-  assert(!window.empty());
+  SENSORD_CHECK(!window.empty());
   auto empirical = EmpiricalDistribution::Create(window);
-  assert(empirical.ok());
+  SENSORD_CHECK_OK(empirical);
   std::vector<size_t> outliers;
   for (size_t i = 0; i < window.size(); ++i) {
     if (ComputeMdef(*empirical, window[i], config).is_outlier) {

@@ -1,11 +1,12 @@
 #include "core/d3.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/distance_outlier.h"
 #include "core/protocol.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -13,8 +14,8 @@ DensityModelConfig LeaderModelConfigFor(const DensityModelConfig& leaf,
                                         size_t num_children,
                                         size_t descendant_leaves,
                                         double sample_fraction) {
-  assert(num_children >= 1);
-  assert(descendant_leaves >= num_children);
+  SENSORD_CHECK_GE(num_children, 1u);
+  SENSORD_CHECK_GE(descendant_leaves, num_children);
   DensityModelConfig cfg = leaf;
   const double arrivals = static_cast<double>(num_children) *
                           sample_fraction *
@@ -29,8 +30,8 @@ DensityModelConfig LeaderModelConfigFor(const DensityModelConfig& leaf,
 DensityModelConfig LeaderModelConfig(const DensityModelConfig& leaf,
                                      size_t fanout, double sample_fraction,
                                      int level) {
-  assert(level >= 2);
-  assert(fanout >= 2);
+  SENSORD_CHECK_GE(level, 2);
+  SENSORD_CHECK_GE(fanout, 2u);
   const size_t descendant_leaves = static_cast<size_t>(
       std::llround(std::pow(static_cast<double>(fanout), level - 1)));
   return LeaderModelConfigFor(leaf, fanout, descendant_leaves,

@@ -1,16 +1,17 @@
 #include "core/density_model.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "stats/bandwidth.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
 DensityModel::DensityModel(const DensityModelConfig& config, Rng rng)
     : config_(config),
       sample_(config.sample_size, config.window_size, rng) {
-  assert(config_.dimensions >= 1);
+  SENSORD_CHECK_GE(config_.dimensions, 1u);
   if (config_.prewarm_steady_state) sample_.PrewarmToSteadyState();
   sketches_.reserve(config_.dimensions);
   for (size_t i = 0; i < config_.dimensions; ++i) {
@@ -19,13 +20,13 @@ DensityModel::DensityModel(const DensityModelConfig& config, Rng rng)
 }
 
 bool DensityModel::Observe(const Point& p) {
-  assert(p.size() == config_.dimensions);
+  SENSORD_DCHECK_EQ(p.size(), config_.dimensions);
   for (size_t i = 0; i < config_.dimensions; ++i) sketches_[i].Add(p[i]);
   return sample_.Add(p);
 }
 
 const KernelDensityEstimator& DensityModel::Estimator() const {
-  assert(Ready());
+  SENSORD_CHECK(Ready());
   const uint64_t version = sample_.version();
   const uint64_t seen = sample_.total_seen();
   const bool stale = !cached_.has_value() ||
@@ -34,7 +35,7 @@ const KernelDensityEstimator& DensityModel::Estimator() const {
   if (stale) {
     auto built = KernelDensityEstimator::CreateWithScottBandwidths(
         sample_.Snapshot(), BandwidthSpreads());
-    assert(built.ok());  // inputs are valid by construction
+    SENSORD_CHECK_OK(built.status());  // inputs are valid by construction
     cached_.emplace(std::move(built).value());
     cached_sample_version_ = version;
     cached_at_count_ = seen;

@@ -1,8 +1,8 @@
 #include "core/faulty_sensor.h"
 
-#include <cassert>
-
 #include "stats/divergence.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -50,11 +50,11 @@ StatusOr<std::vector<FaultVerdict>> DetectFaultySensors(
 
 OutlierRateMonitor::OutlierRateMonitor(double window_seconds)
     : window_seconds_(window_seconds) {
-  assert(window_seconds_ > 0.0);
+  SENSORD_CHECK_GT(window_seconds_, 0.0);
 }
 
 void OutlierRateMonitor::RecordOutlier(double t) {
-  assert(events_.empty() || events_.back() <= t);
+  SENSORD_DCHECK(events_.empty() || events_.back() <= t);
   events_.push_back(t);
 }
 

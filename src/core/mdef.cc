@@ -1,10 +1,11 @@
 #include "core/mdef.h"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "stats/kde.h"
+
+#include "util/check.h"
 
 namespace sensord {
 namespace {
@@ -93,10 +94,10 @@ MdefResult MdefFromMasses(double counting_mass, double sum1, double sum2,
 
 MdefResult ComputeMdef(const DistributionEstimator& model, const Point& p,
                        const MdefConfig& config) {
-  assert(p.size() == model.dimensions());
-  assert(config.counting_radius > 0.0);
-  assert(config.counting_radius <= config.sampling_radius);
-  assert(config.sampling_radius < 1.0);
+  SENSORD_DCHECK_EQ(p.size(), model.dimensions());
+  SENSORD_CHECK_GT(config.counting_radius, 0.0);
+  SENSORD_CHECK_LE(config.counting_radius, config.sampling_radius);
+  SENSORD_CHECK_LT(config.sampling_radius, 1.0);
 
   const double counting_mass =
       model.BallProbability(p, config.counting_radius);
@@ -114,9 +115,9 @@ MdefResult ComputeMdef(const KernelDensityEstimator& kde, const Point& p,
     return ComputeMdef(static_cast<const DistributionEstimator&>(kde), p,
                        config);
   }
-  assert(p.size() == d);
-  assert(config.counting_radius > 0.0);
-  assert(config.counting_radius <= config.sampling_radius);
+  SENSORD_DCHECK_EQ(p.size(), d);
+  SENSORD_CHECK_GT(config.counting_radius, 0.0);
+  SENSORD_CHECK_LE(config.counting_radius, config.sampling_radius);
 
   const double side = 2.0 * config.counting_radius;
   const double r = config.sampling_radius;

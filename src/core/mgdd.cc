@@ -1,10 +1,11 @@
 #include "core/mgdd.h"
 
-#include <cassert>
 #include <memory>
 #include <utility>
 
 #include "stats/divergence.h"
+
+#include "util/check.h"
 
 namespace sensord {
 namespace {
@@ -68,7 +69,7 @@ void MgddLeafNode::HandleMessage(const Message& msg) {
 }
 
 const KernelDensityEstimator& MgddLeafNode::GlobalEstimator() const {
-  assert(HasGlobalModel());
+  SENSORD_CHECK(HasGlobalModel());
   if (!cached_global_.has_value() || cached_version_ != replica_version_) {
     std::vector<Point> sample;
     sample.reserve(global_sample_.size());
@@ -77,7 +78,7 @@ const KernelDensityEstimator& MgddLeafNode::GlobalEstimator() const {
     }
     auto built = KernelDensityEstimator::CreateWithScottBandwidths(
         std::move(sample), global_stddevs_);
-    assert(built.ok());
+    SENSORD_CHECK_OK(built.status());
     cached_global_.emplace(std::move(built).value());
     cached_version_ = replica_version_;
   }
@@ -152,8 +153,8 @@ void MgddInternalNode::MaybeOriginateUpdate() {
       auto js = JsDivergenceOnGrid(model_.Estimator(),
                                    *last_pushed_estimator_,
                                    options_.js_grid_cells);
-      assert(js.ok());
-      if (js.ok() && *js <= options_.push_js_threshold) return;
+      SENSORD_CHECK_OK(js.status());
+      if (*js <= options_.push_js_threshold) return;
     }
     for (size_t i = 0; i < snapshot.size(); ++i) {
       payload.updates.push_back(

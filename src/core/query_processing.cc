@@ -1,10 +1,11 @@
 #include "core/query_processing.h"
 
-#include <cassert>
 #include <utility>
 
 #include "core/protocol.h"
 #include "core/range_query.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -73,12 +74,12 @@ void QuerySensorNode::HandleMessage(const Message& msg) {
 
 QueryAggregatorNode::QueryAggregatorNode(double response_deadline)
     : response_deadline_(response_deadline) {
-  assert(response_deadline_ > 0.0);
+  SENSORD_CHECK_GT(response_deadline_, 0.0);
 }
 
 void QueryAggregatorNode::InjectQuery(const AggregateQuery& query,
                                       QueryCallback callback) {
-  assert(sim() != nullptr);
+  SENSORD_CHECK(sim() != nullptr);
   Disseminate(query, /*local_origin=*/true, std::move(callback));
 }
 
@@ -92,7 +93,7 @@ void QueryAggregatorNode::Disseminate(const AggregateQuery& query,
   pending.local_origin = local_origin;
   pending.callback = std::move(callback);
   const auto [it, inserted] = pending_.emplace(query.id, std::move(pending));
-  assert(inserted && "duplicate in-flight query id");
+  SENSORD_CHECK(inserted && "duplicate in-flight query id");
   (void)it;
 
   for (NodeId child : children()) {

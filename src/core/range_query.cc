@@ -1,14 +1,15 @@
 #include "core/range_query.h"
 
-#include <cassert>
+#include "util/check.h"
+
 
 namespace sensord {
 
 RangeQueryEngine::RangeQueryEngine(const DistributionEstimator* estimator,
                                    double window_count)
     : estimator_(estimator), window_count_(window_count) {
-  assert(estimator_ != nullptr);
-  assert(window_count_ >= 0.0);
+  SENSORD_CHECK(estimator_ != nullptr);
+  SENSORD_CHECK_GE(window_count_, 0.0);
 }
 
 double RangeQueryEngine::Selectivity(const Point& lo, const Point& hi) const {
@@ -22,8 +23,8 @@ double RangeQueryEngine::Count(const Point& lo, const Point& hi) const {
 StatusOr<double> RangeQueryEngine::Average(size_t dim, const Point& lo,
                                            const Point& hi,
                                            size_t slices) const {
-  assert(dim < estimator_->dimensions());
-  assert(slices >= 1);
+  SENSORD_CHECK_LT(dim, estimator_->dimensions());
+  SENSORD_CHECK_GE(slices, 1u);
   const double width = (hi[dim] - lo[dim]) / static_cast<double>(slices);
   if (width <= 0.0) {
     return Status::InvalidArgument("degenerate query box");
@@ -46,13 +47,13 @@ StatusOr<double> RangeQueryEngine::Average(size_t dim, const Point& lo,
 
 TemporalModelStore::TemporalModelStore(size_t capacity)
     : capacity_(capacity) {
-  assert(capacity_ >= 1);
+  SENSORD_CHECK_GE(capacity_, 1u);
 }
 
 void TemporalModelStore::AddSnapshot(double t,
                                      KernelDensityEstimator estimator,
                                      double window_count) {
-  assert(snapshots_.empty() || snapshots_.back().time <= t);
+  SENSORD_DCHECK(snapshots_.empty() || snapshots_.back().time <= t);
   snapshots_.push_back(Snapshot{t, std::move(estimator), window_count});
   while (snapshots_.size() > capacity_) snapshots_.pop_front();
 }

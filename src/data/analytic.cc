@@ -1,7 +1,8 @@
 #include "data/analytic.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 namespace {
@@ -68,7 +69,7 @@ StatusOr<AnalyticDistribution> AnalyticDistribution::Create(
 AnalyticDistribution AnalyticDistribution::Gaussian1d(double mean,
                                                       double stddev) {
   auto result = Create({{MixtureComponent::MakeGaussian(1.0, mean, stddev)}});
-  assert(result.ok());
+  SENSORD_CHECK_OK(result);
   return std::move(result).value();
 }
 
@@ -136,8 +137,8 @@ double AnalyticDistribution::MarginalPdf(size_t dim, double x) const {
 
 double AnalyticDistribution::BoxProbability(const Point& lo,
                                             const Point& hi) const {
-  assert(lo.size() == dimensions());
-  assert(hi.size() == dimensions());
+  SENSORD_DCHECK_EQ(lo.size(), dimensions());
+  SENSORD_DCHECK_EQ(hi.size(), dimensions());
   double mass = 1.0;
   for (size_t dim = 0; dim < dimensions() && mass > 0.0; ++dim) {
     mass *= MarginalMass(dim, lo[dim], hi[dim]);
@@ -146,7 +147,7 @@ double AnalyticDistribution::BoxProbability(const Point& lo,
 }
 
 double AnalyticDistribution::Pdf(const Point& p) const {
-  assert(p.size() == dimensions());
+  SENSORD_DCHECK_EQ(p.size(), dimensions());
   double density = 1.0;
   for (size_t dim = 0; dim < dimensions() && density > 0.0; ++dim) {
     density *= MarginalPdf(dim, p[dim]);

@@ -1,20 +1,22 @@
 #include "data/engine_trace.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
 EngineTraceGenerator::EngineTraceGenerator(EngineTraceOptions options, Rng rng)
     : options_(options), rng_(rng), level_(options.healthy_level) {
-  assert(options_.healthy_noise > 0.0);
-  assert(options_.mean_reversion > 0.0 && options_.mean_reversion < 1.0);
-  assert(options_.value_floor < options_.value_ceiling);
-  assert(options_.mean_healthy_duration > 1.0);
-  assert(options_.mean_failure_duration >=
-         static_cast<double>(options_.min_failure_duration));
-  assert(options_.min_failure_duration >= 2);
-  assert(options_.min_failure_depth <= options_.max_failure_depth);
+  SENSORD_CHECK_GT(options_.healthy_noise, 0.0);
+  SENSORD_CHECK_GT(options_.mean_reversion, 0.0);
+  SENSORD_CHECK_LT(options_.mean_reversion, 1.0);
+  SENSORD_CHECK_LT(options_.value_floor, options_.value_ceiling);
+  SENSORD_CHECK_GT(options_.mean_healthy_duration, 1.0);
+  SENSORD_CHECK_GE(options_.mean_failure_duration,
+                   static_cast<double>(options_.min_failure_duration));
+  SENSORD_CHECK_GE(options_.min_failure_duration, 2u);
+  SENSORD_CHECK_LE(options_.min_failure_depth, options_.max_failure_depth);
 }
 
 Point EngineTraceGenerator::Next() {

@@ -1,17 +1,19 @@
 #include "data/environmental_trace.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
 EnvironmentalTraceGenerator::EnvironmentalTraceGenerator(
     EnvironmentalTraceOptions options, Rng rng)
     : options_(options), rng_(rng) {
-  assert(options_.pressure_min < options_.pressure_max);
-  assert(options_.dewpoint_min < options_.dewpoint_max);
-  assert(options_.synoptic_period > 1.0);
-  assert(options_.mean_reversion > 0.0 && options_.mean_reversion < 1.0);
+  SENSORD_CHECK_LT(options_.pressure_min, options_.pressure_max);
+  SENSORD_CHECK_LT(options_.dewpoint_min, options_.dewpoint_max);
+  SENSORD_CHECK_GT(options_.synoptic_period, 1.0);
+  SENSORD_CHECK_GT(options_.mean_reversion, 0.0);
+  SENSORD_CHECK_LT(options_.mean_reversion, 1.0);
   phase_ = rng_.UniformDouble(0.0, 2.0 * M_PI);
 }
 

@@ -1,7 +1,8 @@
 #include "data/normalize.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -48,7 +49,7 @@ Normalizer::Normalizer(std::vector<double> lo, std::vector<double> hi)
     : lo_(std::move(lo)), hi_(std::move(hi)) {}
 
 Point Normalizer::ToUnit(const Point& physical) const {
-  assert(physical.size() == lo_.size());
+  SENSORD_DCHECK_EQ(physical.size(), lo_.size());
   Point out(physical.size());
   for (size_t i = 0; i < physical.size(); ++i) {
     out[i] = Clamp((physical[i] - lo_[i]) / (hi_[i] - lo_[i]), 0.0, 1.0);
@@ -57,7 +58,7 @@ Point Normalizer::ToUnit(const Point& physical) const {
 }
 
 Point Normalizer::FromUnit(const Point& unit) const {
-  assert(unit.size() == lo_.size());
+  SENSORD_DCHECK_EQ(unit.size(), lo_.size());
   Point out(unit.size());
   for (size_t i = 0; i < unit.size(); ++i) {
     out[i] = lo_[i] + unit[i] * (hi_[i] - lo_[i]);

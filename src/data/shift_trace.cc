@@ -1,14 +1,14 @@
 #include "data/shift_trace.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace sensord {
 
 ShiftingGaussianStream::ShiftingGaussianStream(ShiftTraceOptions options,
                                                Rng rng)
     : options_(options), rng_(rng) {
-  assert(options_.stddev > 0.0);
-  assert(options_.phase_length > 0);
+  SENSORD_CHECK_GT(options_.stddev, 0.0);
+  SENSORD_CHECK_GT(options_.phase_length, 0u);
 }
 
 Point ShiftingGaussianStream::Next() {

@@ -1,17 +1,17 @@
 #include "data/synthetic.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace sensord {
 
 SyntheticMixtureStream::SyntheticMixtureStream(SyntheticOptions options,
                                                Rng rng)
     : options_(options), rng_(rng) {
-  assert(options_.dimensions >= 1);
-  assert(options_.component_stddev > 0.0);
-  assert(options_.noise_probability >= 0.0 &&
-         options_.noise_probability <= 1.0);
-  assert(options_.noise_lo < options_.noise_hi);
+  SENSORD_CHECK_GE(options_.dimensions, 1u);
+  SENSORD_CHECK_GT(options_.component_stddev, 0.0);
+  SENSORD_CHECK_GE(options_.noise_probability, 0.0);
+  SENSORD_CHECK_LE(options_.noise_probability, 1.0);
+  SENSORD_CHECK_LT(options_.noise_lo, options_.noise_hi);
   means_.resize(options_.dimensions);
   for (auto& dim_means : means_) {
     for (double& m : dim_means) {
@@ -38,11 +38,11 @@ Point SyntheticMixtureStream::Next() {
 GappedBimodalStream::GappedBimodalStream(GappedBimodalOptions options,
                                          Rng rng)
     : options_(options), rng_(rng) {
-  assert(options_.dimensions >= 1);
-  assert(options_.band_a_lo < options_.band_a_hi);
-  assert(options_.band_b_lo < options_.band_b_hi);
-  assert(options_.band_a_hi < options_.gap_lo);
-  assert(options_.gap_hi < options_.band_b_lo);
+  SENSORD_CHECK_GE(options_.dimensions, 1u);
+  SENSORD_CHECK_LT(options_.band_a_lo, options_.band_a_hi);
+  SENSORD_CHECK_LT(options_.band_b_lo, options_.band_b_hi);
+  SENSORD_CHECK_LT(options_.band_a_hi, options_.gap_lo);
+  SENSORD_CHECK_LT(options_.gap_hi, options_.band_b_lo);
 }
 
 Point GappedBimodalStream::Next() {
@@ -74,7 +74,7 @@ AnalyticDistribution SyntheticMixtureStream::TrueDistribution() const {
     }
   }
   auto result = AnalyticDistribution::Create(std::move(marginals));
-  assert(result.ok());
+  SENSORD_CHECK_OK(result);
   return std::move(result).value();
 }
 

@@ -1,7 +1,8 @@
 #include "eval/box_counter.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -15,7 +16,7 @@ double BoxCounter::CountBall(const Point& p, double r) const {
 }
 
 std::unique_ptr<BoxCounter> MakeBoxCounter(size_t dimensions) {
-  assert(dimensions >= 1);
+  SENSORD_CHECK_GE(dimensions, 1u);
   if (dimensions == 1) return std::make_unique<BoxCounter1d>();
   if (dimensions == 2) return std::make_unique<BoxCounter2d>();
   return std::make_unique<ScanBoxCounter>(dimensions);
@@ -46,7 +47,7 @@ void BoxCounter1d::Update(size_t bin, int64_t delta) {
 }
 
 void BoxCounter1d::Add(const Point& p) {
-  assert(p.size() == 1);
+  SENSORD_DCHECK_EQ(p.size(), 1u);
   const size_t bin = BinOf(p[0]);
   bins_[bin].push_back(p[0]);
   Update(bin, +1);
@@ -54,11 +55,11 @@ void BoxCounter1d::Add(const Point& p) {
 }
 
 void BoxCounter1d::Remove(const Point& p) {
-  assert(p.size() == 1);
+  SENSORD_DCHECK_EQ(p.size(), 1u);
   const size_t bin = BinOf(p[0]);
   auto& v = bins_[bin];
   const auto it = std::find(v.begin(), v.end(), p[0]);
-  assert(it != v.end() && "removing a value that was never added");
+  SENSORD_CHECK(it != v.end() && "removing a value that was never added");
   *it = v.back();
   v.pop_back();
   Update(bin, -1);
@@ -66,7 +67,8 @@ void BoxCounter1d::Remove(const Point& p) {
 }
 
 double BoxCounter1d::CountBox(const Point& lo, const Point& hi) const {
-  assert(lo.size() == 1 && hi.size() == 1);
+  SENSORD_DCHECK_EQ(lo.size(), 1u);
+  SENSORD_DCHECK_EQ(hi.size(), 1u);
   if (lo[0] > hi[0]) return 0.0;
   if (hi[0] < 0.0 || lo[0] > 1.0) return 0.0;
   const size_t b_lo = BinOf(lo[0]);
@@ -94,7 +96,7 @@ BoxCounter2d::BoxCounter2d(size_t cells_per_dim)
     : grid_(cells_per_dim),
       counts_(cells_per_dim * cells_per_dim, 0),
       points_(cells_per_dim * cells_per_dim) {
-  assert(grid_ >= 2);
+  SENSORD_CHECK_GE(grid_, 2u);
 }
 
 size_t BoxCounter2d::CellIndex(double x) const {
@@ -104,7 +106,7 @@ size_t BoxCounter2d::CellIndex(double x) const {
 }
 
 void BoxCounter2d::Add(const Point& p) {
-  assert(p.size() == 2);
+  SENSORD_DCHECK_EQ(p.size(), 2u);
   const size_t cell = Flat(CellIndex(p[0]), CellIndex(p[1]));
   points_[cell].push_back(p);
   ++counts_[cell];
@@ -112,11 +114,11 @@ void BoxCounter2d::Add(const Point& p) {
 }
 
 void BoxCounter2d::Remove(const Point& p) {
-  assert(p.size() == 2);
+  SENSORD_DCHECK_EQ(p.size(), 2u);
   const size_t cell = Flat(CellIndex(p[0]), CellIndex(p[1]));
   auto& v = points_[cell];
   const auto it = std::find(v.begin(), v.end(), p);
-  assert(it != v.end() && "removing a point that was never added");
+  SENSORD_CHECK(it != v.end() && "removing a point that was never added");
   *it = std::move(v.back());
   v.pop_back();
   --counts_[cell];
@@ -124,7 +126,8 @@ void BoxCounter2d::Remove(const Point& p) {
 }
 
 double BoxCounter2d::CountBox(const Point& lo, const Point& hi) const {
-  assert(lo.size() == 2 && hi.size() == 2);
+  SENSORD_DCHECK_EQ(lo.size(), 2u);
+  SENSORD_DCHECK_EQ(hi.size(), 2u);
   if (lo[0] > hi[0] || lo[1] > hi[1]) return 0.0;
   if (hi[0] < 0.0 || hi[1] < 0.0 || lo[0] > 1.0 || lo[1] > 1.0) return 0.0;
   const size_t cx0 = CellIndex(lo[0]), cx1 = CellIndex(hi[0]);
@@ -157,13 +160,13 @@ double BoxCounter2d::CountBox(const Point& lo, const Point& hi) const {
 ScanBoxCounter::ScanBoxCounter(size_t dimensions) : dimensions_(dimensions) {}
 
 void ScanBoxCounter::Add(const Point& p) {
-  assert(p.size() == dimensions_);
+  SENSORD_DCHECK_EQ(p.size(), dimensions_);
   points_.push_back(p);
 }
 
 void ScanBoxCounter::Remove(const Point& p) {
   const auto it = std::find(points_.begin(), points_.end(), p);
-  assert(it != points_.end() && "removing a point that was never added");
+  SENSORD_CHECK(it != points_.end() && "removing a point that was never added");
   *it = std::move(points_.back());
   points_.pop_back();
 }

@@ -1,6 +1,5 @@
 #include "eval/experiment.h"
 
-#include <cassert>
 #include <map>
 #include <memory>
 #include <set>
@@ -23,6 +22,8 @@
 #include "stats/divergence.h"
 #include "stats/histogram.h"
 #include "util/rng.h"
+
+#include "util/check.h"
 
 namespace sensord {
 namespace {
@@ -124,7 +125,7 @@ void RebuildHistograms(const AccuracyConfig& cfg,
     state->pool_size[slot] = static_cast<double>(pool.size());
     if (pool.empty()) continue;
     auto built = EquiDepthHistogram::Build(pool, cfg.sample_size);
-    assert(built.ok());
+    SENSORD_CHECK_OK(built);
     state->by_slot[slot].emplace(std::move(built).value());
   }
 }
@@ -335,7 +336,7 @@ StatusOr<AccuracyResult> RunAccuracyExperiment(const AccuracyConfig& cfg) {
     for (size_t i = 0; i < leaf_slots.size(); ++i) {
       const int leaf = leaf_slots[i];
       const PendingScore& ps = pending[pending_idx++];
-      assert(ps.leaf_slot == leaf);
+      SENSORD_CHECK_EQ(ps.leaf_slot, leaf);
       const Point& p = round_points[i];
 
       if (cfg.run_d3) {
@@ -462,8 +463,8 @@ std::vector<EstimationAccuracyPoint> RunEstimationAccuracy(
     point.t = t + 1;
     auto leaf_js =
         JsDivergenceOnGrid(leaves[0].Estimator(), truth, cfg.js_grid_cells);
-    assert(leaf_js.ok());
-    point.leaf_js = leaf_js.ok() ? *leaf_js : 0.0;
+    SENSORD_CHECK_OK(leaf_js);
+    point.leaf_js = *leaf_js;
     for (DensityModel& parent : parents) {
       if (!parent.Ready()) {
         point.parent_js.push_back(1.0);

@@ -1,7 +1,8 @@
 #include "eval/ground_truth.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -42,7 +43,7 @@ GroundTruthTracker::GroundTruthTracker(const HierarchyLayout& layout,
       aligned_[slot].counts.assign(cells, 0);
     }
   }
-  assert(root_slot_ >= 0);
+  SENSORD_CHECK_GE(root_slot_, 0);
 }
 
 size_t GroundTruthTracker::AlignedCellOf(const Point& p) const {
@@ -60,24 +61,22 @@ void GroundTruthTracker::AlignedUpdate(int slot, const Point& p, int delta) {
   if (aligned_cells_per_dim_ == 0) return;
   auto& counts = aligned_[slot].counts;
   const size_t cell = AlignedCellOf(p);
-  assert(delta > 0 || counts[cell] > 0);
+  SENSORD_DCHECK(delta > 0 || counts[cell] > 0);
   counts[cell] = static_cast<uint32_t>(
       static_cast<int64_t>(counts[cell]) + delta);
 }
 
 void GroundTruthTracker::AddLeafReading(int leaf_slot, const Point& p) {
-  assert(leaf_slot >= 0 &&
-         static_cast<size_t>(leaf_slot) < layout_.nodes.size());
+  SENSORD_CHECK(leaf_slot >= 0 &&
+                static_cast<size_t>(leaf_slot) < layout_.nodes.size());
   SlidingWindow* window = leaf_windows_[leaf_slot].get();
-  assert(window != nullptr && "readings must target leaf slots");
+  SENSORD_CHECK(window != nullptr && "readings must target leaf slots");
 
   // Capture the value about to be evicted before it is overwritten.
   Point evicted;
   const bool evicts = window->full();
   if (evicts) evicted = window->At(0);
-  const Status st = window->Add(p);
-  assert(st.ok());
-  (void)st;
+  SENSORD_CHECK_OK(window->Add(p));
 
   for (int slot : ancestors_[leaf_slot]) {
     counters_[slot]->Add(p);
@@ -101,10 +100,11 @@ bool GroundTruthTracker::IsTrueDistanceOutlier(
 
 MdefResult GroundTruthTracker::TrueMdef(int slot, const Point& p,
                                         const MdefConfig& config) const {
-  assert(aligned_cells_per_dim_ > 0 &&
-         "construct the tracker with mdef_cell_side to query MDEF truth");
-  assert(ApproxEqual(options_.mdef_cell_side, 2.0 * config.counting_radius) &&
-         "tracker cell side must match the queried counting radius");
+  SENSORD_CHECK(aligned_cells_per_dim_ > 0 &&
+                "construct the tracker with mdef_cell_side to query MDEF truth");
+  SENSORD_CHECK(ApproxEqual(options_.mdef_cell_side,
+                            2.0 * config.counting_radius) &&
+                "tracker cell side must match the queried counting radius");
 
   const double side = options_.mdef_cell_side;
   const double r = config.sampling_radius;
@@ -140,7 +140,7 @@ MdefResult GroundTruthTracker::TrueMdef(int slot, const Point& p,
       accumulate(static_cast<double>(counts[static_cast<size_t>(j)]));
     }
   } else {
-    assert(options_.dimensions == 2 && "MDEF truth supports d <= 2");
+    SENSORD_CHECK(options_.dimensions == 2 && "MDEF truth supports d <= 2");
     long fx, lx, fy, ly;
     dim_range(0, &fx, &lx);
     dim_range(1, &fy, &ly);

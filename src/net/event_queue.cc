@@ -1,22 +1,23 @@
 #include "net/event_queue.h"
 
-#include <cassert>
 #include <utility>
+
+#include "util/check.h"
 
 namespace sensord {
 
 void EventQueue::ScheduleAt(SimTime t, std::function<void()> fn) {
-  assert(t >= now_);
+  SENSORD_DCHECK_GE(t, now_);
   heap_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
 void EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0.0);
+  SENSORD_DCHECK_GE(delay, 0.0);
   ScheduleAt(now_ + delay, std::move(fn));
 }
 
 void EventQueue::RunOne() {
-  assert(!heap_.empty());
+  SENSORD_DCHECK(!heap_.empty());
   // Move the callback out before popping: the callback may schedule new
   // events and mutate the heap.
   Event ev = heap_.top();

@@ -1,7 +1,5 @@
 #include "net/leader_election.h"
 
-#include <cassert>
-
 namespace sensord {
 
 StatusOr<LeaderElection> LeaderElection::Create(

@@ -1,8 +1,9 @@
 #include "net/network.h"
 
-#include <cassert>
 #include <limits>
 #include <utility>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -34,7 +35,7 @@ std::vector<NodeId> Simulator::Instantiate(
   for (size_t slot = 0; slot < layout.nodes.size(); ++slot) {
     const HierarchyNodeSpec& spec = layout.nodes[slot];
     std::unique_ptr<Node> node = factory(static_cast<int>(slot), spec);
-    assert(node != nullptr);
+    SENSORD_CHECK(node != nullptr);
     const NodeId id = AddNode(std::move(node));
     ids.push_back(id);
   }
@@ -57,8 +58,8 @@ std::vector<NodeId> Simulator::Instantiate(
 }
 
 void Simulator::Send(Message msg) {
-  assert(msg.from < nodes_.size());
-  assert(msg.to < nodes_.size());
+  SENSORD_CHECK_LT(msg.from, nodes_.size());
+  SENSORD_CHECK_LT(msg.to, nodes_.size());
   stats_.RecordSend(msg);
   energy_[msg.from] += options_.tx_cost_per_message +
                        options_.tx_cost_per_number *
@@ -79,15 +80,15 @@ void Simulator::Send(Message msg) {
 }
 
 void Simulator::DeliverReading(NodeId node, const Point& value) {
-  assert(node < nodes_.size());
+  SENSORD_DCHECK_LT(node, nodes_.size());
   nodes_[node]->OnReading(value);
 }
 
 void Simulator::SchedulePeriodicReadings(NodeId node, SimTime start,
                                          SimTime period,
                                          std::function<Point()> source) {
-  assert(node < nodes_.size());
-  assert(period > 0.0);
+  SENSORD_CHECK_LT(node, nodes_.size());
+  SENSORD_CHECK_GT(period, 0.0);
   const size_t slot = periodic_.size();
   periodic_.push_back(PeriodicSource{node, period, std::move(source)});
   queue_.ScheduleAt(start, [this, slot, start]() { PeriodicTick(slot, start); });

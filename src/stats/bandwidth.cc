@@ -1,15 +1,16 @@
 #include "stats/bandwidth.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
 double ScottBandwidth(double stddev, size_t sample_size, size_t dimensions) {
-  assert(sample_size > 0);
-  assert(dimensions > 0);
-  assert(stddev >= 0.0);
+  SENSORD_CHECK_GT(sample_size, 0u);
+  SENSORD_CHECK_GT(dimensions, 0u);
+  SENSORD_CHECK_GE(stddev, 0.0);
   const double exponent = -1.0 / (static_cast<double>(dimensions) + 4.0);
   const double b = std::sqrt(5.0) * stddev *
                    std::pow(static_cast<double>(sample_size), exponent);
@@ -17,8 +18,8 @@ double ScottBandwidth(double stddev, size_t sample_size, size_t dimensions) {
 }
 
 double RobustSpread(double stddev, double iqr) {
-  assert(stddev >= 0.0);
-  assert(iqr >= 0.0);
+  SENSORD_CHECK_GE(stddev, 0.0);
+  SENSORD_CHECK_GE(iqr, 0.0);
   // The 1.349 factor makes IQR/1.349 estimate sigma for Gaussian data, so
   // on well-behaved data the two agree and min() changes nothing.
   const double robust = iqr / 1.349;
@@ -28,7 +29,7 @@ double RobustSpread(double stddev, double iqr) {
 
 std::vector<double> ScottBandwidths(const std::vector<double>& stddevs,
                                     size_t sample_size) {
-  assert(!stddevs.empty());
+  SENSORD_CHECK(!stddevs.empty());
   std::vector<double> out;
   out.reserve(stddevs.size());
   for (double s : stddevs) {

@@ -1,8 +1,9 @@
 #include "stats/divergence.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "util/check.h"
 
 namespace sensord {
 namespace {
@@ -20,8 +21,8 @@ bool Normalize(std::vector<double>* v) {
 
 double KlDivergence(const std::vector<double>& p,
                     const std::vector<double>& q) {
-  assert(!p.empty());
-  assert(p.size() == q.size());
+  SENSORD_CHECK(!p.empty());
+  SENSORD_CHECK_EQ(p.size(), q.size());
   double d = 0.0;
   for (size_t i = 0; i < p.size(); ++i) {
     if (p[i] <= 0.0) continue;
@@ -33,12 +34,12 @@ double KlDivergence(const std::vector<double>& p,
 
 double JsDivergence(const std::vector<double>& p,
                     const std::vector<double>& q) {
-  assert(!p.empty());
-  assert(p.size() == q.size());
+  SENSORD_CHECK(!p.empty());
+  SENSORD_CHECK_EQ(p.size(), q.size());
   std::vector<double> pn(p), qn(q);
   const bool ok_p = Normalize(&pn);
   const bool ok_q = Normalize(&qn);
-  assert(ok_p && ok_q && "JS divergence of an all-zero distribution");
+  SENSORD_DCHECK(ok_p && ok_q && "JS divergence of an all-zero distribution");
   if (!ok_p || !ok_q) return 0.0;
 
   double d = 0.0;
@@ -53,7 +54,7 @@ double JsDivergence(const std::vector<double>& p,
 
 std::vector<double> DiscretizeOnGrid(const DistributionEstimator& estimator,
                                      size_t cells_per_dim) {
-  assert(cells_per_dim >= 1);
+  SENSORD_CHECK_GE(cells_per_dim, 1u);
   const size_t d = estimator.dimensions();
   size_t total = 1;
   for (size_t i = 0; i < d; ++i) total *= cells_per_dim;

@@ -1,7 +1,8 @@
 #include "stats/empirical.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -33,8 +34,8 @@ EmpiricalDistribution::EmpiricalDistribution(std::vector<Point> data)
 
 double EmpiricalDistribution::BoxProbability(const Point& lo,
                                              const Point& hi) const {
-  assert(lo.size() == dimensions_);
-  assert(hi.size() == dimensions_);
+  SENSORD_DCHECK_EQ(lo.size(), dimensions_);
+  SENSORD_DCHECK_EQ(hi.size(), dimensions_);
   for (size_t i = 0; i < dimensions_; ++i) {
     if (lo[i] > hi[i]) return 0.0;  // inverted box: empty
   }
@@ -58,7 +59,7 @@ double EmpiricalDistribution::BoxProbability(const Point& lo,
 }
 
 double EmpiricalDistribution::Pdf(const Point& p) const {
-  assert(p.size() == dimensions_);
+  SENSORD_DCHECK_EQ(p.size(), dimensions_);
   Point lo(p), hi(p);
   double volume = 1.0;
   for (size_t i = 0; i < dimensions_; ++i) {

@@ -1,8 +1,9 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -96,8 +97,8 @@ double EquiDepthHistogram::IntervalFraction(double a, double b, double lo,
 
 double EquiDepthHistogram::BoxProbability(const Point& lo,
                                           const Point& hi) const {
-  assert(lo.size() == dimensions());
-  assert(hi.size() == dimensions());
+  SENSORD_DCHECK_EQ(lo.size(), dimensions());
+  SENSORD_DCHECK_EQ(hi.size(), dimensions());
   const size_t d = dimensions();
   // Per-dimension fractional coverage of each bucket, then a product over
   // the cell grid (row-major index arithmetic mirrors Build()).
@@ -129,7 +130,7 @@ double EquiDepthHistogram::BoxProbability(const Point& lo,
 }
 
 double EquiDepthHistogram::Pdf(const Point& p) const {
-  assert(p.size() == dimensions());
+  SENSORD_DCHECK_EQ(p.size(), dimensions());
   const size_t d = dimensions();
   size_t cell = 0;
   double volume = 1.0;

@@ -1,9 +1,10 @@
 #include "stats/kde.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "stats/bandwidth.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -92,8 +93,8 @@ double KernelDensityEstimator::Interval1dProbability(double lo,
 
 double KernelDensityEstimator::BoxProbability(const Point& lo,
                                               const Point& hi) const {
-  assert(lo.size() == dimensions());
-  assert(hi.size() == dimensions());
+  SENSORD_DCHECK_EQ(lo.size(), dimensions());
+  SENSORD_DCHECK_EQ(hi.size(), dimensions());
   for (size_t i = 0; i < lo.size(); ++i) {
     if (lo[i] > hi[i]) return 0.0;  // inverted box: empty
   }
@@ -111,7 +112,7 @@ double KernelDensityEstimator::BoxProbability(const Point& lo,
 }
 
 double KernelDensityEstimator::Pdf(const Point& p) const {
-  assert(p.size() == dimensions());
+  SENSORD_DCHECK_EQ(p.size(), dimensions());
   if (dimensions() == 1) {
     const double b = kernels_[0].bandwidth();
     const auto begin =

@@ -1,7 +1,8 @@
 #include "stats/kernel.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -9,7 +10,7 @@ EpanechnikovKernel::EpanechnikovKernel(double bandwidth)
     : bandwidth_(bandwidth),
       inv_bandwidth_(1.0 / bandwidth),
       scale_(0.75 / bandwidth) {
-  assert(bandwidth > 0.0);
+  SENSORD_CHECK_GT(bandwidth, 0.0);
 }
 
 double EpanechnikovKernel::Value(double x) const {
@@ -19,7 +20,7 @@ double EpanechnikovKernel::Value(double x) const {
 }
 
 double EpanechnikovKernel::IntegralOver(double a, double b) const {
-  assert(a <= b);
+  SENSORD_DCHECK_LE(a, b);
   // Antiderivative of the unit-bandwidth profile (3/4)(1 - u^2) is
   // F(u) = (3/4)(u - u^3/3); F(-1) = -1/2 and F(1) = 1/2.
   const double ua = std::clamp(a * inv_bandwidth_, -1.0, 1.0);

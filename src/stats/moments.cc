@@ -1,11 +1,12 @@
 #include "stats/moments.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
 #include "util/math_utils.h"
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -19,7 +20,7 @@ std::string SummaryStats::ToString() const {
 }
 
 SummaryStats Summarize(const std::vector<double>& values) {
-  assert(!values.empty());
+  SENSORD_CHECK(!values.empty());
   MomentsAccumulator acc;
   for (double v : values) acc.Add(v);
   SummaryStats s;

@@ -1,8 +1,9 @@
 #include "stats/wavelet.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -105,7 +106,8 @@ StatusOr<WaveletSynopsis> WaveletSynopsis::Build(
 
 double WaveletSynopsis::BoxProbability(const Point& lo,
                                        const Point& hi) const {
-  assert(lo.size() == 1 && hi.size() == 1);
+  SENSORD_DCHECK_EQ(lo.size(), 1u);
+  SENSORD_DCHECK_EQ(hi.size(), 1u);
   const double a = Clamp(lo[0], 0.0, 1.0);
   const double b = Clamp(hi[0], 0.0, 1.0);
   if (a >= b) {
@@ -128,7 +130,7 @@ double WaveletSynopsis::BoxProbability(const Point& lo,
 }
 
 double WaveletSynopsis::Pdf(const Point& p) const {
-  assert(p.size() == 1);
+  SENSORD_DCHECK_EQ(p.size(), 1u);
   if (p[0] < 0.0 || p[0] > 1.0) return 0.0;
   const size_t c = std::min(static_cast<size_t>(p[0] / cell_width_),
                             cells_ - 1);

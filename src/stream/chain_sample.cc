@@ -1,19 +1,20 @@
 #include "stream/chain_sample.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace sensord {
 
 ChainSample::ChainSample(size_t sample_size, size_t window_size, Rng rng)
     : window_size_(window_size), chains_(sample_size), rng_(rng) {
-  assert(sample_size > 0);
-  assert(window_size > 0);
+  SENSORD_CHECK_GT(sample_size, 0u);
+  SENSORD_CHECK_GT(window_size, 0u);
 }
 
 void ChainSample::PrewarmToSteadyState() {
-  assert(!seeded_ && "prewarm must precede the first Add()");
+  SENSORD_CHECK(!seeded_ && "prewarm must precede the first Add()");
   now_ = window_size_;
 }
 
@@ -28,7 +29,7 @@ void ChainSample::DrawReplacement(uint32_t chain_idx, uint64_t index) {
 
 void ChainSample::RegisterExpiry(uint32_t chain_idx) {
   const Chain& chain = chains_[chain_idx];
-  assert(!chain.entries.empty());
+  SENSORD_DCHECK(!chain.entries.empty());
   pending_expiry_[chain.entries.front().index + window_size_].push_back(
       chain_idx);
 }
@@ -45,7 +46,8 @@ void ChainSample::RestartChain(uint32_t chain_idx, uint64_t index,
 
 uint64_t ChainSample::GeometricSkip(double p) {
   // Number of Bernoulli(p) failures before the next success.
-  assert(p > 0.0 && p <= 1.0);
+  SENSORD_DCHECK_GT(p, 0.0);
+  SENSORD_DCHECK_LE(p, 1.0);
   if (p >= 1.0) return 0;
   double u = rng_.UniformDouble();
   if (u <= 0.0) u = 1e-300;  // UniformDouble is in [0,1); guard underflow
@@ -85,8 +87,8 @@ bool ChainSample::Add(const Point& value) {
         continue;  // stale (restarted since registration)
       }
       chain.entries.pop_front();
-      assert(!chain.entries.empty() &&
-             "chain invariant: replacement arrives before expiry");
+      SENSORD_CHECK(!chain.entries.empty() &&
+                    "chain invariant: replacement arrives before expiry");
       ++version_;  // the chain's active element changed
       RegisterExpiry(c);
     }
@@ -109,8 +111,8 @@ bool ChainSample::Add(const Point& value) {
 }
 
 const Point& ChainSample::ActiveElement(size_t i) const {
-  assert(i < chains_.size());
-  assert(!chains_[i].entries.empty());
+  SENSORD_DCHECK_LT(i, chains_.size());
+  SENSORD_DCHECK(!chains_[i].entries.empty());
   return chains_[i].entries.front().value;
 }
 

@@ -1,13 +1,13 @@
 #include "stream/sliding_window.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace sensord {
 
 SlidingWindow::SlidingWindow(size_t capacity, size_t dimensions)
     : capacity_(capacity), dimensions_(dimensions) {
-  assert(capacity_ > 0);
-  assert(dimensions_ > 0);
+  SENSORD_CHECK_GT(capacity_, 0u);
+  SENSORD_CHECK_GT(dimensions_, 0u);
   ring_.resize(capacity_);
 }
 
@@ -28,12 +28,12 @@ Status SlidingWindow::Add(const Point& p) {
 }
 
 const Point& SlidingWindow::At(size_t i) const {
-  assert(i < size_);
+  SENSORD_DCHECK_LT(i, size_);
   return ring_[(head_ + i) % capacity_];
 }
 
 uint64_t SlidingWindow::ArrivalTime(size_t i) const {
-  assert(i < size_);
+  SENSORD_DCHECK_LT(i, size_);
   return total_seen_ - size_ + i;
 }
 
@@ -45,7 +45,7 @@ std::vector<Point> SlidingWindow::Snapshot() const {
 }
 
 std::vector<double> SlidingWindow::Coordinate(size_t dim) const {
-  assert(dim < dimensions_);
+  SENSORD_DCHECK_LT(dim, dimensions_);
   std::vector<double> out;
   out.reserve(size_);
   for (size_t i = 0; i < size_; ++i) out.push_back(At(i)[dim]);

@@ -1,8 +1,9 @@
 #include "stream/variance_sketch.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 #include "util/math_utils.h"
 
@@ -10,8 +11,9 @@ namespace sensord {
 
 VarianceSketch::VarianceSketch(size_t window_size, double epsilon)
     : window_size_(window_size), epsilon_(epsilon) {
-  assert(window_size_ > 0);
-  assert(epsilon_ > 0.0 && epsilon_ <= 1.0);
+  SENSORD_CHECK_GT(window_size_, 0u);
+  SENSORD_CHECK_GT(epsilon_, 0.0);
+  SENSORD_CHECK_LE(epsilon_, 1.0);
   k_ = 9.0 / (epsilon_ * epsilon_);
   // One bucket "level" per doubling of the window plus the slack factor of
   // buckets the invariant tolerates per level.

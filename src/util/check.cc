@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sensord {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  // Plain stderr rather than the logging layer: a failed invariant must
+  // reach the operator even if logging itself is misconfigured or the
+  // failure happens during static initialization.
+  std::fprintf(stderr, "CHECK failure at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace sensord

@@ -1,6 +1,6 @@
 #include "util/math_utils.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace sensord {
 
@@ -12,7 +12,7 @@ bool InUnitCube(const Point& p) {
 }
 
 double Median(std::vector<double> v) {
-  assert(!v.empty());
+  SENSORD_CHECK(!v.empty());
   const size_t mid = v.size() / 2;
   std::nth_element(v.begin(), v.begin() + mid, v.end());
   const double hi = v[mid];
@@ -22,8 +22,9 @@ double Median(std::vector<double> v) {
 }
 
 double Quantile(std::vector<double> v, double q) {
-  assert(!v.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  SENSORD_CHECK(!v.empty());
+  SENSORD_CHECK_GE(q, 0.0);
+  SENSORD_CHECK_LE(q, 1.0);
   std::sort(v.begin(), v.end());
   const double pos = q * static_cast<double>(v.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
@@ -33,7 +34,7 @@ double Quantile(std::vector<double> v, double q) {
 }
 
 int Log2Ceil(size_t x) {
-  assert(x >= 1);
+  SENSORD_CHECK_GE(x, 1u);
   int bits = 0;
   size_t v = 1;
   while (v < x) {

@@ -8,10 +8,11 @@
 #ifndef SENSORD_UTIL_STATUS_H_
 #define SENSORD_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace sensord {
 
@@ -19,7 +20,9 @@ namespace sensord {
 ///
 /// A Status is either OK or carries a code and a human-readable message.
 /// Statuses are cheap to copy (the message is only allocated on error).
-class Status {
+/// [[nodiscard]]: ignoring a returned Status silently drops a failure —
+/// callers must handle it, propagate it, or deliberately `(void)` it.
+class [[nodiscard]] Status {
  public:
   /// Error taxonomy. Kept deliberately small; the message carries detail.
   enum class Code {
@@ -79,14 +82,15 @@ class Status {
 
 /// Either a value of type T or an error Status. Mirrors absl::StatusOr.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit: enables `return value;`).
   StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
 
   /// Constructs from a non-OK status (implicit: enables `return status;`).
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+    SENSORD_CHECK(!status_.ok() &&
+                  "StatusOr constructed from OK status without value");
   }
 
   bool ok() const { return status_.ok(); }
@@ -94,15 +98,15 @@ class StatusOr {
 
   /// Pre: ok(). Accessing the value of an errored StatusOr is a program bug.
   const T& value() const& {
-    assert(ok());
+    SENSORD_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    SENSORD_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    SENSORD_DCHECK(ok());
     return *std::move(value_);
   }
 

@@ -1,0 +1,100 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Death tests for the SENSORD_CHECK / SENSORD_DCHECK invariant layer.
+// CHECK macros must abort with a message naming the expression (and the
+// operand values for the comparison forms) in every build type; DCHECK
+// macros must behave identically in Debug and compile to nothing in
+// Release (NDEBUG).
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace sensord {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SENSORD_CHECK(true);
+  SENSORD_CHECK_EQ(1, 1);
+  SENSORD_CHECK_NE(1, 2);
+  SENSORD_CHECK_LE(1, 1);
+  SENSORD_CHECK_LT(1, 2);
+  SENSORD_CHECK_GE(2, 2);
+  SENSORD_CHECK_GT(2, 1);
+  SENSORD_CHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, CheckAbortsWithExpression) {
+  EXPECT_DEATH(SENSORD_CHECK(1 + 1 == 3),
+               "SENSORD_CHECK\\(1 \\+ 1 == 3\\) failed");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothValues) {
+  const int i = 7;
+  const int n = 5;
+  EXPECT_DEATH(SENSORD_CHECK_LT(i, n), "SENSORD_CHECK_LT\\(i, n\\) failed: 7 vs. 5");
+  EXPECT_DEATH(SENSORD_CHECK_EQ(i, n), "failed: 7 vs. 5");
+  EXPECT_DEATH(SENSORD_CHECK_GE(n, i), "failed: 5 vs. 7");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsDoubleValues) {
+  const double radius = -0.25;
+  EXPECT_DEATH(SENSORD_CHECK_GT(radius, 0.0), "failed: -0.25 vs. 0");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(SENSORD_CHECK_OK(Status::InvalidArgument("bad radius")),
+               "SENSORD_CHECK_OK.*InvalidArgument: bad radius");
+}
+
+TEST(CheckDeathTest, CheckOkAcceptsStatusOr) {
+  const StatusOr<int> ok_result(42);
+  SENSORD_CHECK_OK(ok_result);  // must not die
+
+  const StatusOr<int> bad_result(Status::OutOfRange("index 9 beyond window"));
+  EXPECT_DEATH(SENSORD_CHECK_OK(bad_result), "OutOfRange: index 9 beyond window");
+}
+
+TEST(CheckDeathTest, FailureReportsFileAndLine) {
+  EXPECT_DEATH(SENSORD_CHECK(false), "CHECK failure at .*check_test\\.cc:");
+}
+
+TEST(CheckTest, CheckEvaluatesOperandsExactlyOnce) {
+  int calls = 0;
+  const auto bump = [&calls] { return ++calls; };
+  SENSORD_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+  SENSORD_CHECK(bump() == 2);
+  EXPECT_EQ(calls, 2);
+}
+
+#if SENSORD_DCHECK_IS_ON()
+
+TEST(DcheckDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH(SENSORD_DCHECK(false), "SENSORD_DCHECK|SENSORD_CHECK");
+  EXPECT_DEATH(SENSORD_DCHECK_EQ(1, 2), "failed: 1 vs. 2");
+  EXPECT_DEATH(SENSORD_DCHECK_OK(Status::Internal("boom")), "Internal: boom");
+}
+
+#else  // !SENSORD_DCHECK_IS_ON()
+
+TEST(DcheckTest, DcheckCompilesOutInRelease) {
+  // The conditions are false but must neither abort nor be evaluated.
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  SENSORD_DCHECK(probe());
+  SENSORD_DCHECK_EQ(evaluations, 12345);
+  SENSORD_DCHECK_LT(2, 1);
+  SENSORD_DCHECK_OK(Status::Internal("never inspected"));
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // SENSORD_DCHECK_IS_ON()
+
+}  // namespace
+}  // namespace sensord

@@ -58,7 +58,7 @@ TEST(EmpiricalTest, MatchesDirectCountOnRandomData) {
     size_t count = 0;
     for (const Point& p : data) count += (p[0] >= a && p[0] <= b);
     EXPECT_DOUBLE_EQ(e->BoxProbability({a}, {b}),
-                     static_cast<double>(count) / data.size());
+                     static_cast<double>(count) / static_cast<double>(data.size()));
   }
 }
 

@@ -76,7 +76,7 @@ TEST(HistogramTest, BoxProbabilityMatchesEmpiricalOnLargeBoxes) {
     size_t count = 0;
     for (const Point& p : data) count += (p[0] >= lo && p[0] <= hi);
     EXPECT_NEAR(h->BoxProbability({lo}, {hi}),
-                static_cast<double>(count) / data.size(), 0.02);
+                static_cast<double>(count) / static_cast<double>(data.size()), 0.02);
   }
 }
 

@@ -114,8 +114,8 @@ TEST(EnvironmentalTraceTest, CoordinatesAreCorrelated) {
     mx += p[0];
     my += p[1];
   }
-  mx /= data.size();
-  my /= data.size();
+  mx /= static_cast<double>(data.size());
+  my /= static_cast<double>(data.size());
   double cov = 0, vx = 0, vy = 0;
   for (const Point& p : data) {
     cov += (p[0] - mx) * (p[1] - my);

@@ -1,0 +1,92 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Sanitizer smoke test: drives the windowed-stream machinery hard across
+// window boundaries so an ASan/UBSan build (scripts/check.sh) has dense
+// allocation churn, container reuse, and index arithmetic to chew on.
+// The assertions are deliberately light — the point is the traffic, plus
+// the invariants the classes DCHECK internally along the way.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/density_model.h"
+#include "stream/chain_sample.h"
+#include "stream/sliding_window.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(SanitizerSmokeTest, ChainSampleChurnAcrossWindowBoundaries) {
+  // Small windows force constant expiry/replacement churn: every chain
+  // restarts, promotes, and discards entries many times per window.
+  for (const size_t window : {3u, 7u, 64u}) {
+    ChainSample sample(/*sample_size=*/16, window, Rng(0xC0FFEE ^ window));
+    Rng data_rng(42);
+    for (size_t i = 0; i < 20 * window; ++i) {
+      (void)sample.Add({data_rng.UniformDouble(), data_rng.UniformDouble()});
+      ASSERT_GE(sample.StoredElements(), sample.sample_size());
+      for (size_t c = 0; c < sample.sample_size(); ++c) {
+        const Point& active = sample.ActiveElement(c);
+        ASSERT_EQ(active.size(), 2u);
+      }
+    }
+    const std::vector<Point> snapshot = sample.Snapshot();
+    EXPECT_EQ(snapshot.size(), sample.sample_size());
+  }
+}
+
+TEST(SanitizerSmokeTest, ChainSamplePrewarmedSteadyStateChurn) {
+  ChainSample sample(/*sample_size=*/8, /*window_size=*/32, Rng(7));
+  sample.PrewarmToSteadyState();
+  Rng data_rng(9);
+  for (size_t i = 0; i < 2000; ++i) {
+    (void)sample.Add({data_rng.UniformDouble()});
+  }
+  EXPECT_EQ(sample.Snapshot().size(), 8u);
+}
+
+TEST(SanitizerSmokeTest, SlidingWindowWrapsManyTimes) {
+  SlidingWindow window(/*capacity=*/17, /*dimensions=*/3);
+  Rng rng(1234);
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(window
+                    .Add({rng.UniformDouble(), rng.UniformDouble(),
+                          rng.UniformDouble()})
+                    .ok());
+    // Touch every retained element each step: any ring-index slip becomes
+    // an out-of-bounds read under ASan.
+    for (size_t j = 0; j < window.size(); ++j) {
+      ASSERT_EQ(window.At(j).size(), 3u);
+      ASSERT_EQ(window.ArrivalTime(j), i + 1 - window.size() + j);
+    }
+    ASSERT_EQ(window.Coordinate(2).size(), window.size());
+  }
+  EXPECT_TRUE(window.full());
+  window.Clear();
+  EXPECT_EQ(window.size(), 0u);
+  ASSERT_TRUE(window.Add({0.1, 0.2, 0.3}).ok());
+  EXPECT_EQ(window.At(0).size(), 3u);
+}
+
+TEST(SanitizerSmokeTest, DensityModelObserveAndQueryChurn) {
+  DensityModelConfig cfg;
+  cfg.dimensions = 2;
+  cfg.window_size = 50;
+  cfg.sample_size = 10;
+  cfg.max_estimator_age = 16;
+  DensityModel model(cfg, Rng(0xFEED));
+  Rng rng(5);
+  for (size_t i = 0; i < 500; ++i) {
+    (void)model.Observe({rng.UniformDouble(), rng.UniformDouble()});
+    if (i % 7 == 0 && model.Ready()) {
+      const KernelDensityEstimator& kde = model.Estimator();
+      EXPECT_GE(kde.BoxProbability({0.0, 0.0}, {1.0, 1.0}), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sensord
