@@ -130,6 +130,7 @@ void RunWorkload(const char* name, const std::vector<Point>& window) {
 
 int main() {
   bench::Header("Ablation: kernels vs histograms vs wavelets at equal memory");
+  bench::RunTelemetry telemetry("ablation_estimators");
   const size_t window_size = bench::QuickMode() ? 4000 : 10000;
 
   {

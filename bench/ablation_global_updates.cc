@@ -104,6 +104,7 @@ RunStats RunOnce(GlobalUpdateMode mode, bool shifting, double js_threshold,
 int main() {
   using namespace sensord;
   bench::Header("Ablation: MGDD global-model update policies (Section 8.1)");
+  bench::RunTelemetry telemetry("ablation_global_updates");
   const size_t rounds = bench::QuickMode() ? 2000 : 6000;
 
   std::printf("%-12s %-24s %16s %16s\n", "Stream", "Policy", "update msgs",

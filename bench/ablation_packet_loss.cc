@@ -20,6 +20,7 @@
 int main() {
   using namespace sensord;
   bench::Header("Ablation: detection accuracy under packet loss");
+  bench::RunTelemetry telemetry("ablation_packet_loss");
 
   AccuracyConfig base;
   base.num_leaves = 16;

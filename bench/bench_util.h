@@ -1,9 +1,10 @@
 // Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
 //
 // Shared plumbing for the figure-reproduction harnesses: consistent table
-// formatting and environment-variable size overrides so CI can run reduced
+// formatting, environment-variable size overrides so CI can run reduced
 // instances (SENSORD_QUICK=1) while the default invocation reproduces the
-// paper-scale experiment.
+// paper-scale experiment, and standard end-of-run telemetry (metrics table +
+// machine-readable BENCH_*.json, see RunTelemetry).
 
 #ifndef SENSORD_BENCH_BENCH_UTIL_H_
 #define SENSORD_BENCH_BENCH_UTIL_H_
@@ -12,6 +13,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "util/status.h"
 
 namespace sensord::bench {
 
@@ -38,6 +44,56 @@ inline void Rule() {
   std::printf("---------------------------------------------------------"
               "---------------------\n");
 }
+
+/// Standard end-of-run telemetry for the fig/ablation binaries. Construct
+/// one at the top of main(); on destruction it prints the process-wide
+/// metrics table and — when SENSORD_BENCH_JSON is set — writes the
+/// machine-readable perf record:
+///
+///   SENSORD_BENCH_JSON=1          -> ./BENCH_<name>.json
+///   SENSORD_BENCH_JSON=<path>     -> <path>  (trailing '/' appends default)
+///
+/// Scalar results registered with AddResult land in the record's "results"
+/// section next to the full metrics snapshot (obs::WriteBenchJson).
+class RunTelemetry {
+ public:
+  explicit RunTelemetry(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  RunTelemetry(const RunTelemetry&) = delete;
+  RunTelemetry& operator=(const RunTelemetry&) = delete;
+
+  void AddResult(const std::string& name, double value) {
+    results_.emplace_back(name, value);
+  }
+
+  ~RunTelemetry() {
+    const auto& registry = obs::MetricsRegistry::Global();
+    Header("metrics: " + bench_name_);
+    obs::PrintMetricsTable(registry, stdout);
+    const char* env = std::getenv("SENSORD_BENCH_JSON");
+    if (env == nullptr || *env == '\0') return;
+    std::string path = env;
+    const std::string fallback = "BENCH_" + bench_name_ + ".json";
+    if (path == "1") {
+      path = fallback;
+    } else if (path.back() == '/') {
+      path += fallback;
+    }
+    const Status status =
+        obs::WriteBenchJson(path, bench_name_, results_, registry);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench json write failed: %s\n",
+                   status.message().c_str());
+    } else {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string bench_name_;
+  obs::BenchResults results_;
+};
 
 }  // namespace sensord::bench
 

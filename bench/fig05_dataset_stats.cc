@@ -44,6 +44,7 @@ void Compare(const PaperRow& paper, const std::vector<double>& values) {
 
 int main() {
   bench::Header("Figure 5: statistical characteristics of the real datasets");
+  bench::RunTelemetry telemetry("fig05_dataset_stats");
   const long engine_len = bench::QuickMode() ? 10000 : 50000;
   const long env_len = bench::QuickMode() ? 10000 : 35000;
 

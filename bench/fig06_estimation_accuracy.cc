@@ -91,6 +91,7 @@ void RunOne(size_t window, size_t sample, uint64_t phase,
 int main() {
   bench::Header(
       "Figure 6: JS distance between true and estimated distributions");
+  bench::RunTelemetry telemetry("fig06_estimation_accuracy");
   if (bench::QuickMode()) {
     RunOne(/*window=*/2048, /*sample=*/256, /*phase=*/2048,
            /*total_rounds=*/6144, /*print_series=*/false);

@@ -68,6 +68,7 @@ void PrintResult(const char* method, double fraction,
 
 int main() {
   bench::Header("Figure 7: accuracy vs representation memory (1-d synthetic)");
+  bench::RunTelemetry telemetry("fig07_accuracy_1d");
   const double fractions[] = {0.0125, 0.025, 0.05};
   const size_t runs =
       static_cast<size_t>(bench::EnvLong("SENSORD_BENCH_RUNS", 1));

@@ -14,6 +14,7 @@
 int main() {
   using namespace sensord;
   bench::Header("Figure 8: MGDD accuracy vs sample fraction f (1-d)");
+  bench::RunTelemetry telemetry("fig08_mgdd_fraction");
 
   AccuracyConfig cfg;
   cfg.num_leaves = static_cast<size_t>(bench::EnvLong("SENSORD_LEAVES", 32));

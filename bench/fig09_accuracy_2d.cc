@@ -13,6 +13,7 @@
 int main() {
   using namespace sensord;
   bench::Header("Figure 9: accuracy vs |R| (2-d synthetic, kernel)");
+  bench::RunTelemetry telemetry("fig09_accuracy_2d");
 
   AccuracyConfig base;
   base.num_leaves = static_cast<size_t>(bench::EnvLong("SENSORD_LEAVES", 32));

@@ -82,6 +82,7 @@ void RunDataset(const char* name, WorkloadKind workload, size_t dimensions) {
 
 int main() {
   bench::Header("Figure 10: accuracy on the real datasets (kernel)");
+  bench::RunTelemetry telemetry("fig10_real_data");
   RunDataset("Engine", WorkloadKind::kEngine, 1);
   RunDataset("Environmental", WorkloadKind::kEnvironmental, 2);
   std::printf("\nPaper shape: same trends as synthetic; engine data (smooth) "

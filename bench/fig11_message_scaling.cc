@@ -18,6 +18,7 @@
 int main() {
   using namespace sensord;
   bench::Header("Figure 11: messages per second vs number of sensors");
+  bench::RunTelemetry telemetry("fig11_message_scaling");
 
   MessageScalingConfig base;
   base.fanout = 4;

@@ -18,6 +18,7 @@
 
 int main() {
   using namespace sensord;
+  bench::RunTelemetry telemetry("tab_memory_footprint");
   constexpr size_t kBytesPerNumber = 2;  // the paper's 16-bit convention
   const long horizon = bench::QuickMode() ? 20000 : 50000;
 

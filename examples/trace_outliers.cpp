@@ -8,17 +8,74 @@
 // neighbourhood count. With no arguments, it generates a demo engine trace,
 // writes it to a temporary CSV and analyzes that — so the binary is
 // runnable out of the box.
+//
+// After the single-node pass the same readings drive small D3 and MGDD
+// hierarchies, and the run ends with the process-wide metrics table — the
+// quickest way to see what the obs layer records across stream/, core/ and
+// net/ (see DESIGN.md, Observability).
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/d3.h"
 #include "core/density_model.h"
 #include "core/distance_outlier.h"
+#include "core/mgdd.h"
+#include "core/outlier_observer.h"
 #include "data/engine_trace.h"
 #include "data/normalize.h"
 #include "data/trace_io.h"
+#include "net/hierarchy.h"
+#include "net/network.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/rng.h"
+
+namespace {
+
+class CountingObserver : public sensord::OutlierObserver {
+ public:
+  void OnOutlierDetected(const sensord::OutlierEvent&) override { ++count; }
+  size_t count = 0;
+};
+
+// Streams `readings` round-robin into the leaves of a freshly instantiated
+// hierarchy, one simulated second per round.
+template <typename MakeNode>
+size_t RunHierarchyDemo(const char* tag, size_t leaves, size_t fanout,
+                        const std::vector<sensord::Point>& readings,
+                        CountingObserver* observer,
+                        const MakeNode& make_node) {
+  using namespace sensord;
+  auto layout = BuildGridHierarchy(leaves, fanout);
+  if (!layout.ok()) {
+    std::fprintf(stderr, "hierarchy build failed: %s\n",
+                 layout.status().ToString().c_str());
+    return 0;
+  }
+  Simulator sim;
+  const std::vector<NodeId> ids = sim.Instantiate(*layout, make_node);
+  double t = 0.0;
+  for (size_t i = 0; i < readings.size(); ++i) {
+    sim.DeliverReading(ids[i % leaves], readings[i]);
+    if (i % leaves == leaves - 1) {
+      t += 1.0;
+      sim.RunUntil(t);
+    }
+  }
+  sim.RunAll();
+  SENSORD_LOG(Info).Tag(tag)
+      << "flagged " << observer->count << " readings; "
+      << sim.stats().TotalMessages() << " messages ("
+      << sim.stats().TotalBytes(2) << " bytes at 2 B/number)";
+  return observer->count;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sensord;
@@ -103,5 +160,62 @@ int main(int argc, char** argv) {
                           : 100.0 * static_cast<double>(flagged) /
                                 static_cast<double>(scored),
               model.MemoryBytes(2));
+
+  // --- distributed demo: the same readings through D3 and MGDD ------------
+  std::printf("\nrunning distributed demos (D3 and MGDD, %d leaves)...\n", 4);
+  std::vector<Point> unit_readings;
+  unit_readings.reserve(std::min<size_t>(n, 8000));
+  for (size_t i = 0; i < n && unit_readings.size() < 8000; ++i) {
+    unit_readings.push_back(normalizer->ToUnit((*trace)[i]));
+  }
+  const size_t leaves = 4, fanout = 2;
+
+  {
+    D3Options opts;
+    opts.model = config;
+    opts.model.window_size = std::min<size_t>(config.window_size, 2000);
+    opts.model.sample_size = std::min<size_t>(config.sample_size, 200);
+    opts.outlier = rule;
+    opts.min_observations = opts.model.sample_size * 2;
+    Rng rng(7);
+    CountingObserver observer;
+    RunHierarchyDemo(
+        "d3", leaves, fanout, unit_readings, &observer,
+        [&](int, const HierarchyNodeSpec& spec) -> std::unique_ptr<Node> {
+          if (spec.level == 1) {
+            return std::make_unique<D3LeafNode>(opts, rng.Split(), &observer);
+          }
+          D3Options leader = opts;
+          leader.model = LeaderModelConfig(opts.model, fanout,
+                                           opts.sample_fraction, spec.level);
+          return std::make_unique<D3ParentNode>(leader, rng.Split(),
+                                                &observer);
+        });
+  }
+  {
+    MgddOptions opts;
+    opts.model = config;
+    opts.model.window_size = std::min<size_t>(config.window_size, 2000);
+    opts.model.sample_size = std::min<size_t>(config.sample_size, 200);
+    opts.min_observations = opts.model.sample_size * 2;
+    Rng rng(11);
+    CountingObserver observer;
+    RunHierarchyDemo(
+        "mgdd", leaves, fanout, unit_readings, &observer,
+        [&](int, const HierarchyNodeSpec& spec) -> std::unique_ptr<Node> {
+          if (spec.level == 1) {
+            return std::make_unique<MgddLeafNode>(opts, rng.Split(),
+                                                  &observer);
+          }
+          MgddOptions internal = opts;
+          internal.model = LeaderModelConfig(opts.model, fanout,
+                                             opts.sample_fraction, spec.level);
+          return std::make_unique<MgddInternalNode>(internal, rng.Split());
+        });
+  }
+
+  // Everything above fed the process-wide registry; dump it.
+  std::printf("\n");
+  obs::PrintMetricsTable(obs::MetricsRegistry::Global(), stdout);
   return 0;
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Builds the release preset and runs the benchmark suite with machine-readable
+# output:
+#   - bench/micro_benchmarks via google-benchmark's JSON reporter
+#     -> $OUT_DIR/BENCH_micro.json
+#   - one figure harness (fig11_message_scaling, the paper's headline
+#     messages-per-second experiment) through the RunTelemetry JSON writer
+#     -> $OUT_DIR/BENCH_fig11_message_scaling.json
+#
+# SENSORD_QUICK=1 (default here) keeps the run CI-sized; set SENSORD_QUICK=0
+# for paper-scale numbers. OUT_DIR defaults to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+OUT_DIR="${OUT_DIR:-.}"
+mkdir -p "${OUT_DIR}"
+export SENSORD_QUICK="${SENSORD_QUICK:-1}"
+
+cmake --preset release
+cmake --build --preset release -j "${JOBS}" \
+    --target micro_benchmarks fig11_message_scaling
+
+echo "=== bench.sh [1/2] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
+# Filter to a quick, representative subset in quick mode; everything else
+# still runs when SENSORD_QUICK=0.
+FILTER=""
+if [ "${SENSORD_QUICK}" != "0" ]; then
+  FILTER="--benchmark_filter=(BM_Obs.*|BM_ChainSampleAdd/128|BM_KdeBoxQuery1d/128)"
+  export BENCHMARK_MIN_TIME="${BENCHMARK_MIN_TIME:-0.05}"
+fi
+build/release/bench/micro_benchmarks ${FILTER} \
+    ${BENCHMARK_MIN_TIME:+--benchmark_min_time="${BENCHMARK_MIN_TIME}"} \
+    --benchmark_out="${OUT_DIR}/BENCH_micro.json" \
+    --benchmark_out_format=json
+
+echo "=== bench.sh [2/2] fig11_message_scaling ==="
+SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/fig11_message_scaling
+
+python3 - "$OUT_DIR/BENCH_micro.json" \
+    "$OUT_DIR/BENCH_fig11_message_scaling.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        json.load(f)
+    print(f"bench.sh: {path} is valid JSON")
+EOF
+
+echo "bench.sh: done"

@@ -5,6 +5,8 @@
 #      via scripts/check.sh.
 #   3. clang-tidy over src/ via scripts/lint.sh (skipped with a notice if
 #      clang-tidy is not installed).
+#   4. Quick bench run via scripts/bench.sh — proves the bench harnesses run
+#      and leave valid BENCH_*.json artifacts.
 # Exits nonzero on the first failure.
 set -euo pipefail
 
@@ -12,15 +14,18 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== ci.sh [1/3] release build + ctest ==="
+echo "=== ci.sh [1/4] release build + ctest ==="
 cmake --preset release
 cmake --build --preset release -j "${JOBS}"
 ctest --test-dir build/release --output-on-failure -j "${JOBS}"
 
-echo "=== ci.sh [2/3] asan-ubsan build + ctest ==="
+echo "=== ci.sh [2/4] asan-ubsan build + ctest ==="
 scripts/check.sh
 
-echo "=== ci.sh [3/3] clang-tidy ==="
+echo "=== ci.sh [3/4] clang-tidy ==="
 scripts/lint.sh
+
+echo "=== ci.sh [4/4] quick bench + BENCH_*.json ==="
+SENSORD_QUICK=1 scripts/bench.sh
 
 echo "ci.sh: all gates green"

@@ -5,10 +5,37 @@
 
 #include "core/distance_outlier.h"
 #include "core/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+struct D3Metrics {
+  obs::Counter* leaf_flags;            // values flagged at the leaves
+  obs::Counter* leaf_propagations;     // f-gated sample values sent upward
+  obs::Counter* parent_propagations;   // ditto, from intermediate leaders
+  obs::Counter* parent_sample_arrivals;  // absorbed without an outlier test:
+                                         // the re-checks Theorem 3 saves
+  obs::Counter* parent_rechecks;       // child-flagged values re-evaluated
+  obs::Counter* parent_confirms;       // re-checks that upheld the flag
+};
+
+const D3Metrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const D3Metrics m{
+      registry.GetCounter("core.d3.leaf.flags"),
+      registry.GetCounter("core.d3.leaf.propagations"),
+      registry.GetCounter("core.d3.parent.propagations"),
+      registry.GetCounter("core.d3.parent.sample_arrivals"),
+      registry.GetCounter("core.d3.parent.rechecks"),
+      registry.GetCounter("core.d3.parent.confirms")};
+  return m;
+}
+
+}  // namespace
 
 DensityModelConfig LeaderModelConfigFor(const DensityModelConfig& leaf,
                                         size_t num_children,
@@ -49,6 +76,7 @@ void D3LeafNode::OnReading(const Point& value) {
 
   if (inserted && parent() != kNoNode &&
       rng_.Bernoulli(options_.sample_fraction)) {
+    Metrics().leaf_propagations->Increment();
     Message msg;
     msg.from = id();
     msg.to = parent();
@@ -63,6 +91,7 @@ void D3LeafNode::OnReading(const Point& value) {
                          options_.outlier)) {
     return;
   }
+  Metrics().leaf_flags->Increment();
   const uint64_t seq = model_.total_seen();
   if (observer_ != nullptr) {
     observer_->OnOutlierDetected(OutlierEvent{
@@ -108,10 +137,13 @@ void D3ParentNode::HandleMessage(const Message& msg) {
 }
 
 void D3ParentNode::HandleSampleValue(const Point& value) {
-  // Figure 4, ParentProcess lines 28-30.
+  // Figure 4, ParentProcess lines 28-30. The value feeds the model but is
+  // never outlier-tested here — exactly the work Theorem 3 saves a parent.
+  Metrics().parent_sample_arrivals->Increment();
   const bool inserted = model_.Observe(value);
   if (inserted && parent() != kNoNode &&
       rng_.Bernoulli(options_.sample_fraction)) {
+    Metrics().parent_propagations->Increment();
     Message msg;
     msg.from = id();
     msg.to = parent();
@@ -128,10 +160,14 @@ void D3ParentNode::HandleOutlierReport(const OutlierReportPayload& report) {
   if (!model_.Ready() || model_.total_seen() < options_.min_observations) {
     return;
   }
+  Metrics().parent_rechecks->Increment();
+  const obs::TraceSpan span("d3.parent.recheck", static_cast<int64_t>(id()),
+                            sim()->Now());
   if (!IsDistanceOutlier(model_.Estimator(), model_.WindowCount(),
                          report.value, options_.outlier)) {
     return;
   }
+  Metrics().parent_confirms->Increment();
   if (observer_ != nullptr) {
     observer_->OnOutlierDetected(
         OutlierEvent{DetectorKind::kD3, id(), level(), report.value,

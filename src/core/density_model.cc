@@ -2,11 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/bandwidth.h"
 
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+struct DensityModelMetrics {
+  obs::Counter* observes;
+  obs::Counter* estimator_rebuilds;
+  obs::Counter* estimator_cache_hits;
+  obs::Histogram* observe_ns;  // window-advance latency (timing-gated)
+  obs::Histogram* rebuild_ns;  // estimator materialization (timing-gated)
+};
+
+const DensityModelMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const DensityModelMetrics m{
+      registry.GetCounter("core.density_model.observes"),
+      registry.GetCounter("core.density_model.estimator_rebuilds"),
+      registry.GetCounter("core.density_model.estimator_cache_hits"),
+      registry.GetHistogram("core.density_model.observe_ns",
+                            obs::LatencyBoundariesNs()),
+      registry.GetHistogram("core.density_model.rebuild_ns",
+                            obs::LatencyBoundariesNs())};
+  return m;
+}
+
+}  // namespace
 
 DensityModel::DensityModel(const DensityModelConfig& config, Rng rng)
     : config_(config),
@@ -21,6 +47,8 @@ DensityModel::DensityModel(const DensityModelConfig& config, Rng rng)
 
 bool DensityModel::Observe(const Point& p) {
   SENSORD_DCHECK_EQ(p.size(), config_.dimensions);
+  const obs::ScopedTimer timer(Metrics().observe_ns);
+  Metrics().observes->Increment();
   for (size_t i = 0; i < config_.dimensions; ++i) sketches_[i].Add(p[i]);
   return sample_.Add(p);
 }
@@ -33,12 +61,16 @@ const KernelDensityEstimator& DensityModel::Estimator() const {
                      cached_sample_version_ != version ||
                      seen - cached_at_count_ >= config_.max_estimator_age;
   if (stale) {
+    const obs::ScopedTimer timer(Metrics().rebuild_ns);
+    Metrics().estimator_rebuilds->Increment();
     auto built = KernelDensityEstimator::CreateWithScottBandwidths(
         sample_.Snapshot(), BandwidthSpreads());
     SENSORD_CHECK_OK(built.status());  // inputs are valid by construction
     cached_.emplace(std::move(built).value());
     cached_sample_version_ = version;
     cached_at_count_ = seen;
+  } else {
+    Metrics().estimator_cache_hits->Increment();
   }
   return *cached_;
 }

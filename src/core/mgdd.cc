@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/divergence.h"
 
 #include "util/check.h"
@@ -13,6 +15,32 @@ namespace {
 // Global updates are fanned out to every child; share one immutable payload
 // across all copies of the message.
 using SharedUpdate = std::shared_ptr<const GlobalModelUpdatePayload>;
+
+struct MgddMetrics {
+  obs::Counter* mdef_evaluations;     // leaf MDEF tests vs the global model
+  obs::Counter* leaf_flags;           // MDEF outliers raised
+  obs::Counter* leaf_propagations;    // f-gated sample values sent upward
+  obs::Counter* internal_propagations;
+  obs::Counter* updates_originated;   // root model pushes
+  obs::Counter* updates_suppressed;   // kOnModelChange pushes skipped (JS)
+  obs::Counter* updates_applied;      // replica updates applied at leaves
+  obs::Histogram* update_slots;       // slot-diff size per originated push
+};
+
+const MgddMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const MgddMetrics m{
+      registry.GetCounter("core.mgdd.leaf.mdef_evaluations"),
+      registry.GetCounter("core.mgdd.leaf.flags"),
+      registry.GetCounter("core.mgdd.leaf.propagations"),
+      registry.GetCounter("core.mgdd.internal.propagations"),
+      registry.GetCounter("core.mgdd.root.updates_originated"),
+      registry.GetCounter("core.mgdd.root.updates_suppressed"),
+      registry.GetCounter("core.mgdd.leaf.updates_applied"),
+      registry.GetHistogram("core.mgdd.root.update_slots",
+                            obs::SizeBoundaries())};
+  return m;
+}
 
 }  // namespace
 
@@ -30,17 +58,22 @@ void MgddLeafNode::OnReading(const Point& value) {
 
   if (HasGlobalModel() &&
       local_model_.total_seen() >= options_.min_observations) {
+    Metrics().mdef_evaluations->Increment();
     const MdefResult result =
         ComputeMdef(GlobalEstimator(), value, options_.mdef);
-    if (result.is_outlier && observer_ != nullptr) {
-      observer_->OnOutlierDetected(
-          OutlierEvent{DetectorKind::kMgdd, id(), level(), value,
-                       sim()->Now(), id(), local_model_.total_seen()});
+    if (result.is_outlier) {
+      Metrics().leaf_flags->Increment();
+      if (observer_ != nullptr) {
+        observer_->OnOutlierDetected(
+            OutlierEvent{DetectorKind::kMgdd, id(), level(), value,
+                         sim()->Now(), id(), local_model_.total_seen()});
+      }
     }
   }
 
   if (inserted && parent() != kNoNode &&
       rng_.Bernoulli(options_.sample_fraction)) {
+    Metrics().leaf_propagations->Increment();
     Message msg;
     msg.from = id();
     msg.to = parent();
@@ -66,6 +99,7 @@ void MgddLeafNode::HandleMessage(const Message& msg) {
   global_stddevs_ = update->stddevs;
   ++updates_received_;
   ++replica_version_;
+  Metrics().updates_applied->Increment();
 }
 
 const KernelDensityEstimator& MgddLeafNode::GlobalEstimator() const {
@@ -119,6 +153,7 @@ void MgddInternalNode::HandleSampleValue(const Point& value) {
     return;
   }
   if (inserted && rng_.Bernoulli(options_.sample_fraction)) {
+    Metrics().internal_propagations->Increment();
     Message msg;
     msg.from = id();
     msg.to = parent();
@@ -130,6 +165,8 @@ void MgddInternalNode::HandleSampleValue(const Point& value) {
 }
 
 void MgddInternalNode::MaybeOriginateUpdate() {
+  const obs::TraceSpan trace_span("mgdd.originate_update",
+                                  static_cast<int64_t>(id()), sim()->Now());
   const std::vector<Point> snapshot = model_.sample().Snapshot();
   GlobalModelUpdatePayload payload;
   payload.stddevs = model_.BandwidthSpreads();
@@ -154,7 +191,10 @@ void MgddInternalNode::MaybeOriginateUpdate() {
                                    *last_pushed_estimator_,
                                    options_.js_grid_cells);
       SENSORD_CHECK_OK(js.status());
-      if (*js <= options_.push_js_threshold) return;
+      if (*js <= options_.push_js_threshold) {
+        Metrics().updates_suppressed->Increment();
+        return;
+      }
     }
     for (size_t i = 0; i < snapshot.size(); ++i) {
       payload.updates.push_back(
@@ -165,6 +205,8 @@ void MgddInternalNode::MaybeOriginateUpdate() {
 
   payload.version = ++update_version_;
   ++updates_originated_;
+  Metrics().updates_originated->Increment();
+  Metrics().update_slots->Record(static_cast<double>(payload.updates.size()));
   BroadcastToChildren(payload);
 }
 

@@ -3,9 +3,20 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+obs::Counter* DroppedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("net.messages.dropped");
+  return counter;
+}
+
+}  // namespace
 
 Simulator::Simulator(SimulatorOptions options)
     : options_(options), loss_rng_(options.loss_seed) {}
@@ -67,6 +78,7 @@ void Simulator::Send(Message msg) {
   if (options_.drop_probability > 0.0 &&
       loss_rng_.Bernoulli(options_.drop_probability)) {
     ++dropped_;
+    DroppedCounter()->Increment();
     return;
   }
   energy_[msg.to] += options_.rx_cost_per_message +

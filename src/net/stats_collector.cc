@@ -1,11 +1,72 @@
 #include "net/stats_collector.h"
 
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
 namespace sensord {
+namespace {
+
+// Human-readable labels for the well-known kinds in core/protocol.h. The
+// transport layer is application-agnostic, so the names are mirrored here
+// rather than included — keep in sync with core/protocol.h.
+const char* KindLabel(MessageKind kind) {
+  switch (kind) {
+    case 1: return "sample_value";
+    case 2: return "outlier_report";
+    case 3: return "global_model_update";
+    case 4: return "raw_reading";
+    case 5: return "query_request";
+    case 6: return "query_response";
+    default: return nullptr;
+  }
+}
+
+obs::Counter* KindCounter(MessageKind kind) {
+  auto& registry = obs::MetricsRegistry::Global();
+  // Fast path: the well-known protocol kinds resolve through a small cache
+  // so steady-state sends skip the registry's name lookup entirely.
+  constexpr MessageKind kCached = 8;
+  static std::array<obs::Counter*, kCached> cache = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    std::array<obs::Counter*, kCached> out{};
+    for (MessageKind k = 0; k < kCached; ++k) {
+      const char* label = KindLabel(k);
+      const std::string name = label != nullptr
+                                   ? std::string("net.messages.") + label
+                                   : "net.messages.kind_" + std::to_string(k);
+      out[k] = reg.GetCounter(name);
+    }
+    return out;
+  }();
+  if (kind < kCached) return cache[kind];
+  return registry.GetCounter("net.messages.kind_" + std::to_string(kind));
+}
+
+struct NetMetrics {
+  obs::Counter* messages_total;
+  obs::Counter* numbers_total;
+};
+
+const NetMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const NetMetrics m{registry.GetCounter("net.messages.total"),
+                            registry.GetCounter("net.numbers.total")};
+  return m;
+}
+
+}  // namespace
 
 void StatsCollector::RecordSend(const Message& msg) {
   ++total_messages_;
   total_numbers_ += msg.size_numbers;
   ++by_kind_[msg.kind];
+  // Mirror into the process-wide registry (cumulative across Reset()).
+  Metrics().messages_total->Increment();
+  Metrics().numbers_total->Increment(msg.size_numbers);
+  KindCounter(msg.kind)->Increment();
 }
 
 uint64_t StatsCollector::MessagesOfKind(MessageKind kind) const {
@@ -14,6 +75,8 @@ uint64_t StatsCollector::MessagesOfKind(MessageKind kind) const {
 }
 
 void StatsCollector::Reset() {
+  // Only the per-instance tallies reset; the registry mirrors are
+  // process-cumulative by design (see header).
   total_messages_ = 0;
   total_numbers_ = 0;
   by_kind_.clear();

@@ -6,6 +6,13 @@
 // D3, MGDD and the centralized approach; this collector is where those
 // numbers come from. Bytes are derived from the per-message payload size in
 // numbers under the configurable bytes-per-number convention (paper: 2).
+//
+// Every RecordSend is also mirrored into the global obs::MetricsRegistry as
+// `net.messages.total`, `net.numbers.total`, and a per-kind counter
+// `net.messages.<kind>`. The registry counters are process-cumulative: they
+// keep counting across Reset() and across multiple simulators, which makes
+// them suitable for run-level telemetry but not for per-experiment deltas —
+// the per-instance accessors below remain the authoritative per-run numbers.
 
 #ifndef SENSORD_NET_STATS_COLLECTOR_H_
 #define SENSORD_NET_STATS_COLLECTOR_H_
@@ -38,9 +45,11 @@ class StatsCollector {
     return total_numbers_ * bytes_per_number;
   }
 
-  /// Average message rate over a span of simulated seconds.
-  /// Pre: elapsed > 0.
+  /// Average message rate over a span of simulated seconds. Returns 0 for a
+  /// non-positive span rather than dividing by zero (a zero-length window
+  /// has, by convention, no traffic rate).
   double MessagesPerSecond(double elapsed) const {
+    if (!(elapsed > 0.0)) return 0.0;
     return static_cast<double>(total_messages_) / elapsed;
   }
 

@@ -1,0 +1,150 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sensord::obs {
+namespace {
+
+// Doubles rendered for JSON: finite values via %.17g round-trip; non-finite
+// values (never expected from the metrics layer) degrade to 0 so the
+// document stays parseable.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Metric names are dotted identifiers by convention; escape the two
+// characters that could break the document anyway.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendJsonSection(std::string& out, const char* section,
+                       const std::vector<MetricSnapshot>& snapshot,
+                       MetricKind kind) {
+  out += JsonString(section);
+  out += ":{";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != kind) continue;
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(m.name);
+    out += ":";
+    switch (kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(m.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += JsonNumber(m.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        const double mean =
+            m.hist_count == 0
+                ? 0.0
+                : m.hist_sum / static_cast<double>(m.hist_count);
+        out += "{\"count\":" + std::to_string(m.hist_count) +
+               ",\"sum\":" + JsonNumber(m.hist_sum) +
+               ",\"mean\":" + JsonNumber(mean) +
+               ",\"p50\":" + JsonNumber(m.hist_p50) +
+               ",\"p95\":" + JsonNumber(m.hist_p95) +
+               ",\"p99\":" + JsonNumber(m.hist_p99) + "}";
+        break;
+      }
+    }
+  }
+  out += "}";
+}
+
+}  // namespace
+
+void PrintMetricsTable(const MetricsRegistry& registry, std::FILE* out) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  std::fprintf(out, "\n--- metrics (%zu registered) %s\n", snapshot.size(),
+               "-------------------------------------------------");
+  bool any_scalar = false;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind == MetricKind::kCounter) {
+      std::fprintf(out, "  %-48s %14" PRIu64 "\n", m.name.c_str(),
+                   m.counter_value);
+      any_scalar = true;
+    } else if (m.kind == MetricKind::kGauge) {
+      std::fprintf(out, "  %-48s %14.6g\n", m.name.c_str(), m.gauge_value);
+      any_scalar = true;
+    }
+  }
+  bool any_hist = false;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kHistogram) continue;
+    if (!any_hist) {
+      if (any_scalar) std::fprintf(out, "\n");
+      std::fprintf(out, "  %-40s %10s %10s %10s %10s %10s\n", "histogram",
+                   "count", "mean", "p50", "p95", "p99");
+      any_hist = true;
+    }
+    const double mean =
+        m.hist_count == 0 ? 0.0
+                          : m.hist_sum / static_cast<double>(m.hist_count);
+    std::fprintf(out, "  %-40s %10" PRIu64 " %10.4g %10.4g %10.4g %10.4g\n",
+                 m.name.c_str(), m.hist_count, mean, m.hist_p50, m.hist_p95,
+                 m.hist_p99);
+  }
+  if (snapshot.empty()) std::fprintf(out, "  (none)\n");
+  std::fprintf(out, "---%s\n",
+               "--------------------------------------------------------"
+               "----------");
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  std::string out = "{";
+  AppendJsonSection(out, "counters", snapshot, MetricKind::kCounter);
+  out += ",";
+  AppendJsonSection(out, "gauges", snapshot, MetricKind::kGauge);
+  out += ",";
+  AppendJsonSection(out, "histograms", snapshot, MetricKind::kHistogram);
+  out += "}";
+  return out;
+}
+
+Status WriteBenchJson(const std::string& path, const std::string& bench_name,
+                      const BenchResults& results,
+                      const MetricsRegistry& registry) {
+  std::string doc = "{\"schema\":\"sensord.bench.v1\",\"bench\":";
+  doc += JsonString(bench_name);
+  doc += ",\"results\":{";
+  bool first = true;
+  for (const auto& [key, value] : results) {
+    if (!first) doc += ",";
+    first = false;
+    doc += JsonString(key);
+    doc += ":";
+    doc += JsonNumber(value);
+  }
+  doc += "},\"metrics\":";
+  doc += MetricsToJson(registry);
+  doc += "}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open bench record for writing: " + path);
+  }
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != doc.size() || !close_ok) {
+    return Status::IoError("short write to bench record: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sensord::obs

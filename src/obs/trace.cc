@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace sensord::obs {
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+
+// Sink state: the atomic flag is the hot-path check; the mutex serializes
+// open/close/write so records never interleave.
+std::atomic<bool> g_sink_enabled{false};
+std::mutex g_sink_mu;
+FILE* g_sink_file = nullptr;  // guarded by g_sink_mu
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool TimingEnabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTimingEnabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Status OpenTraceSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink_file != nullptr) {
+    std::fclose(g_sink_file);
+    g_sink_file = nullptr;
+    g_sink_enabled.store(false, std::memory_order_release);
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace sink: " + path);
+  }
+  g_sink_file = f;
+  g_sink_enabled.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void CloseTraceSink() {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink_enabled.store(false, std::memory_order_release);
+  if (g_sink_file != nullptr) {
+    std::fclose(g_sink_file);
+    g_sink_file = nullptr;
+  }
+}
+
+bool TraceSinkEnabled() {
+  return g_sink_enabled.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void WriteTraceEvent(const char* name, int64_t node, double virtual_time,
+                     uint64_t begin_ns, uint64_t end_ns) {
+  char line[256];
+  const int len = std::snprintf(
+      line, sizeof(line),
+      "{\"name\":\"%s\",\"node\":%lld,\"vt\":%.9g,\"begin_ns\":%llu,"
+      "\"end_ns\":%llu}\n",
+      name, static_cast<long long>(node), virtual_time,
+      static_cast<unsigned long long>(begin_ns),
+      static_cast<unsigned long long>(end_ns));
+  // A span name long enough to overflow the buffer would truncate to invalid
+  // JSON; drop the record instead (names are short literals by contract).
+  if (len <= 0 || len >= static_cast<int>(sizeof(line))) return;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink_file == nullptr) return;  // sink closed between check and write
+  std::fwrite(line, 1, static_cast<size_t>(len), g_sink_file);
+}
+
+}  // namespace internal
+}  // namespace sensord::obs

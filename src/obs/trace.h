@@ -1,0 +1,114 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Scoped latency capture and span tracing.
+//
+// Two independent switches, both off by default so the library's hot paths
+// pay only one relaxed atomic load per instrumentation point:
+//
+//  * Latency timing (SetTimingEnabled): ScopedTimer reads the monotonic
+//    clock around its scope and records the duration, in nanoseconds, into
+//    an obs::Histogram. Disabled, a ScopedTimer is one atomic load — no
+//    clock reads, no allocation.
+//  * Span tracing (OpenTraceSink): TraceSpan appends one JSONL record per
+//    scope — name, node id, event-queue virtual time, begin/end monotonic
+//    nanoseconds — to the sink file. Disabled, a TraceSpan is one atomic
+//    load — no clock reads, no allocation (the micro-benchmark
+//    BM_ObsDisabledTraceSpan holds this to zero allocations per event).
+//
+// Virtual time is the simulator's SimTime at span construction; it lets a
+// trace of a discrete-event run be ordered by simulated causality rather
+// than by host wall time (the event queue may burn through hours of
+// simulated seconds per wall second).
+
+#ifndef SENSORD_OBS_TRACE_H_
+#define SENSORD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace sensord::obs {
+
+/// Monotonic clock reading in nanoseconds (steady_clock).
+uint64_t MonotonicNowNs();
+
+/// True when ScopedTimer should capture latencies. Default: false.
+bool TimingEnabled();
+
+/// Globally enables/disables ScopedTimer latency capture.
+void SetTimingEnabled(bool enabled);
+
+/// RAII latency capture: records the scope's duration in nanoseconds into
+/// `hist` when timing is enabled (and `hist` non-null); otherwise a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(TimingEnabled() ? hist : nullptr),
+        begin_ns_(hist_ != nullptr ? MonotonicNowNs() : 0) {}
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Record(static_cast<double>(MonotonicNowNs() - begin_ns_));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t begin_ns_;
+};
+
+/// Opens (or truncates) `path` as the process-wide JSONL trace sink and
+/// enables span tracing. Returns IoError if the file cannot be opened.
+Status OpenTraceSink(const std::string& path);
+
+/// Flushes and closes the sink; span tracing is disabled again.
+void CloseTraceSink();
+
+/// True while a sink is open.
+bool TraceSinkEnabled();
+
+namespace internal {
+/// Appends one span record to the sink (drops it if the sink closed in the
+/// meantime). `name` must be a short identifier without '"' or '\'.
+void WriteTraceEvent(const char* name, int64_t node, double virtual_time,
+                     uint64_t begin_ns, uint64_t end_ns);
+}  // namespace internal
+
+/// Sentinel node id for spans outside any simulated node.
+inline constexpr int64_t kTraceNoNode = -1;
+
+/// RAII span: emits one JSONL record covering its lifetime when the sink is
+/// open at construction. `name` must outlive the span (string literals).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, int64_t node_id, double virtual_time)
+      : name_(name),
+        node_(node_id),
+        virtual_time_(virtual_time),
+        begin_ns_(TraceSinkEnabled() ? MonotonicNowNs() : 0) {}
+
+  ~TraceSpan() {
+    if (begin_ns_ != 0) {
+      internal::WriteTraceEvent(name_, node_, virtual_time_, begin_ns_,
+                                MonotonicNowNs());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t node_;
+  double virtual_time_;
+  uint64_t begin_ns_;
+};
+
+}  // namespace sensord::obs
+
+#endif  // SENSORD_OBS_TRACE_H_

@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "stats/bandwidth.h"
 
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+// Per-query cost telemetry: the paper's O(d|R|) box-query bound — and the
+// O(log|R| + |R'|) 1-d fast path — made observable as the number of kernel
+// terms actually evaluated per query.
+struct KdeMetrics {
+  obs::Counter* box_queries;
+  obs::Histogram* terms_per_query;
+};
+
+const KdeMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const KdeMetrics m{
+      registry.GetCounter("stats.kde.box_queries"),
+      registry.GetHistogram("stats.kde.terms_per_query",
+                            obs::SizeBoundaries())};
+  return m;
+}
+
+}  // namespace
 
 StatusOr<KernelDensityEstimator> KernelDensityEstimator::Create(
     std::vector<Point> sample, std::vector<double> bandwidths) {
@@ -70,6 +91,8 @@ double KernelDensityEstimator::Interval1dProbability(double lo,
       std::lower_bound(sorted_1d_.begin(), sorted_1d_.end(), lo - b);
   const auto touch_end =
       std::upper_bound(sorted_1d_.begin(), sorted_1d_.end(), hi + b);
+  Metrics().terms_per_query->Record(
+      static_cast<double>(touch_end - touch_begin));
 
   double mass = 0.0;
   auto partial_until = touch_end;
@@ -95,11 +118,14 @@ double KernelDensityEstimator::BoxProbability(const Point& lo,
                                               const Point& hi) const {
   SENSORD_DCHECK_EQ(lo.size(), dimensions());
   SENSORD_DCHECK_EQ(hi.size(), dimensions());
+  Metrics().box_queries->Increment();
   for (size_t i = 0; i < lo.size(); ++i) {
     if (lo[i] > hi[i]) return 0.0;  // inverted box: empty
   }
   if (dimensions() == 1) return Interval1dProbability(lo[0], hi[0]);
 
+  // Every kernel term is touched in d > 1 (the O(d|R|) general path).
+  Metrics().terms_per_query->Record(static_cast<double>(sample_.size()));
   double total = 0.0;
   for (const Point& t : sample_) {
     double contrib = 1.0;

@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+// Cached metric handles (see obs/metrics.h): the registry lookup runs once
+// per process; per-event cost is one relaxed atomic increment.
+struct ChainSampleMetrics {
+  obs::Counter* adds;          // stream elements observed
+  obs::Counter* restarts;      // chains restarted at a fresh element
+  obs::Counter* replacements;  // queued replacement arrivals appended
+  obs::Counter* expirations;   // active elements promoted out on expiry
+  obs::Histogram* add_ns;      // window-advance latency (timing-gated)
+};
+
+const ChainSampleMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const ChainSampleMetrics m{
+      registry.GetCounter("stream.chain_sample.adds"),
+      registry.GetCounter("stream.chain_sample.restarts"),
+      registry.GetCounter("stream.chain_sample.replacements"),
+      registry.GetCounter("stream.chain_sample.expirations"),
+      registry.GetHistogram("stream.chain_sample.add_ns",
+                            obs::LatencyBoundariesNs())};
+  return m;
+}
+
+}  // namespace
 
 ChainSample::ChainSample(size_t sample_size, size_t window_size, Rng rng)
     : window_size_(window_size), chains_(sample_size), rng_(rng) {
@@ -36,6 +63,7 @@ void ChainSample::RegisterExpiry(uint32_t chain_idx) {
 
 void ChainSample::RestartChain(uint32_t chain_idx, uint64_t index,
                                const Point& value) {
+  Metrics().restarts->Increment();
   ++version_;
   Chain& chain = chains_[chain_idx];
   chain.entries.clear();  // orphaned map registrations are skipped lazily
@@ -55,6 +83,8 @@ uint64_t ChainSample::GeometricSkip(double p) {
 }
 
 bool ChainSample::Add(const Point& value) {
+  const obs::ScopedTimer timer(Metrics().add_ns);
+  Metrics().adds->Increment();
   const uint64_t i = now_;  // 0-based arrival index of this element
   ++now_;
 
@@ -73,6 +103,7 @@ bool ChainSample::Add(const Point& value) {
       Chain& chain = chains_[c];
       if (chain.next_replacement_index != i) continue;  // stale (restarted)
       chain.entries.push_back({i, value});
+      Metrics().replacements->Increment();
       DrawReplacement(c, i);
     }
     pending_replacement_.erase(it);
@@ -89,6 +120,7 @@ bool ChainSample::Add(const Point& value) {
       chain.entries.pop_front();
       SENSORD_CHECK(!chain.entries.empty() &&
                     "chain invariant: replacement arrives before expiry");
+      Metrics().expirations->Increment();
       ++version_;  // the chain's active element changed
       RegisterExpiry(c);
     }

@@ -1,8 +1,25 @@
 #include "stream/sliding_window.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+struct SlidingWindowMetrics {
+  obs::Counter* adds;
+  obs::Counter* evictions;
+};
+
+const SlidingWindowMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const SlidingWindowMetrics m{
+      registry.GetCounter("stream.sliding_window.adds"),
+      registry.GetCounter("stream.sliding_window.evictions")};
+  return m;
+}
+
+}  // namespace
 
 SlidingWindow::SlidingWindow(size_t capacity, size_t dimensions)
     : capacity_(capacity), dimensions_(dimensions) {
@@ -15,8 +32,10 @@ Status SlidingWindow::Add(const Point& p) {
   if (p.size() != dimensions_) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
+  Metrics().adds->Increment();
   const size_t slot = (head_ + size_) % capacity_;
   if (size_ == capacity_) {
+    Metrics().evictions->Increment();
     ring_[head_] = p;
     head_ = (head_ + 1) % capacity_;
   } else {

@@ -7,6 +7,7 @@ namespace sensord {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::string* g_test_sink = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -34,6 +35,7 @@ const char* Basename(const char* path) {
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogSinkForTest(std::string* sink) { g_test_sink = sink; }
 
 namespace internal {
 
@@ -47,7 +49,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    if (g_test_sink != nullptr) {
+      g_test_sink->append(stream_.str());
+      g_test_sink->push_back('\n');
+    } else {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    }
   }
   (void)level_;
 }

@@ -21,9 +21,18 @@ void SetLogLevel(LogLevel level);
 /// Current global minimum level.
 LogLevel GetLogLevel();
 
+/// Redirects finished log lines into `*sink` (appended, one '\n'-terminated
+/// line per message) instead of stderr. Pass nullptr to restore stderr.
+/// Test-only: not synchronized against concurrent loggers.
+void SetLogSinkForTest(std::string* sink);
+
 namespace internal {
 
 /// Stream-style log line; flushes to stderr on destruction.
+///
+/// Tag() and Node() extend the standard "[LEVEL file:line]" prefix with a
+/// component name and a simulated-node id, so interleaved per-node output
+/// stays attributable: SENSORD_LOG(Info).Tag("d3").Node(id()) << ...
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -31,6 +40,18 @@ class LogMessage {
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
+
+  /// Appends "[component] " to the line's prefix.
+  LogMessage& Tag(const char* component) {
+    if (enabled_) stream_ << "[" << component << "] ";
+    return *this;
+  }
+
+  /// Appends "[node N] " to the line's prefix.
+  LogMessage& Node(long long id) {
+    if (enabled_) stream_ << "[node " << id << "] ";
+    return *this;
+  }
 
   template <typename T>
   LogMessage& operator<<(const T& value) {

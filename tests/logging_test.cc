@@ -28,6 +28,34 @@ TEST(LoggingTest, MacroCompilesAndStreams) {
   SetLogLevel(prev);
 }
 
+TEST(LoggingTest, TagAndNodePrefixAppearInOutput) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::string captured;
+  SetLogSinkForTest(&captured);
+  SENSORD_LOG(Info).Tag("d3").Node(7) << "recheck complete";
+  SetLogSinkForTest(nullptr);
+  SetLogLevel(prev);
+  EXPECT_NE(captured.find("[d3] "), std::string::npos) << captured;
+  EXPECT_NE(captured.find("[node 7] "), std::string::npos) << captured;
+  EXPECT_NE(captured.find("recheck complete"), std::string::npos) << captured;
+  // Prefix order: level/file header, then tag, then node, then the message.
+  EXPECT_LT(captured.find("[INFO"), captured.find("[d3] "));
+  EXPECT_LT(captured.find("[d3] "), captured.find("[node 7] "));
+  EXPECT_LT(captured.find("[node 7] "), captured.find("recheck complete"));
+}
+
+TEST(LoggingTest, TagAndNodeAreNoOpsWhenDisabled) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  std::string captured;
+  SetLogSinkForTest(&captured);
+  SENSORD_LOG(Debug).Tag("mgdd").Node(3) << "should not appear";
+  SetLogSinkForTest(nullptr);
+  SetLogLevel(prev);
+  EXPECT_TRUE(captured.empty()) << captured;
+}
+
 TEST(LoggingTest, DisabledLevelSkipsFormatting) {
   const LogLevel prev = GetLogLevel();
   SetLogLevel(LogLevel::kError);

@@ -1,0 +1,94 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace sensord::obs {
+namespace {
+
+MetricsRegistry& PopulatedRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("net.messages.total")->Increment(12);
+    r->GetGauge("core.model.bytes")->Set(10240.0);
+    Histogram* h =
+        r->GetHistogram("stream.add_ns", Histogram::LinearBoundaries(1, 1, 4));
+    h->Record(1.0);
+    h->Record(2.0);
+    h->Record(3.0);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(PrintMetricsTableTest, ContainsEveryMetricAndQuantileColumns) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  PrintMetricsTable(PopulatedRegistry(), tmp);
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0) out.append(buf, n);
+  std::fclose(tmp);
+
+  EXPECT_NE(out.find("net.messages.total"), std::string::npos) << out;
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("core.model.bytes"), std::string::npos);
+  EXPECT_NE(out.find("stream.add_ns"), std::string::npos);
+  EXPECT_NE(out.find("p50"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+  EXPECT_NE(out.find("p99"), std::string::npos);
+}
+
+TEST(MetricsToJsonTest, EmitsAllSectionsWithValues) {
+  const std::string json = MetricsToJson(PopulatedRegistry());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.messages.total\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"core.model.bytes\":10240"), std::string::npos);
+  EXPECT_NE(json.find("\"stream.add_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  // Structurally balanced — a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(WriteBenchJsonTest, WritesSchemaResultsAndMetrics) {
+  const std::string path = ::testing::TempDir() + "obs_bench_record.json";
+  const BenchResults results = {{"events_per_sec", 1.5e6},
+                                {"elapsed_sec", 2.0}};
+  ASSERT_TRUE(
+      WriteBenchJson(path, "micro", results, PopulatedRegistry()).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"schema\":\"sensord.bench.v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bench\":\"micro\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_per_sec\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"net.messages.total\":12"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteBenchJsonTest, FailsOnUnwritablePath) {
+  EXPECT_FALSE(WriteBenchJson("/nonexistent-dir/out.json", "x", {},
+                              PopulatedRegistry())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sensord::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace sensord::obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Extracts the numeric value following `"key":` in a JSONL record.
+double JsonNumberField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  if (pos == std::string::npos) return 0.0;
+  return std::stod(line.substr(pos + needle.size()));
+}
+
+TEST(MonotonicClockTest, NeverGoesBackwards) {
+  const uint64_t a = MonotonicNowNs();
+  const uint64_t b = MonotonicNowNs();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(ScopedTimerTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(TimingEnabled());
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t.disabled", LatencyBoundariesNs());
+  { const ScopedTimer timer(h); }
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST(ScopedTimerTest, EnabledRecordsOneLatency) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t.enabled", LatencyBoundariesNs());
+  SetTimingEnabled(true);
+  { const ScopedTimer timer(h); }
+  SetTimingEnabled(false);
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(h->Sum(), 0.0);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsANoOp) {
+  SetTimingEnabled(true);
+  { const ScopedTimer timer(nullptr); }
+  SetTimingEnabled(false);
+}
+
+TEST(TraceSinkTest, DisabledByDefault) {
+  EXPECT_FALSE(TraceSinkEnabled());
+  // Spans constructed with no sink are no-ops.
+  { const TraceSpan span("noop", kTraceNoNode, 0.0); }
+}
+
+TEST(TraceSinkTest, OpenFailsOnUnwritablePath) {
+  const Status s = OpenTraceSink("/nonexistent-dir/trace.jsonl");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(TraceSinkEnabled());
+}
+
+// The round-trip contract: every span becomes one parseable JSONL record
+// carrying the span name, node id, virtual time and a begin <= end interval.
+TEST(TraceSinkTest, SpansRoundTripThroughJsonl) {
+  const std::string path = TempPath("obs_trace_roundtrip.jsonl");
+  ASSERT_TRUE(OpenTraceSink(path).ok());
+  EXPECT_TRUE(TraceSinkEnabled());
+  { const TraceSpan span("alpha.work", 3, 1.5); }
+  { const TraceSpan span("beta.work", kTraceNoNode, 0.0); }
+  CloseTraceSink();
+  EXPECT_FALSE(TraceSinkEnabled());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const double begin_ns = JsonNumberField(line, "begin_ns");
+    const double end_ns = JsonNumberField(line, "end_ns");
+    EXPECT_LE(begin_ns, end_ns);
+    EXPECT_GT(begin_ns, 0.0);
+  }
+  EXPECT_NE(lines[0].find("\"name\":\"alpha.work\""), std::string::npos);
+  EXPECT_EQ(JsonNumberField(lines[0], "node"), 3.0);
+  EXPECT_EQ(JsonNumberField(lines[0], "vt"), 1.5);
+  EXPECT_NE(lines[1].find("\"name\":\"beta.work\""), std::string::npos);
+  EXPECT_EQ(JsonNumberField(lines[1], "node"), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, SpanOpenAcrossCloseIsDropped) {
+  const std::string path = TempPath("obs_trace_straddle.jsonl");
+  ASSERT_TRUE(OpenTraceSink(path).ok());
+  {
+    const TraceSpan span("straddler", 1, 0.0);
+    CloseTraceSink();
+  }  // destructor fires after close: record must be dropped, not crash
+  EXPECT_TRUE(ReadLines(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, ReopenTruncates) {
+  const std::string path = TempPath("obs_trace_reopen.jsonl");
+  ASSERT_TRUE(OpenTraceSink(path).ok());
+  { const TraceSpan span("first", 1, 0.0); }
+  CloseTraceSink();
+  ASSERT_TRUE(OpenTraceSink(path).ok());
+  { const TraceSpan span("second", 2, 0.0); }
+  CloseTraceSink();
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"name\":\"second\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sensord::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace sensord {
 namespace {
 
@@ -44,6 +46,38 @@ TEST(StatsCollectorTest, RateComputation) {
   StatsCollector stats;
   for (int i = 0; i < 30; ++i) stats.RecordSend(MakeMessage(1, 1));
   EXPECT_DOUBLE_EQ(stats.MessagesPerSecond(10.0), 3.0);
+}
+
+TEST(StatsCollectorTest, RateOverEmptyOrNegativeSpanIsZero) {
+  StatsCollector stats;
+  stats.RecordSend(MakeMessage(1, 1));
+  EXPECT_DOUBLE_EQ(stats.MessagesPerSecond(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.MessagesPerSecond(-1.0), 0.0);
+}
+
+TEST(StatsCollectorTest, MirrorsIntoGlobalRegistry) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* total = registry.GetCounter("net.messages.total");
+  obs::Counter* numbers = registry.GetCounter("net.numbers.total");
+  obs::Counter* samples = registry.GetCounter("net.messages.sample_value");
+  obs::Counter* custom = registry.GetCounter("net.messages.kind_200");
+  const uint64_t total0 = total->value();
+  const uint64_t numbers0 = numbers->value();
+  const uint64_t samples0 = samples->value();
+  const uint64_t custom0 = custom->value();
+
+  StatsCollector stats;
+  stats.RecordSend(MakeMessage(1, 4));  // kMsgSampleValue
+  stats.RecordSend(MakeMessage(200, 6));
+  EXPECT_EQ(total->value(), total0 + 2);
+  EXPECT_EQ(numbers->value(), numbers0 + 10);
+  EXPECT_EQ(samples->value(), samples0 + 1);
+  EXPECT_EQ(custom->value(), custom0 + 1);
+
+  // Reset clears the per-instance tallies but not the cumulative mirrors.
+  stats.Reset();
+  EXPECT_EQ(stats.TotalMessages(), 0u);
+  EXPECT_EQ(total->value(), total0 + 2);
 }
 
 TEST(StatsCollectorTest, ResetClearsEverything) {
