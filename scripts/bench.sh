@@ -6,6 +6,10 @@
 #   - one figure harness (fig11_message_scaling, the paper's headline
 #     messages-per-second experiment) through the RunTelemetry JSON writer
 #     -> $OUT_DIR/BENCH_fig11_message_scaling.json
+#   - the packet-loss ablation (ack/retransmit transport on/off), whose
+#     metrics table carries the transport + degradation counters
+#     (net.retries, net.timeouts, net.dup_suppressed, net.abandoned,
+#     core.degraded_windows) -> $OUT_DIR/BENCH_ablation_packet_loss.json
 #
 # SENSORD_QUICK=1 (default here) keeps the run CI-sized; set SENSORD_QUICK=0
 # for paper-scale numbers. OUT_DIR defaults to the repo root.
@@ -20,9 +24,9 @@ export SENSORD_QUICK="${SENSORD_QUICK:-1}"
 
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-    --target micro_benchmarks fig11_message_scaling
+    --target micro_benchmarks fig11_message_scaling ablation_packet_loss
 
-echo "=== bench.sh [1/2] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
+echo "=== bench.sh [1/3] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
 # Filter to a quick, representative subset in quick mode; everything else
 # still runs when SENSORD_QUICK=0.
 FILTER=""
@@ -35,11 +39,15 @@ build/release/bench/micro_benchmarks ${FILTER} \
     --benchmark_out="${OUT_DIR}/BENCH_micro.json" \
     --benchmark_out_format=json
 
-echo "=== bench.sh [2/2] fig11_message_scaling ==="
+echo "=== bench.sh [2/3] fig11_message_scaling ==="
 SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/fig11_message_scaling
 
+echo "=== bench.sh [3/3] ablation_packet_loss (transport counters) ==="
+SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/ablation_packet_loss
+
 python3 - "$OUT_DIR/BENCH_micro.json" \
-    "$OUT_DIR/BENCH_fig11_message_scaling.json" <<'EOF'
+    "$OUT_DIR/BENCH_fig11_message_scaling.json" \
+    "$OUT_DIR/BENCH_ablation_packet_loss.json" <<'EOF'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as f:

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # The one-command tier-1 + sanitizer gate:
-#   1. Release preset: build + full ctest suite (what ships).
-#   2. ASan/UBSan preset: build + full ctest suite (what catches UB/leaks),
+#   1. Test-pairing gate: every src/net/ and src/core/ translation unit must
+#      have a matching tests/<name>_test.cc. Cheap, runs first.
+#   2. Release preset: build + full ctest suite (what ships).
+#   3. ASan/UBSan preset: build + ctest minus the soak label (soak sweeps
+#      are long under ASan; they get their own sanitizer pass in step 4),
 #      via scripts/check.sh.
-#   3. clang-tidy over src/ via scripts/lint.sh (skipped with a notice if
+#   4. TSan preset: build + the soak-labelled suite. The soak tests drive
+#      the full simulator (transport retries, fault schedules, crash
+#      windows) for thousands of virtual seconds — the highest-value place
+#      to look for data races.
+#   5. clang-tidy over src/ via scripts/lint.sh (skipped with a notice if
 #      clang-tidy is not installed).
-#   4. Quick bench run via scripts/bench.sh — proves the bench harnesses run
+#   6. Quick bench run via scripts/bench.sh — proves the bench harnesses run
 #      and leave valid BENCH_*.json artifacts.
 # Exits nonzero on the first failure.
 set -euo pipefail
@@ -14,18 +21,39 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== ci.sh [1/4] release build + ctest ==="
+echo "=== ci.sh [1/6] source/test pairing gate ==="
+missing=0
+for src in src/net/*.cc src/core/*.cc; do
+  base="$(basename "${src}" .cc)"
+  if [ ! -f "tests/${base}_test.cc" ]; then
+    echo "ci.sh: ${src} has no tests/${base}_test.cc" >&2
+    missing=1
+  fi
+done
+if [ "${missing}" -ne 0 ]; then
+  echo "ci.sh: every net/ and core/ source needs a matching unit test" >&2
+  exit 1
+fi
+echo "pairing gate: every net/ and core/ source has a test"
+
+echo "=== ci.sh [2/6] release build + ctest ==="
 cmake --preset release
 cmake --build --preset release -j "${JOBS}"
 ctest --test-dir build/release --output-on-failure -j "${JOBS}"
 
-echo "=== ci.sh [2/4] asan-ubsan build + ctest ==="
-scripts/check.sh
+echo "=== ci.sh [3/6] asan-ubsan build + ctest (minus soak) ==="
+scripts/check.sh -LE soak
 
-echo "=== ci.sh [3/4] clang-tidy ==="
+echo "=== ci.sh [4/6] tsan build + soak suite ==="
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}"
+ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" -L soak
+
+echo "=== ci.sh [5/6] clang-tidy ==="
 scripts/lint.sh
 
-echo "=== ci.sh [4/4] quick bench + BENCH_*.json ==="
+echo "=== ci.sh [6/6] quick bench + BENCH_*.json ==="
 SENSORD_QUICK=1 scripts/bench.sh
 
 echo "ci.sh: all gates green"

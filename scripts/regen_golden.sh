@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/e2e_outliers.txt from the current build.
+#
+# Run after an INTENTIONAL behaviour change (detector logic, transport,
+# fault scheduling, RNG consumption), review the diff, and commit the new
+# golden together with the change that caused it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target golden_e2e_test
+
+SENSORD_REGEN_GOLDEN=1 \
+  "$BUILD_DIR"/tests/golden_e2e_test \
+  --gtest_filter='GoldenE2eTest.DetectionHistoryMatchesGolden'
+
+echo "--- regenerated tests/golden/e2e_outliers.txt ---"
+git diff --stat -- tests/golden/e2e_outliers.txt || true

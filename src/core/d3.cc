@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/distance_outlier.h"
 #include "core/protocol.h"
@@ -33,6 +34,13 @@ const D3Metrics& Metrics() {
       registry.GetCounter("core.d3.parent.rechecks"),
       registry.GetCounter("core.d3.parent.confirms")};
   return m;
+}
+
+// Shared with mgdd.cc by name: degraded-state entries of any detector.
+obs::Counter* DegradedWindowsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("core.degraded_windows");
+  return counter;
 }
 
 }  // namespace
@@ -116,9 +124,40 @@ void D3LeafNode::HandleMessage(const Message& msg) {
 D3ParentNode::D3ParentNode(const D3Options& options, Rng rng,
                            OutlierObserver* observer)
     : options_(options), model_(options.model, rng.Split()), rng_(rng),
-      observer_(observer) {}
+      observer_(observer) {
+  // Register the counter up front so core.degraded_windows shows up (as 0)
+  // in metric dumps of healthy runs too.
+  (void)DegradedWindowsCounter();
+}
+
+void D3ParentNode::OnStart() {
+  // Children start "fresh" at wiring time; silence is measured from here.
+  for (NodeId child : children()) last_heard_[child] = sim()->Now();
+}
+
+bool D3ParentNode::ComputeDegraded(SimTime now) const {
+  if (!std::isfinite(options_.staleness_threshold)) return false;
+  for (const auto& [child, heard] : last_heard_) {
+    if (now - heard > options_.staleness_threshold) return true;
+  }
+  return false;
+}
+
+bool D3ParentNode::degraded() const { return ComputeDegraded(sim()->Now()); }
 
 void D3ParentNode::HandleMessage(const Message& msg) {
+  // Degradation bookkeeping: staleness is only observable when an event
+  // fires, so each arriving message first settles whether a silent child
+  // pushed the node into the degraded state since the last one.
+  const SimTime now = sim()->Now();
+  if (ComputeDegraded(now) && !degraded_state_) {
+    DegradedWindowsCounter()->Increment();
+    degraded_state_ = true;
+  }
+  const auto heard = last_heard_.find(msg.from);
+  if (heard != last_heard_.end()) heard->second = now;
+  degraded_state_ = ComputeDegraded(now);
+
   switch (msg.kind) {
     case kMsgSampleValue: {
       const auto& payload = std::any_cast<const SampleValuePayload&>(msg.payload);
@@ -169,9 +208,12 @@ void D3ParentNode::HandleOutlierReport(const OutlierReportPayload& report) {
   }
   Metrics().parent_confirms->Increment();
   if (observer_ != nullptr) {
-    observer_->OnOutlierDetected(
-        OutlierEvent{DetectorKind::kD3, id(), level(), report.value,
-                     sim()->Now(), report.source_leaf, report.source_seq});
+    OutlierEvent event{DetectorKind::kD3,  id(),
+                       level(),            report.value,
+                       sim()->Now(),       report.source_leaf,
+                       report.source_seq};
+    event.degraded = degraded_state_;
+    observer_->OnOutlierDetected(event);
   }
   if (parent() != kNoNode) {
     Message msg;

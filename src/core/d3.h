@@ -20,6 +20,8 @@
 #define SENSORD_CORE_D3_H_
 
 #include <cstdint>
+#include <limits>
+#include <map>
 
 #include "core/config.h"
 #include "core/density_model.h"
@@ -46,6 +48,13 @@ struct D3Options {
   /// fresh models produce meaningless neighbourhood counts. Experiments use
   /// one full window.
   uint64_t min_observations = 1000;
+
+  /// Graceful degradation: a parent that has heard nothing from some child
+  /// for longer than this many simulated seconds considers its model stale
+  /// and marks itself (and the events it still emits) degraded. Crossing
+  /// into the degraded state bumps `core.degraded_windows`. Infinity
+  /// disables the check (the paper assumes reliable links and live nodes).
+  double staleness_threshold = std::numeric_limits<double>::infinity();
 };
 
 /// Computes the DensityModelConfig for a leader node with `num_children`
@@ -96,19 +105,29 @@ class D3ParentNode : public Node {
   /// level. `observer` may be null; it must outlive the node.
   D3ParentNode(const D3Options& options, Rng rng, OutlierObserver* observer);
 
+  void OnStart() override;
   void HandleMessage(const Message& msg) override;
 
   const DensityModel& model() const { return model_; }
   const D3Options& options() const { return options_; }
 
+  /// True if some child has been silent past options().staleness_threshold
+  /// as of the current simulation time.
+  bool degraded() const;
+
  private:
   void HandleSampleValue(const Point& value);
   void HandleOutlierReport(const OutlierReportPayload& report);
+  bool ComputeDegraded(SimTime now) const;
 
   D3Options options_;
   DensityModel model_;
   Rng rng_;
   OutlierObserver* observer_;
+
+  // Last time each direct child was heard from (any message kind).
+  std::map<NodeId, SimTime> last_heard_;
+  bool degraded_state_ = false;
 };
 
 }  // namespace sensord

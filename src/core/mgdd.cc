@@ -1,5 +1,6 @@
 #include "core/mgdd.h"
 
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -42,6 +43,13 @@ const MgddMetrics& Metrics() {
   return m;
 }
 
+// Shared with d3.cc by name: degraded-state entries of any detector.
+obs::Counter* DegradedWindowsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("core.degraded_windows");
+  return counter;
+}
+
 }  // namespace
 
 MgddLeafNode::MgddLeafNode(const MgddOptions& options, Rng rng,
@@ -49,7 +57,11 @@ MgddLeafNode::MgddLeafNode(const MgddOptions& options, Rng rng,
     : options_(options),
       local_model_(options.model, rng.Split()),
       rng_(rng),
-      observer_(observer) {}
+      observer_(observer) {
+  // Register the counter up front so core.degraded_windows shows up (as 0)
+  // in metric dumps of healthy runs too.
+  (void)DegradedWindowsCounter();
+}
 
 void MgddLeafNode::OnReading(const Point& value) {
   // Figure 4, MGDD LeafProcess: update the local model, test the value
@@ -58,15 +70,23 @@ void MgddLeafNode::OnReading(const Point& value) {
 
   if (HasGlobalModel() &&
       local_model_.total_seen() >= options_.min_observations) {
+    // Detection keeps running on a stale replica — degraded, not dead.
+    if (degraded() && !degraded_state_) {
+      DegradedWindowsCounter()->Increment();
+      degraded_state_ = true;
+    }
     Metrics().mdef_evaluations->Increment();
     const MdefResult result =
         ComputeMdef(GlobalEstimator(), value, options_.mdef);
     if (result.is_outlier) {
       Metrics().leaf_flags->Increment();
       if (observer_ != nullptr) {
-        observer_->OnOutlierDetected(
-            OutlierEvent{DetectorKind::kMgdd, id(), level(), value,
-                         sim()->Now(), id(), local_model_.total_seen()});
+        OutlierEvent event{DetectorKind::kMgdd, id(),
+                           level(),             value,
+                           sim()->Now(),        id(),
+                           local_model_.total_seen()};
+        event.degraded = degraded_state_;
+        observer_->OnOutlierDetected(event);
       }
     }
   }
@@ -99,7 +119,15 @@ void MgddLeafNode::HandleMessage(const Message& msg) {
   global_stddevs_ = update->stddevs;
   ++updates_received_;
   ++replica_version_;
+  last_update_time_ = sim()->Now();
+  degraded_state_ = false;  // a fresh replica heals the degradation
   Metrics().updates_applied->Increment();
+}
+
+bool MgddLeafNode::degraded() const {
+  if (!HasGlobalModel()) return false;
+  if (!std::isfinite(options_.staleness_threshold)) return false;
+  return sim()->Now() - last_update_time_ > options_.staleness_threshold;
 }
 
 const KernelDensityEstimator& MgddLeafNode::GlobalEstimator() const {

@@ -26,6 +26,7 @@
 #define SENSORD_CORE_MGDD_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -70,6 +71,13 @@ struct MgddOptions {
 
   /// Observations a leaf must absorb before flagging values.
   uint64_t min_observations = 1000;
+
+  /// Graceful degradation: a leaf whose global-model replica has not been
+  /// refreshed for longer than this many simulated seconds keeps detecting
+  /// but marks itself (and its events) degraded — MDEF against a stale
+  /// global model is best-effort. Crossing into the degraded state bumps
+  /// `core.degraded_windows`. Infinity disables the check.
+  double staleness_threshold = std::numeric_limits<double>::infinity();
 };
 
 /// A leaf sensor running MGDD's LeafProcess: maintains its local model,
@@ -93,6 +101,11 @@ class MgddLeafNode : public Node {
   /// Number of global updates applied (for experiments).
   uint64_t global_updates_received() const { return updates_received_; }
 
+  /// True if the replica is older than options.staleness_threshold as of
+  /// the current simulation time (always false before the first update —
+  /// there is no replica to be stale yet; MDEF is simply off).
+  bool degraded() const;
+
  private:
   MgddOptions options_;
   DensityModel local_model_;
@@ -105,6 +118,8 @@ class MgddLeafNode : public Node {
   std::vector<double> global_stddevs_;
   uint64_t updates_received_ = 0;
   uint64_t replica_version_ = 0;
+  SimTime last_update_time_ = 0.0;
+  bool degraded_state_ = false;
 
   mutable std::optional<KernelDensityEstimator> cached_global_;
   mutable uint64_t cached_version_ = 0;

@@ -31,6 +31,12 @@ struct OutlierEvent {
   SimTime time = 0.0;     ///< simulation time of the detection
   NodeId source_leaf = kNoNode;  ///< leaf that sensed the value
   uint64_t source_seq = 0;       ///< that leaf's reading counter
+
+  /// True if the detecting node considered its own inputs stale at detection
+  /// time (a child silent, or a global model past its staleness threshold) —
+  /// the event is best-effort, not backed by fresh data. See the
+  /// staleness_threshold knobs in D3Options / MgddOptions.
+  bool degraded = false;
 };
 
 /// Receives detection events. Implementations must tolerate being called

@@ -201,6 +201,7 @@ StatusOr<AccuracyResult> RunAccuracyExperiment(const AccuracyConfig& cfg) {
 
   SimulatorOptions sim_opts;
   sim_opts.drop_probability = cfg.link_loss;
+  sim_opts.transport = cfg.transport;
 
   if (use_d3_sim) {
     d3_sim = std::make_unique<Simulator>(sim_opts);
@@ -211,6 +212,7 @@ StatusOr<AccuracyResult> RunAccuracyExperiment(const AccuracyConfig& cfg) {
           D3Options opts;
           opts.outlier = cfg.d3_outlier;
           opts.sample_fraction = cfg.sample_fraction;
+          opts.staleness_threshold = cfg.staleness_threshold;
           if (spec.level == 1) {
             opts.model = leaf_model;
             opts.min_observations = cfg.sample_size;
@@ -237,6 +239,7 @@ StatusOr<AccuracyResult> RunAccuracyExperiment(const AccuracyConfig& cfg) {
           opts.sample_fraction = cfg.sample_fraction;
           opts.update_mode = cfg.mgdd_update_mode;
           opts.min_observations = cfg.sample_size;
+          opts.staleness_threshold = cfg.staleness_threshold;
           if (spec.level == 1) {
             opts.model = leaf_model;
             return std::make_unique<MgddLeafNode>(opts, node_rng.Split(),

@@ -20,6 +20,7 @@
 #define SENSORD_EVAL_EXPERIMENT_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/config.h"
@@ -80,6 +81,18 @@ struct AccuracyConfig {
   /// (kernel method only; 0 = reliable links, the paper's setting). Used by
   /// the robustness ablation.
   double link_loss = 0.0;
+
+  /// Ack/retransmit transport under the loss above (kernel method only).
+  /// transport.reliable = true makes the detectors see (almost) the
+  /// loss-free message stream at a measurable retransmission cost — the
+  /// knob the soak tests and the packet-loss ablation flip.
+  TransportOptions transport;
+
+  /// Staleness horizon (virtual seconds) after which D3 parents and MGDD
+  /// leaves mark themselves degraded (see D3Options/MgddOptions). The
+  /// default (+inf) disables degradation tracking, matching the paper's
+  /// fault-free setting.
+  double staleness_threshold = std::numeric_limits<double>::infinity();
 
   /// Bandwidth selection for all density models: false = the paper's
   /// Scott's rule; true = the robust IQR-tempered variant (see

@@ -1,0 +1,92 @@
+#include "net/fault_schedule.h"
+
+#include "obs/metrics.h"
+
+namespace sensord {
+namespace {
+
+struct FaultMetrics {
+  obs::Counter* drops;       // transmissions killed by the schedule
+  obs::Counter* duplicates;  // radio-level duplicate copies injected
+};
+
+const FaultMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const FaultMetrics m{registry.GetCounter("net.fault.drops"),
+                              registry.GetCounter("net.fault.duplicates")};
+  return m;
+}
+
+}  // namespace
+
+bool FaultSchedule::IsNodeUp(NodeId node, SimTime t) const {
+  const auto it = crashes_.find(node);
+  if (it == crashes_.end()) return true;
+  for (const Interval& iv : it->second) {
+    if (iv.Contains(t)) return false;
+  }
+  return true;
+}
+
+bool FaultSchedule::IsLinkUp(NodeId from, NodeId to, SimTime t) const {
+  if (!IsNodeUp(from, t) || !IsNodeUp(to, t)) return false;
+  for (const PartitionSpec& p : partitions_) {
+    if (t < p.from || t >= p.until) continue;
+    if ((p.group.count(from) > 0) != (p.group.count(to) > 0)) return false;
+  }
+  return true;
+}
+
+const LinkFault& FaultSchedule::FaultFor(NodeId from, NodeId to) const {
+  const auto it = link_faults_.find({from, to});
+  return it == link_faults_.end() ? default_fault_ : it->second;
+}
+
+TransmissionPlan FaultSchedule::DecideTransmission(NodeId from, NodeId to,
+                                                   SimTime t) {
+  TransmissionPlan plan;
+
+  const auto forced = forced_drops_.find({from, to});
+  if (forced != forced_drops_.end() && forced->second > 0) {
+    --forced->second;
+    plan.drop = true;
+  }
+  if (!plan.drop && !IsLinkUp(from, to, t)) plan.drop = true;
+
+  const LinkFault& fault = FaultFor(from, to);
+  // Each knob consumes randomness only when configured, so the decision
+  // stream of a given configuration is stable even as unrelated links gain
+  // fault models.
+  if (!plan.drop && fault.drop_probability > 0.0 &&
+      rng_.Bernoulli(fault.drop_probability)) {
+    plan.drop = true;
+  }
+  if (plan.drop) {
+    ++drops_;
+    Metrics().drops->Increment();
+    return plan;
+  }
+
+  size_t copies = 1;
+  if (fault.duplicate_probability > 0.0 &&
+      rng_.Bernoulli(fault.duplicate_probability)) {
+    copies = 2;
+    ++duplicates_;
+    Metrics().duplicates->Increment();
+  }
+  plan.extra_delays.reserve(copies);
+  for (size_t i = 0; i < copies; ++i) {
+    double delay = 0.0;
+    if (fault.jitter_max > 0.0) {
+      delay += rng_.UniformDouble(0.0, fault.jitter_max);
+    }
+    if (fault.reorder_probability > 0.0 &&
+        rng_.Bernoulli(fault.reorder_probability)) {
+      delay += fault.reorder_delay;
+    }
+    plan.extra_delays.push_back(delay);
+  }
+  return plan;
+}
+
+}  // namespace sensord

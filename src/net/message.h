@@ -25,9 +25,13 @@ using NodeId = uint32_t;
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
 /// Application-defined message category. Values below 100 are reserved for
-/// the algorithms shipped with sensord (see core/protocol.h); applications
-/// embedding the simulator may use 100+.
+/// the algorithms shipped with sensord (see core/protocol.h) and for the
+/// transport layer; applications embedding the simulator may use 100+.
 using MessageKind = uint16_t;
+
+/// Transport-layer acknowledgement (see net/transport.h). Infrastructure:
+/// consumed by the Simulator's receive path, never handed to a Node.
+inline constexpr MessageKind kMsgTransportAck = 99;
 
 /// A message in flight.
 struct Message {
@@ -36,6 +40,10 @@ struct Message {
   MessageKind kind = 0;
   /// Payload size in numeric values; the stats layer converts to bytes.
   size_t size_numbers = 0;
+  /// Transport sequence number on the (from, to) link; 0 for unreliable
+  /// datagrams. Stamped by ReliableTransport on reliable sends and echoed
+  /// back by acks (where it names the acked data message).
+  uint64_t transport_seq = 0;
   /// Opaque payload; receivers std::any_cast to the struct the kind implies.
   std::any payload;
 };

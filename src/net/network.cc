@@ -3,23 +3,15 @@
 #include <limits>
 #include <utility>
 
-#include "obs/metrics.h"
-
 #include "util/check.h"
 
 namespace sensord {
-namespace {
-
-obs::Counter* DroppedCounter() {
-  static obs::Counter* const counter =
-      obs::MetricsRegistry::Global().GetCounter("net.messages.dropped");
-  return counter;
-}
-
-}  // namespace
 
 Simulator::Simulator(SimulatorOptions options)
-    : options_(options), loss_rng_(options.loss_seed) {}
+    : options_(options),
+      faults_(options.fault_seed),
+      transport_(new ReliableTransport(this, options.transport)),
+      loss_rng_(options.loss_seed) {}
 
 NodeId Simulator::AddNode(std::unique_ptr<Node> node) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -71,28 +63,62 @@ std::vector<NodeId> Simulator::Instantiate(
 void Simulator::Send(Message msg) {
   SENSORD_CHECK_LT(msg.from, nodes_.size());
   SENSORD_CHECK_LT(msg.to, nodes_.size());
+  if (!faults_.IsNodeUp(msg.from, Now())) return;  // dead radio: no send
+  if (options_.transport.reliable && msg.kind != kMsgTransportAck) {
+    transport_->SendReliable(std::move(msg));
+    return;
+  }
+  Transmit(msg);
+}
+
+void Simulator::Transmit(const Message& msg) {
   stats_.RecordSend(msg);
   energy_[msg.from] += options_.tx_cost_per_message +
                        options_.tx_cost_per_number *
                            static_cast<double>(msg.size_numbers);
+  // The legacy uniform loss model runs first and consumes loss_rng_ exactly
+  // as it always has, so configurations that never touch the fault schedule
+  // or transport replay the pre-transport message trace bit for bit.
   if (options_.drop_probability > 0.0 &&
       loss_rng_.Bernoulli(options_.drop_probability)) {
-    ++dropped_;
-    DroppedCounter()->Increment();
+    stats_.RecordDrop();
+    return;
+  }
+  const TransmissionPlan plan = faults_.DecideTransmission(msg.from, msg.to,
+                                                          Now());
+  if (plan.drop) {
+    stats_.RecordDrop();
+    return;
+  }
+  for (double extra : plan.extra_delays) {
+    queue_.ScheduleAfter(options_.hop_latency + extra,
+                         [this, m = msg]() mutable { Deliver(std::move(m)); });
+  }
+}
+
+void Simulator::Deliver(const Message& msg) {
+  if (!faults_.IsNodeUp(msg.to, Now())) {
+    // The copy arrived at a crashed receiver: lost like any other drop.
+    stats_.RecordDrop();
     return;
   }
   energy_[msg.to] += options_.rx_cost_per_message +
                      options_.rx_cost_per_number *
                          static_cast<double>(msg.size_numbers);
-  Node* target = nodes_[msg.to].get();
-  queue_.ScheduleAfter(options_.hop_latency,
-                       [target, m = std::move(msg)]() mutable {
-                         target->HandleMessage(m);
-                       });
+  if (delivery_tap_) delivery_tap_(msg);
+  if (msg.kind == kMsgTransportAck) {
+    transport_->HandleAck(msg);  // infrastructure; never reaches the node
+    return;
+  }
+  if (msg.transport_seq != 0 && !transport_->AcceptData(msg)) {
+    return;  // duplicate, suppressed (and re-acked) by the transport
+  }
+  nodes_[msg.to]->HandleMessage(msg);
 }
 
 void Simulator::DeliverReading(NodeId node, const Point& value) {
   SENSORD_DCHECK_LT(node, nodes_.size());
+  if (!faults_.IsNodeUp(node, Now())) return;
   nodes_[node]->OnReading(value);
 }
 
@@ -109,6 +135,8 @@ void Simulator::SchedulePeriodicReadings(NodeId node, SimTime start,
 void Simulator::PeriodicTick(size_t slot, SimTime t) {
   if (t > horizon_) return;
   PeriodicSource& src = periodic_[slot];
+  // The generator always advances (keeps the data stream identical across
+  // fault schedules); DeliverReading discards the value during a crash.
   DeliverReading(src.node, src.generate());
   const SimTime next = t + src.period;
   queue_.ScheduleAt(next, [this, slot, next]() { PeriodicTick(slot, next); });

@@ -7,6 +7,20 @@
 // configurable per-hop latency; and drives periodic sensor readings ("each
 // sensor generates one reading every second" in the paper's Figure 11
 // setup). Deterministic given the node implementations' seeds.
+//
+// The radio pipeline of one application-level Send is:
+//
+//   Send -> [ReliableTransport: stamp seq, arm retransmit timer]   (optional)
+//        -> Transmit: stats + tx energy, legacy loss model, FaultSchedule
+//                     (forced drops, crashes, partitions, per-link
+//                     drop/duplicate/jitter)
+//        -> Deliver (per surviving copy, after hop latency + jitter):
+//                     crashed-receiver check, rx energy,
+//                     [transport: ack + dedup], Node::HandleMessage.
+//
+// Faults are configured on faults(); reliable delivery on
+// SimulatorOptions::transport. Both are driven by the virtual-time event
+// queue and seeded Rngs, so every run replays byte-identically.
 
 #ifndef SENSORD_NET_NETWORK_H_
 #define SENSORD_NET_NETWORK_H_
@@ -16,10 +30,12 @@
 #include <vector>
 
 #include "net/event_queue.h"
+#include "net/fault_schedule.h"
 #include "net/hierarchy.h"
 #include "net/message.h"
 #include "net/node.h"
 #include "net/stats_collector.h"
+#include "net/transport.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -34,10 +50,17 @@ struct SimulatorOptions {
   /// Probability that a transmitted message is lost in flight (lossy radio
   /// model). Lost messages are counted as sent by the StatsCollector — the
   /// energy was spent — but never delivered. Default: reliable links.
+  /// Richer per-link faults live on Simulator::faults().
   double drop_probability = 0.0;
 
   /// Seed of the loss process (only used when drop_probability > 0).
   uint64_t loss_seed = 0x10552026;
+
+  /// Seed of the FaultSchedule's probabilistic decisions.
+  uint64_t fault_seed = 0xFA017B0D;
+
+  /// Ack/retransmit protocol (see net/transport.h). Off by default.
+  TransportOptions transport;
 
   /// Radio energy model, in abstract units. Transmitting dominates
   /// receiving on real motes; payload size adds a per-number term.
@@ -67,28 +90,35 @@ class Simulator {
       const std::function<std::unique_ptr<Node>(int, const HierarchyNodeSpec&)>&
           factory);
 
-  /// Sends `msg` from `msg.from` to `msg.to`; counted by the stats
-  /// collector and delivered after one hop latency — unless the lossy-radio
-  /// model drops it. Pre: both endpoints registered.
+  /// Sends `msg` from `msg.from` to `msg.to`. With the reliable transport
+  /// enabled the message is acked, retransmitted on timeout, and delivered
+  /// to the receiving node exactly once; otherwise it is a plain datagram
+  /// subject to the loss model and fault schedule. A crashed sender's send
+  /// is silently suppressed (a dead radio transmits nothing). Pre: both
+  /// endpoints registered.
   void Send(Message msg);
 
-  /// Messages dropped by the loss model so far.
-  uint64_t MessagesDropped() const { return dropped_; }
+  /// Messages dropped so far (loss model, fault schedule, or crashed
+  /// receivers). Delegates to stats(): one source of truth.
+  uint64_t MessagesDropped() const { return stats_.MessagesDropped(); }
 
-  /// Radio energy spent by `node` so far (tx for every send, rx for every
-  /// delivered message), under the options' energy model.
+  /// Radio energy spent by `node` so far (tx for every transmission
+  /// including retries and acks, rx for every delivered copy), under the
+  /// options' energy model.
   double EnergyConsumed(NodeId node) const { return energy_[node]; }
 
   /// Total radio energy spent across the network.
   double TotalEnergyConsumed() const;
 
   /// Injects a sensor reading into a (leaf) node immediately. Not a message:
-  /// sensing is local and free, per the paper's cost model.
+  /// sensing is local and free, per the paper's cost model. No-op while the
+  /// node is crashed (a dead mote senses nothing).
   void DeliverReading(NodeId node, const Point& value);
 
   /// Schedules readings for `node` every `period` seconds starting at
   /// `start`, drawing each value from `source()` — until simulation time
-  /// exceeds the horizon passed to RunUntil.
+  /// exceeds the horizon passed to RunUntil. Ticks that fall inside a crash
+  /// interval of the node are skipped (the schedule itself survives).
   void SchedulePeriodicReadings(NodeId node, SimTime start, SimTime period,
                                 std::function<Point()> source);
 
@@ -104,6 +134,9 @@ class Simulator {
 
   SimTime Now() const { return queue_.Now(); }
 
+  /// Pending events (for "the queue is not stuck" assertions).
+  size_t PendingEvents() const { return queue_.Size(); }
+
   Node& node(NodeId id) { return *nodes_[id]; }
   const Node& node(NodeId id) const { return *nodes_[id]; }
   size_t NumNodes() const { return nodes_.size(); }
@@ -111,7 +144,25 @@ class Simulator {
   StatsCollector& stats() { return stats_; }
   const StatsCollector& stats() const { return stats_; }
 
+  /// The fault schedule consulted on every transmission and reading.
+  FaultSchedule& faults() { return faults_; }
+  const FaultSchedule& faults() const { return faults_; }
+
+  /// The reliable transport (meaningful when options.transport.reliable).
+  ReliableTransport& transport() { return *transport_; }
+  const ReliableTransport& transport() const { return *transport_; }
+
+  /// Test hook: called for every physical message that reaches a live
+  /// receiver (including acks and duplicate copies, before dedup), in
+  /// delivery order. Lets determinism tests record the exact delivery
+  /// sequence without touching node code.
+  void SetDeliveryTapForTest(std::function<void(const Message&)> tap) {
+    delivery_tap_ = std::move(tap);
+  }
+
  private:
+  friend class ReliableTransport;
+
   struct PeriodicSource {
     NodeId node;
     SimTime period;
@@ -120,15 +171,24 @@ class Simulator {
 
   void PeriodicTick(size_t slot, SimTime t);
 
+  /// One physical transmission attempt: accounting, loss model, fault
+  /// schedule, then delivery scheduling for each surviving copy.
+  void Transmit(const Message& msg);
+
+  /// Arrival of one physical copy at the receiver.
+  void Deliver(const Message& msg);
+
   SimulatorOptions options_;
   EventQueue queue_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PeriodicSource> periodic_;
   StatsCollector stats_;
+  FaultSchedule faults_;
+  std::unique_ptr<ReliableTransport> transport_;
   Rng loss_rng_;
-  uint64_t dropped_ = 0;
   std::vector<double> energy_;  // per NodeId
   SimTime horizon_ = 0.0;       // periodic readings stop beyond this
+  std::function<void(const Message&)> delivery_tap_;
 };
 
 }  // namespace sensord

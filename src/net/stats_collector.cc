@@ -20,6 +20,7 @@ const char* KindLabel(MessageKind kind) {
     case 4: return "raw_reading";
     case 5: return "query_request";
     case 6: return "query_response";
+    case kMsgTransportAck: return "transport_ack";
     default: return nullptr;
   }
 }
@@ -42,18 +43,25 @@ obs::Counter* KindCounter(MessageKind kind) {
     return out;
   }();
   if (kind < kCached) return cache[kind];
+  if (kind == kMsgTransportAck) {
+    static obs::Counter* const ack_counter =
+        obs::MetricsRegistry::Global().GetCounter("net.messages.transport_ack");
+    return ack_counter;
+  }
   return registry.GetCounter("net.messages.kind_" + std::to_string(kind));
 }
 
 struct NetMetrics {
   obs::Counter* messages_total;
   obs::Counter* numbers_total;
+  obs::Counter* messages_dropped;
 };
 
 const NetMetrics& Metrics() {
   auto& registry = obs::MetricsRegistry::Global();
   static const NetMetrics m{registry.GetCounter("net.messages.total"),
-                            registry.GetCounter("net.numbers.total")};
+                            registry.GetCounter("net.numbers.total"),
+                            registry.GetCounter("net.messages.dropped")};
   return m;
 }
 
@@ -69,6 +77,11 @@ void StatsCollector::RecordSend(const Message& msg) {
   KindCounter(msg.kind)->Increment();
 }
 
+void StatsCollector::RecordDrop() {
+  ++dropped_;
+  Metrics().messages_dropped->Increment();
+}
+
 uint64_t StatsCollector::MessagesOfKind(MessageKind kind) const {
   const auto it = by_kind_.find(kind);
   return it == by_kind_.end() ? 0 : it->second;
@@ -79,6 +92,7 @@ void StatsCollector::Reset() {
   // process-cumulative by design (see header).
   total_messages_ = 0;
   total_numbers_ = 0;
+  dropped_ = 0;
   by_kind_.clear();
 }
 

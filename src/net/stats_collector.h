@@ -31,6 +31,16 @@ class StatsCollector {
   /// Records one transmitted message.
   void RecordSend(const Message& msg);
 
+  /// Records one message lost in flight (loss model, fault schedule, or a
+  /// crashed receiver). The single source of truth for drop accounting:
+  /// Simulator::MessagesDropped() reads this tally, and the process-wide
+  /// `net.messages.dropped` counter is mirrored from here — so the two can
+  /// never disagree across Reset() or simulator re-registration.
+  void RecordDrop();
+
+  /// Messages recorded as dropped.
+  uint64_t MessagesDropped() const { return dropped_; }
+
   /// Total messages transmitted.
   uint64_t TotalMessages() const { return total_messages_; }
 
@@ -60,6 +70,7 @@ class StatsCollector {
  private:
   uint64_t total_messages_ = 0;
   uint64_t total_numbers_ = 0;
+  uint64_t dropped_ = 0;
   std::map<MessageKind, uint64_t> by_kind_;
 };
 

@@ -1,0 +1,101 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "net/network.h"
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace sensord {
+namespace {
+
+struct TransportMetrics {
+  obs::Counter* retries;         // retransmissions performed
+  obs::Counter* timeouts;        // ack timers that expired
+  obs::Counter* dup_suppressed;  // duplicate deliveries absorbed
+  obs::Counter* abandoned;       // messages given up after the retry budget
+  obs::Counter* acks;            // acks transmitted
+};
+
+const TransportMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const TransportMetrics m{registry.GetCounter("net.retries"),
+                                  registry.GetCounter("net.timeouts"),
+                                  registry.GetCounter("net.dup_suppressed"),
+                                  registry.GetCounter("net.abandoned"),
+                                  registry.GetCounter("net.acks")};
+  return m;
+}
+
+}  // namespace
+
+void ReliableTransport::SendReliable(Message msg) {
+  SENSORD_DCHECK_NE(msg.kind, kMsgTransportAck);
+  const uint64_t seq = ++next_seq_[{msg.from, msg.to}];
+  msg.transport_seq = seq;
+  const PendingKey key{msg.from, msg.to, seq};
+  Pending& entry = pending_[key];
+  entry.msg = msg;
+  entry.attempts = 1;
+  entry.wait = options_.ack_timeout;
+  sim_->Transmit(entry.msg);
+  sim_->ScheduleAfter(entry.wait, [this, key]() { OnTimeout(key); });
+}
+
+bool ReliableTransport::AcceptData(const Message& msg) {
+  SENSORD_DCHECK_GT(msg.transport_seq, 0u);
+  const bool first =
+      delivered_[{msg.from, msg.to}].insert(msg.transport_seq).second;
+
+  // Ack every copy: a re-ack is exactly what repairs a lost ack.
+  Message ack;
+  ack.from = msg.to;
+  ack.to = msg.from;
+  ack.kind = kMsgTransportAck;
+  ack.size_numbers = 1;  // the sequence number
+  ack.transport_seq = msg.transport_seq;
+  ++acks_sent_;
+  Metrics().acks->Increment();
+  sim_->Transmit(ack);
+
+  if (!first) {
+    ++dup_suppressed_;
+    Metrics().dup_suppressed->Increment();
+  }
+  return first;
+}
+
+void ReliableTransport::HandleAck(const Message& ack) {
+  // The ack travels receiver -> sender, so the pending entry is keyed by
+  // the reversed endpoints.
+  pending_.erase(PendingKey{ack.to, ack.from, ack.transport_seq});
+}
+
+void ReliableTransport::OnTimeout(const PendingKey& key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // acked in the meantime
+  ++timeouts_;
+  Metrics().timeouts->Increment();
+
+  Pending& entry = it->second;
+  const NodeId sender = std::get<0>(key);
+  if (entry.attempts > options_.max_retries ||
+      !sim_->faults().IsNodeUp(sender, sim_->Now())) {
+    // Budget exhausted (or the sender itself died): give up. The message
+    // stays lost — graceful degradation in core/ is what copes from here.
+    ++abandoned_;
+    Metrics().abandoned->Increment();
+    pending_.erase(it);
+    return;
+  }
+
+  ++entry.attempts;
+  entry.wait *= options_.backoff_factor;
+  ++retries_;
+  Metrics().retries->Increment();
+  sim_->Transmit(entry.msg);
+  sim_->ScheduleAfter(entry.wait, [this, key]() { OnTimeout(key); });
+}
+
+}  // namespace sensord

@@ -31,12 +31,14 @@
 
 // Sensor-network simulator.
 #include "net/event_queue.h"     // IWYU pragma: export
+#include "net/fault_schedule.h"  // IWYU pragma: export
 #include "net/hierarchy.h"       // IWYU pragma: export
 #include "net/leader_election.h" // IWYU pragma: export
 #include "net/message.h"         // IWYU pragma: export
 #include "net/network.h"         // IWYU pragma: export
 #include "net/node.h"            // IWYU pragma: export
 #include "net/stats_collector.h" // IWYU pragma: export
+#include "net/transport.h"       // IWYU pragma: export
 
 // The paper's algorithms and applications.
 #include "core/config.h"           // IWYU pragma: export

@@ -162,6 +162,62 @@ TEST(ChainSampleTest, WindowOfOneAlwaysHoldsLatest) {
   }
 }
 
+// Chi-squared goodness-of-fit on the inclusion probability: Babcock, Datar
+// and Motwani's guarantee is that the active element of each chain is
+// uniform over the *positions* of the current window, i.e. every age in
+// [0, W) is equally likely. Feeding the arrival index as the value makes
+// the age of each sampled element directly observable. Snapshots are taken
+// 2W arrivals apart (past the expected chain lifetime) so consecutive
+// observations are close to independent, and the statistic is pooled over
+// chains and snapshots. With df = W - 1 = 15 the 99.9th percentile of a
+// chi-squared distribution is 37.7; a correct sampler with this fixed seed
+// sits far below it, while a sampler biased toward fresh or stale
+// elements (the classic chain-sampling implementation bug) blows past it.
+TEST(ChainSampleTest, InclusionProbabilityIsUniformChiSquared) {
+  const size_t kWindow = 16;
+  const size_t kSample = 8;
+  const int kSnapshots = 400;
+  ChainSample cs(kSample, kWindow, Rng(20060915));
+
+  uint64_t arrivals = 0;
+  const auto feed = [&](size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      cs.Add({static_cast<double>(arrivals)});
+      ++arrivals;
+    }
+  };
+
+  feed(5 * kWindow);  // warm-up: past the early-stream elevated rates
+
+  std::vector<double> age_counts(kWindow, 0.0);
+  for (int s = 0; s < kSnapshots; ++s) {
+    feed(2 * kWindow);
+    for (size_t c = 0; c < cs.sample_size(); ++c) {
+      const double value = cs.ActiveElement(c)[0];
+      const uint64_t age =
+          (arrivals - 1) - static_cast<uint64_t>(value + 0.5);
+      ASSERT_LT(age, kWindow) << "active element fell out of the window";
+      age_counts[age] += 1.0;
+    }
+  }
+
+  const double total = static_cast<double>(kSnapshots) * kSample;
+  const double expected = total / static_cast<double>(kWindow);
+  double chi2 = 0.0;
+  for (double observed : age_counts) {
+    const double diff = observed - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 37.7) << "age distribution over the window is not uniform";
+
+  // Guard against degenerate ways of passing chi-squared on aggregate: every
+  // age must actually occur, and no age may dominate.
+  for (size_t age = 0; age < kWindow; ++age) {
+    EXPECT_GT(age_counts[age], 0.5 * expected) << "age " << age;
+    EXPECT_LT(age_counts[age], 1.5 * expected) << "age " << age;
+  }
+}
+
 TEST(ChainSampleTest, DeterministicGivenSeed) {
   ChainSample a(5, 50, Rng(18)), b(5, 50, Rng(18));
   Rng va(19), vb(19);

@@ -1,0 +1,265 @@
+#include "net/fault_schedule.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace sensord {
+namespace {
+
+class ProbeNode : public Node {
+ public:
+  void HandleMessage(const Message& msg) override { received.push_back(msg); }
+  void OnReading(const Point& value) override { readings.push_back(value); }
+
+  std::vector<Message> received;
+  std::vector<Point> readings;
+};
+
+TEST(FaultScheduleTest, DefaultScheduleIsTransparent) {
+  FaultSchedule faults;
+  EXPECT_TRUE(faults.IsNodeUp(0, 0.0));
+  EXPECT_TRUE(faults.IsLinkUp(0, 1, 100.0));
+  for (int i = 0; i < 10; ++i) {
+    const TransmissionPlan plan = faults.DecideTransmission(0, 1, 1.0);
+    EXPECT_FALSE(plan.drop);
+    ASSERT_EQ(plan.extra_delays.size(), 1u);
+    EXPECT_DOUBLE_EQ(plan.extra_delays[0], 0.0);
+  }
+  EXPECT_EQ(faults.drops(), 0u);
+  EXPECT_EQ(faults.duplicates(), 0u);
+}
+
+TEST(FaultScheduleTest, ForcedDropsConsumeExactly) {
+  FaultSchedule faults;
+  faults.DropNext(0, 1, 2);
+  EXPECT_TRUE(faults.DecideTransmission(0, 1, 0.0).drop);
+  EXPECT_TRUE(faults.DecideTransmission(0, 1, 0.0).drop);
+  EXPECT_FALSE(faults.DecideTransmission(0, 1, 0.0).drop);
+  // Only the named directed link is affected.
+  EXPECT_FALSE(faults.DecideTransmission(1, 0, 0.0).drop);
+  EXPECT_EQ(faults.drops(), 2u);
+}
+
+TEST(FaultScheduleTest, CrashWindowTakesNodeDownThenRecovers) {
+  FaultSchedule faults;
+  faults.CrashNode(3, 1.0, 2.0);
+  EXPECT_TRUE(faults.IsNodeUp(3, 0.5));
+  EXPECT_TRUE(faults.IsNodeUp(3, 0.999));
+  EXPECT_FALSE(faults.IsNodeUp(3, 1.0));  // [from, until)
+  EXPECT_FALSE(faults.IsNodeUp(3, 1.5));
+  EXPECT_TRUE(faults.IsNodeUp(3, 2.0));
+  EXPECT_TRUE(faults.IsNodeUp(3, 100.0));
+}
+
+TEST(FaultScheduleTest, OpenEndedCrashNeverRecovers) {
+  FaultSchedule faults;
+  faults.CrashNode(1, 5.0);
+  EXPECT_TRUE(faults.IsNodeUp(1, 4.9));
+  EXPECT_FALSE(faults.IsNodeUp(1, 1e12));
+}
+
+TEST(FaultScheduleTest, CrashedNodeSeversItsLinksBothWays) {
+  FaultSchedule faults;
+  faults.CrashNode(2, 1.0, 2.0);
+  EXPECT_FALSE(faults.IsLinkUp(2, 0, 1.5));
+  EXPECT_FALSE(faults.IsLinkUp(0, 2, 1.5));
+  EXPECT_TRUE(faults.IsLinkUp(0, 1, 1.5));  // unrelated link stays up
+  EXPECT_TRUE(faults.DecideTransmission(0, 2, 1.5).drop);
+  EXPECT_FALSE(faults.DecideTransmission(0, 2, 2.5).drop);
+}
+
+TEST(FaultScheduleTest, PartitionSeversCrossLinksOnly) {
+  FaultSchedule faults;
+  faults.Partition({0, 1}, 10.0, 20.0);
+  // Cross-partition links are down during the window ...
+  EXPECT_FALSE(faults.IsLinkUp(0, 2, 15.0));
+  EXPECT_FALSE(faults.IsLinkUp(2, 0, 15.0));
+  // ... intra-group and outside-group links stay up ...
+  EXPECT_TRUE(faults.IsLinkUp(0, 1, 15.0));
+  EXPECT_TRUE(faults.IsLinkUp(2, 3, 15.0));
+  // ... and nodes themselves are not "down".
+  EXPECT_TRUE(faults.IsNodeUp(0, 15.0));
+  // The partition heals.
+  EXPECT_TRUE(faults.IsLinkUp(0, 2, 20.0));
+  EXPECT_TRUE(faults.IsLinkUp(0, 2, 9.9));
+}
+
+TEST(FaultScheduleTest, ProbabilisticDropMatchesRate) {
+  FaultSchedule faults(/*seed=*/42);
+  LinkFault fault;
+  fault.drop_probability = 0.3;
+  faults.SetLinkFault(0, 1, fault);
+  const int trials = 5000;
+  int dropped = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (faults.DecideTransmission(0, 1, 0.0).drop) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / trials, 0.3, 0.03);
+  EXPECT_EQ(faults.drops(), static_cast<uint64_t>(dropped));
+  // The other direction uses the default (fault-free) model.
+  EXPECT_FALSE(faults.DecideTransmission(1, 0, 0.0).drop);
+}
+
+TEST(FaultScheduleTest, DuplicatesYieldTwoCopies) {
+  FaultSchedule faults;
+  LinkFault fault;
+  fault.duplicate_probability = 1.0;
+  faults.SetDefaultLinkFault(fault);
+  const TransmissionPlan plan = faults.DecideTransmission(0, 1, 0.0);
+  EXPECT_FALSE(plan.drop);
+  EXPECT_EQ(plan.extra_delays.size(), 2u);
+  EXPECT_EQ(faults.duplicates(), 1u);
+}
+
+TEST(FaultScheduleTest, JitterStaysWithinBound) {
+  FaultSchedule faults(/*seed=*/7);
+  LinkFault fault;
+  fault.jitter_max = 0.1;
+  faults.SetDefaultLinkFault(fault);
+  bool saw_positive = false;
+  for (int i = 0; i < 200; ++i) {
+    const TransmissionPlan plan = faults.DecideTransmission(0, 1, 0.0);
+    ASSERT_EQ(plan.extra_delays.size(), 1u);
+    EXPECT_GE(plan.extra_delays[0], 0.0);
+    EXPECT_LT(plan.extra_delays[0], 0.1);
+    saw_positive |= plan.extra_delays[0] > 0.0;
+  }
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(FaultScheduleTest, ReorderDelayAddsGuaranteedTail) {
+  FaultSchedule faults;
+  LinkFault fault;
+  fault.reorder_probability = 1.0;
+  fault.reorder_delay = 0.5;
+  faults.SetDefaultLinkFault(fault);
+  const TransmissionPlan plan = faults.DecideTransmission(0, 1, 0.0);
+  ASSERT_EQ(plan.extra_delays.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.extra_delays[0], 0.5);
+}
+
+TEST(FaultScheduleTest, SameSeedReplaysIdenticalDecisions) {
+  LinkFault fault;
+  fault.drop_probability = 0.4;
+  fault.duplicate_probability = 0.2;
+  fault.jitter_max = 0.05;
+
+  FaultSchedule a(/*seed=*/123), b(/*seed=*/123);
+  a.SetDefaultLinkFault(fault);
+  b.SetDefaultLinkFault(fault);
+  for (int i = 0; i < 500; ++i) {
+    const TransmissionPlan pa = a.DecideTransmission(0, 1, 0.0);
+    const TransmissionPlan pb = b.DecideTransmission(0, 1, 0.0);
+    ASSERT_EQ(pa.drop, pb.drop);
+    ASSERT_EQ(pa.extra_delays, pb.extra_delays);  // bit-identical doubles
+  }
+
+  // A different seed diverges somewhere in 500 decisions.
+  FaultSchedule c(/*seed=*/124);
+  c.SetDefaultLinkFault(fault);
+  FaultSchedule d(/*seed=*/123);
+  d.SetDefaultLinkFault(fault);
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    const TransmissionPlan pc = c.DecideTransmission(0, 1, 0.0);
+    const TransmissionPlan pd = d.DecideTransmission(0, 1, 0.0);
+    diverged = pc.drop != pd.drop || pc.extra_delays != pd.extra_delays;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+// --- Simulator integration: the schedule drives the radio and sensing. ---
+
+TEST(FaultScheduleSimTest, CrashedSenderTransmitsNothing) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.faults().CrashNode(a, 0.0, 1.0);
+
+  Message msg;
+  msg.from = a;
+  msg.to = b;
+  sim.Send(std::move(msg));
+  sim.RunUntil(2.0);
+
+  // The send was suppressed before any accounting: no traffic, no energy,
+  // not even a counted drop (the radio never keyed up).
+  EXPECT_EQ(sim.stats().TotalMessages(), 0u);
+  EXPECT_EQ(sim.MessagesDropped(), 0u);
+  EXPECT_DOUBLE_EQ(sim.EnergyConsumed(a), 0.0);
+  EXPECT_TRUE(static_cast<ProbeNode&>(sim.node(b)).received.empty());
+}
+
+TEST(FaultScheduleSimTest, CrashedReceiverDropsInFlightMessage) {
+  SimulatorOptions opts;
+  opts.hop_latency = 0.1;
+  Simulator sim(opts);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  // b dies while the message is in the air (sent at 1.0, arrives 1.1).
+  sim.faults().CrashNode(b, 1.05, 2.0);
+
+  sim.ScheduleAt(1.0, [&] {
+    Message msg;
+    msg.from = a;
+    msg.to = b;
+    sim.Send(std::move(msg));
+  });
+  sim.RunUntil(3.0);
+
+  EXPECT_EQ(sim.stats().TotalMessages(), 1u);  // the tx happened
+  EXPECT_EQ(sim.MessagesDropped(), 1u);        // the rx did not
+  EXPECT_TRUE(static_cast<ProbeNode&>(sim.node(b)).received.empty());
+  EXPECT_DOUBLE_EQ(sim.EnergyConsumed(b), 0.0);  // dead radios draw nothing
+}
+
+TEST(FaultScheduleSimTest, CrashedNodeSensesNothingButScheduleSurvives) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.faults().CrashNode(a, 2.5, 5.5);
+  sim.SchedulePeriodicReadings(a, 0.0, 1.0, [] { return Point{1.0}; });
+  sim.RunUntil(8.0);
+  // t = 0..8 is 9 ticks; t = 3, 4, 5 fall inside the crash window.
+  EXPECT_EQ(static_cast<ProbeNode&>(sim.node(a)).readings.size(), 6u);
+}
+
+TEST(FaultScheduleSimTest, FaultDropsFeedTheUnifiedDropCounter) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.faults().DropNext(a, b, 3);
+  for (int i = 0; i < 5; ++i) {
+    Message msg;
+    msg.from = a;
+    msg.to = b;
+    sim.Send(std::move(msg));
+  }
+  sim.RunUntil(1.0);
+  EXPECT_EQ(sim.faults().drops(), 3u);
+  EXPECT_EQ(sim.MessagesDropped(), 3u);
+  EXPECT_EQ(sim.MessagesDropped(), sim.stats().MessagesDropped());
+  EXPECT_EQ(static_cast<ProbeNode&>(sim.node(b)).received.size(), 2u);
+}
+
+TEST(FaultScheduleSimTest, RadioDuplicateDeliversTwiceWithoutTransport) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  LinkFault fault;
+  fault.duplicate_probability = 1.0;
+  sim.faults().SetLinkFault(a, b, fault);
+  Message msg;
+  msg.from = a;
+  msg.to = b;
+  sim.Send(std::move(msg));
+  sim.RunUntil(1.0);
+  // Raw datagrams have no dedup: the application sees both copies.
+  EXPECT_EQ(static_cast<ProbeNode&>(sim.node(b)).received.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sensord

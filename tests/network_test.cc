@@ -177,6 +177,9 @@ TEST(SimulatorTest, PacketLossDropsButCounts) {
   EXPECT_EQ(receiver.received.size() + sim.MessagesDropped(),
             static_cast<uint64_t>(sent));
   EXPECT_NEAR(static_cast<double>(sim.MessagesDropped()) / sent, 0.5, 0.05);
+  // One source of truth: the simulator's convenience accessor and the stats
+  // collector must agree on every path that records a drop.
+  EXPECT_EQ(sim.MessagesDropped(), sim.stats().MessagesDropped());
 }
 
 TEST(SimulatorTest, EnergyAccounting) {

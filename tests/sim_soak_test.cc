@@ -1,0 +1,368 @@
+// Soak suite (ctest label: soak): many-seed fault-injection sweeps over the
+// full D3/MGDD message-level simulation.
+//
+//  * Recovery: with a 20% lossy radio, the ack/retransmit transport must
+//    recover >= 95% of the loss-free D3 outlier set (and >= 90% for MGDD),
+//    while plain datagrams demonstrably do not — the end-to-end argument
+//    for carrying a reliability layer in a sensor network simulator.
+//  * Invariants: across seeds x loss rates, with crashes and partitions
+//    injected, the paper's Theorem 3 containment (every parent detection is
+//    backed by a leaf detection of the same reading) must hold, the event
+//    queue must drain, and drop accounting must stay consistent.
+//  * Determinism: identical (seed, schedule) => identical event history.
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/d3.h"
+#include "core/mgdd.h"
+#include "net/fault_schedule.h"
+#include "net/hierarchy.h"
+#include "net/network.h"
+#include "util/math_utils.h"
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+// (level, node, source_leaf, source_seq) of one detection.
+using EventKey = std::tuple<int, NodeId, NodeId, uint64_t>;
+
+class RecordingObserver : public OutlierObserver {
+ public:
+  void OnOutlierDetected(const OutlierEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<OutlierEvent> events;
+};
+
+// One reading per (round, leaf), identical across every run of a sweep so
+// that only the radio differs between configurations. Injected anomalies
+// (every 5th round, two leaves) land in [anomaly_lo, anomaly_hi] — the
+// "true" outliers the recovery ratio tracks. D3 wants them far from the
+// band (near-zero neighbour count); MDEF wants them just past the band,
+// where the sampling neighbourhood still sees the band's mass (points in
+// empty space are guarded off by min_neighborhood_mass).
+std::vector<std::vector<Point>> MakeReadings(uint64_t seed, int rounds,
+                                             int leaves, double anomaly_lo,
+                                             double anomaly_hi) {
+  Rng rng(seed);
+  std::vector<std::vector<Point>> readings(
+      static_cast<size_t>(rounds),
+      std::vector<Point>(static_cast<size_t>(leaves)));
+  for (int round = 0; round < rounds; ++round) {
+    for (int leaf = 0; leaf < leaves; ++leaf) {
+      readings[round][leaf] = {Clamp(rng.Gaussian(0.4, 0.01), 0.0, 1.0)};
+    }
+    if (round % 5 == 0) {
+      const int which = round / 5;
+      readings[round][which % leaves] = {
+          rng.UniformDouble(anomaly_lo, anomaly_hi)};
+      readings[round][(which + leaves / 2) % leaves] = {
+          rng.UniformDouble(anomaly_lo, anomaly_hi)};
+    }
+  }
+  return readings;
+}
+
+D3Options SoakD3() {
+  D3Options opts;
+  opts.model.window_size = 500;
+  opts.model.sample_size = 100;
+  opts.outlier.radius = 0.02;
+  opts.outlier.neighbor_threshold = 10.0;
+  opts.min_observations = 200;
+  return opts;
+}
+
+MgddOptions SoakMgdd() {
+  MgddOptions opts;
+  opts.model.window_size = 400;
+  opts.model.sample_size = 64;
+  opts.min_observations = 200;
+  // Scott's-rule bandwidths over bimodal data partially smear the gap, so
+  // the deviation threshold sits below the paper's default (the same
+  // regime as MgddTest.DetectsDeviationAgainstGlobalModel).
+  opts.mdef.k_sigma = 0.5;
+  return opts;
+}
+
+// MGDD workload: two dense uniform bands with an empty gap; anomalies are
+// rare gap readings — the canonical local-density (MDEF) outlier.
+std::vector<std::vector<Point>> MakeBimodalReadings(uint64_t seed, int rounds,
+                                                    int leaves) {
+  Rng rng(seed);
+  std::vector<std::vector<Point>> readings(
+      static_cast<size_t>(rounds),
+      std::vector<Point>(static_cast<size_t>(leaves)));
+  for (int round = 0; round < rounds; ++round) {
+    for (int leaf = 0; leaf < leaves; ++leaf) {
+      readings[round][leaf] = {rng.Bernoulli(0.5)
+                                   ? rng.UniformDouble(0.30, 0.42)
+                                   : rng.UniformDouble(0.50, 0.62)};
+    }
+    if (round % 5 == 0) {
+      const int which = round / 5;
+      readings[round][which % leaves] = {rng.UniformDouble(0.44, 0.48)};
+      readings[round][(which + leaves / 2) % leaves] = {
+          rng.UniformDouble(0.44, 0.48)};
+    }
+  }
+  return readings;
+}
+
+struct RunResult {
+  std::vector<OutlierEvent> events;
+  uint64_t retries = 0;
+  uint64_t abandoned = 0;
+  uint64_t dropped = 0;
+  size_t pending_events = 0;
+};
+
+enum class Detector { kD3, kMgdd };
+
+RunResult RunDetector(Detector detector,
+                      const std::vector<std::vector<Point>>& readings,
+                      size_t fanout, uint64_t seed, double loss,
+                      bool reliable,
+                      const std::function<void(Simulator&)>& inject = {}) {
+  const size_t leaves = readings.empty() ? 0 : readings[0].size();
+  SimulatorOptions sim_opts;
+  sim_opts.drop_probability = loss;
+  sim_opts.loss_seed = seed * 7919 + 17;
+  sim_opts.fault_seed = seed * 104729 + 5;
+  sim_opts.transport.reliable = reliable;
+  sim_opts.transport.ack_timeout = 0.05;
+  sim_opts.transport.backoff_factor = 2.0;
+  sim_opts.transport.max_retries = 4;
+  Simulator sim(sim_opts);
+
+  RecordingObserver observer;
+  Rng node_rng(seed * 1000 + 7);
+  auto layout = BuildGridHierarchy(leaves, fanout);
+  std::vector<NodeId> ids;
+  if (detector == Detector::kD3) {
+    ids = sim.Instantiate(
+        *layout,
+        [&](int, const HierarchyNodeSpec& spec) -> std::unique_ptr<Node> {
+          if (spec.level == 1) {
+            return std::make_unique<D3LeafNode>(SoakD3(), node_rng.Split(),
+                                                &observer);
+          }
+          D3Options opts = SoakD3();
+          opts.model =
+              LeaderModelConfig(SoakD3().model, fanout, 0.5, spec.level);
+          opts.min_observations = 50;
+          return std::make_unique<D3ParentNode>(opts, node_rng.Split(),
+                                                &observer);
+        });
+  } else {
+    ids = sim.Instantiate(
+        *layout,
+        [&](int, const HierarchyNodeSpec& spec) -> std::unique_ptr<Node> {
+          if (spec.level == 1) {
+            return std::make_unique<MgddLeafNode>(SoakMgdd(), node_rng.Split(),
+                                                  &observer);
+          }
+          MgddOptions opts = SoakMgdd();
+          opts.model =
+              LeaderModelConfig(SoakMgdd().model, fanout, 0.5, spec.level);
+          return std::make_unique<MgddInternalNode>(opts, node_rng.Split());
+        });
+  }
+  if (inject) inject(sim);
+
+  double t = 0.0;
+  for (const auto& round : readings) {
+    for (size_t leaf = 0; leaf < leaves; ++leaf) {
+      sim.DeliverReading(ids[leaf], round[leaf]);
+    }
+    t += 1.0;
+    sim.RunUntil(t);
+  }
+  sim.RunAll();  // drain retransmission tails
+
+  RunResult result;
+  result.events = std::move(observer.events);
+  result.retries = sim.transport().retries();
+  result.abandoned = sim.transport().abandoned();
+  result.dropped = sim.MessagesDropped();
+  result.pending_events = sim.PendingEvents();
+  EXPECT_EQ(sim.MessagesDropped(), sim.stats().MessagesDropped());
+  return result;
+}
+
+// Readings (source_leaf, source_seq) of injected anomalies (value inside
+// [lo, hi], a range the background never produces) that were detected at
+// level >= min_level. Keying on the reading — not on which parent node or
+// level reported it — makes the recovery ratio about whether the outlier
+// survived the radio at all, not about borderline per-node confirmations
+// that flip with retransmission-induced timing drift.
+std::set<std::pair<NodeId, uint64_t>> AnomalyKeys(
+    const std::vector<OutlierEvent>& events, int min_level, double lo,
+    double hi) {
+  std::set<std::pair<NodeId, uint64_t>> keys;
+  for (const OutlierEvent& e : events) {
+    if (e.level < min_level || e.value.empty()) continue;
+    if (e.value[0] < lo || e.value[0] > hi) continue;
+    keys.insert({e.source_leaf, e.source_seq});
+  }
+  return keys;
+}
+
+TEST(SimSoakTest, RetriesRecoverTheLossFreeOutlierSet) {
+  const int kRounds = 600;
+  const int kLeaves = 16;
+  const size_t kFanout = 4;
+  const double kLoss = 0.2;
+
+  size_t d3_base_total = 0, d3_on_hits = 0, d3_off_hits = 0;
+  size_t mgdd_base_total = 0, mgdd_on_hits = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    // D3: far extremes (near-zero neighbour count), scored on escalations
+    // (level >= 2) — the events that need the radio.
+    const auto d3_readings =
+        MakeReadings(seed, kRounds, kLeaves, 0.60, 1.0);
+    const auto base = AnomalyKeys(
+        RunDetector(Detector::kD3, d3_readings, kFanout, seed, 0.0, false)
+            .events,
+        /*min_level=*/2, 0.55, 1.0);
+    const auto lossy_on = AnomalyKeys(
+        RunDetector(Detector::kD3, d3_readings, kFanout, seed, kLoss, true)
+            .events,
+        2, 0.55, 1.0);
+    const auto lossy_off = AnomalyKeys(
+        RunDetector(Detector::kD3, d3_readings, kFanout, seed, kLoss, false)
+            .events,
+        2, 0.55, 1.0);
+    ASSERT_GT(base.size(), 50u) << "baseline must detect the anomalies";
+    d3_base_total += base.size();
+    for (const auto& key : base) {
+      d3_on_hits += lossy_on.count(key);
+      d3_off_hits += lossy_off.count(key);
+    }
+
+    // MGDD: bimodal bands with gap anomalies (MDEF's local-density
+    // regime). Detection happens at the leaves; what the radio carries is
+    // the global model, so score all detection events.
+    const auto mgdd_readings =
+        MakeBimodalReadings(seed + 100, kRounds, kLeaves);
+    const auto mgdd_base = AnomalyKeys(
+        RunDetector(Detector::kMgdd, mgdd_readings, kFanout, seed, 0.0, false)
+            .events,
+        /*min_level=*/1, 0.43, 0.49);
+    const auto mgdd_on = AnomalyKeys(
+        RunDetector(Detector::kMgdd, mgdd_readings, kFanout, seed, kLoss, true)
+            .events,
+        1, 0.43, 0.49);
+    ASSERT_GT(mgdd_base.size(), 50u);
+    mgdd_base_total += mgdd_base.size();
+    for (const auto& key : mgdd_base) mgdd_on_hits += mgdd_on.count(key);
+  }
+
+  const double d3_on = static_cast<double>(d3_on_hits) /
+                       static_cast<double>(d3_base_total);
+  const double d3_off = static_cast<double>(d3_off_hits) /
+                        static_cast<double>(d3_base_total);
+  const double mgdd_on = static_cast<double>(mgdd_on_hits) /
+                         static_cast<double>(mgdd_base_total);
+  RecordProperty("d3_recovery_with_retries", std::to_string(d3_on));
+  RecordProperty("d3_recovery_without_retries", std::to_string(d3_off));
+  RecordProperty("mgdd_recovery_with_retries", std::to_string(mgdd_on));
+
+  // The acceptance bar: retries restore >= 95% of the loss-free D3 set;
+  // plain datagrams lose escalations at roughly the per-hop loss rate.
+  EXPECT_GE(d3_on, 0.95) << "retries must recover the loss-free outlier set";
+  EXPECT_LE(d3_off, 0.90) << "without retries 20% loss must visibly hurt";
+  EXPECT_LT(d3_off, d3_on);
+  EXPECT_GE(mgdd_on, 0.90);
+}
+
+TEST(SimSoakTest, InvariantsHoldAcrossSeedsAndFaults) {
+  // 20 seeds x 3 loss rates, with a mid-run leaf crash and a partition of
+  // one subtree, reliable transport on.
+  const int kRounds = 250;
+  const int kLeaves = 4;
+  const size_t kFanout = 2;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    for (double loss : {0.0, 0.1, 0.3}) {
+      const auto readings = MakeReadings(seed, kRounds, kLeaves, 0.60, 1.0);
+      const RunResult run = RunDetector(
+          Detector::kD3, readings, kFanout, seed, loss, /*reliable=*/true,
+          [](Simulator& sim) {
+            sim.faults().CrashNode(0, 80.0, 120.0);
+            sim.faults().Partition({2, 3}, 150.0, 180.0);
+          });
+
+      // The queue drained: no stuck retransmission timers or lost wakeups.
+      EXPECT_EQ(run.pending_events, 0u) << "seed " << seed << " loss " << loss;
+
+      // Theorem 3 containment: every escalated detection is backed by a
+      // leaf detection of the very same reading.
+      std::set<std::pair<NodeId, uint64_t>> leaf_detections;
+      for (const OutlierEvent& e : run.events) {
+        if (e.level == 1) leaf_detections.insert({e.source_leaf, e.source_seq});
+      }
+      for (const OutlierEvent& e : run.events) {
+        if (e.level < 2) continue;
+        EXPECT_TRUE(leaf_detections.count({e.source_leaf, e.source_seq}))
+            << "parent " << e.node << " detected a reading no leaf flagged "
+            << "(seed " << seed << ", loss " << loss << ")";
+      }
+
+      // Under loss the transport actually worked for its living.
+      if (loss > 0.0) {
+        EXPECT_GT(run.retries, 0u);
+      }
+    }
+  }
+}
+
+std::string EventHistory(const std::vector<OutlierEvent>& events) {
+  std::string out;
+  for (const OutlierEvent& e : events) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "t=%.9f det=%d node=%u level=%d leaf=%u seq=%llu deg=%d\n",
+                  e.time, static_cast<int>(e.detector), e.node, e.level,
+                  e.source_leaf,
+                  static_cast<unsigned long long>(e.source_seq),
+                  e.degraded ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+TEST(SimSoakTest, SameSeedReplaysIdenticalEventHistory) {
+  const int kRounds = 300;
+  const int kLeaves = 8;
+  for (uint64_t seed : {3u, 11u}) {
+    const auto readings = MakeReadings(seed, kRounds, kLeaves, 0.60, 1.0);
+    const auto inject = [](Simulator& sim) {
+      LinkFault flaky;
+      flaky.drop_probability = 0.15;
+      flaky.duplicate_probability = 0.05;
+      flaky.jitter_max = 0.01;
+      sim.faults().SetDefaultLinkFault(flaky);
+      sim.faults().CrashNode(1, 100.0, 130.0);
+    };
+    const RunResult a = RunDetector(Detector::kD3, readings, 4, seed, 0.1,
+                                    /*reliable=*/true, inject);
+    const RunResult b = RunDetector(Detector::kD3, readings, 4, seed, 0.1,
+                                    /*reliable=*/true, inject);
+    ASSERT_FALSE(a.events.empty());
+    EXPECT_EQ(EventHistory(a.events), EventHistory(b.events))
+        << "seed " << seed << " must replay bit-identically";
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.retries, b.retries);
+  }
+}
+
+}  // namespace
+}  // namespace sensord
