@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# The one-command tier-1 + sanitizer gate:
-#   1. Test-pairing gate: every src/net/ and src/core/ translation unit must
-#      have a matching tests/<name>_test.cc. Cheap, runs first.
+# The one-command tier-1 + sanitizer + invariant gate:
+#   1. lint-invariants (blocking): tools/lint/sensord_lint.py over the
+#      release preset's compile_commands.json — determinism rules (no wall
+#      clock / ambient entropy / unordered-iteration-to-sink), thread-safety
+#      annotation completeness, src/-wide source/test pairing (the PR 3
+#      net/+core/ gate, generalized; exemptions in
+#      tools/lint/test_pairing.map), and header self-containment.
+#      Suppressions only via tools/lint/baseline.txt (empty by policy).
+#      When a clang toolchain is present the same step also builds the
+#      library with -Wthread-safety promoted to errors
+#      (SENSORD_THREAD_SAFETY=ON). Configure-only: reuses the release
+#      preset's compilation database, no extra full build.
 #   2. Release preset: build + full ctest suite (what ships).
 #   3. ASan/UBSan preset: build + ctest minus the soak label (soak sweeps
 #      are long under ASan; they get their own sanitizer pass in step 4),
@@ -10,8 +19,8 @@
 #      the full simulator (transport retries, fault schedules, crash
 #      windows) for thousands of virtual seconds — the highest-value place
 #      to look for data races.
-#   5. clang-tidy over src/ via scripts/lint.sh (skipped with a notice if
-#      clang-tidy is not installed).
+#   5. clang-tidy over src tests bench examples via scripts/lint.sh
+#      (skipped with a notice if clang-tidy is not installed).
 #   6. Quick bench run via scripts/bench.sh — proves the bench harnesses run
 #      and leave valid BENCH_*.json artifacts.
 # Exits nonzero on the first failure.
@@ -21,20 +30,34 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== ci.sh [1/6] source/test pairing gate ==="
-missing=0
-for src in src/net/*.cc src/core/*.cc; do
-  base="$(basename "${src}" .cc)"
-  if [ ! -f "tests/${base}_test.cc" ]; then
-    echo "ci.sh: ${src} has no tests/${base}_test.cc" >&2
-    missing=1
-  fi
-done
-if [ "${missing}" -ne 0 ]; then
-  echo "ci.sh: every net/ and core/ source needs a matching unit test" >&2
-  exit 1
+echo "=== ci.sh [1/6] lint-invariants (sensord_lint + thread-safety) ==="
+cmake --preset release >/dev/null   # refresh compile_commands.json only
+python3 tools/lint/sensord_lint.py \
+    --compdb build/release/compile_commands.json
+CLANGXX="${CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15 clang++-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANGXX="${candidate}"
+      break
+    fi
+  done
 fi
-echo "pairing gate: every net/ and core/ source has a test"
+if [[ -n "${CLANGXX}" ]]; then
+  echo "lint-invariants: ${CLANGXX} -Wthread-safety build (errors fatal)"
+  cmake -B build/thread-safety -S . \
+        -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DSENSORD_THREAD_SAFETY=ON \
+        -DSENSORD_BUILD_TESTS=OFF -DSENSORD_BUILD_BENCHMARKS=OFF \
+        -DSENSORD_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build/thread-safety -j "${JOBS}"
+else
+  echo "lint-invariants: no clang++ on PATH; -Wthread-safety build skipped" \
+       "(the sensord_lint thread-annotation rule above still gates" \
+       "annotation completeness)" >&2
+fi
 
 echo "=== ci.sh [2/6] release build + ctest ==="
 cmake --preset release

@@ -3,15 +3,27 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+double SimulatorVirtualNow(void* ctx) {
+  return static_cast<Simulator*>(ctx)->Now();
+}
+
+}  // namespace
 
 Simulator::Simulator(SimulatorOptions options)
     : options_(options),
       faults_(options.fault_seed),
       transport_(new ReliableTransport(this, options.transport)),
-      loss_rng_(options.loss_seed) {}
+      loss_rng_(options.loss_seed) {
+  obs::SetTraceVirtualClock(&SimulatorVirtualNow, this);
+}
+
+Simulator::~Simulator() { obs::ClearTraceVirtualClock(this); }
 
 NodeId Simulator::AddNode(std::unique_ptr<Node> node) {
   const NodeId id = static_cast<NodeId>(nodes_.size());

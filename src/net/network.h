@@ -73,7 +73,12 @@ struct SimulatorOptions {
 /// A running sensor-network simulation.
 class Simulator {
  public:
+  /// Also installs this simulator's event queue as the process-wide virtual
+  /// clock for obs::TraceSpan stamps (last constructed simulator wins).
   explicit Simulator(SimulatorOptions options = {});
+
+  /// Uninstalls the trace clock if this simulator still owns it.
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

@@ -19,13 +19,17 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "net/message.h"
+#include "util/thread_annotations.h"
 
 namespace sensord {
 
 /// Mutable tally of network traffic. Owned by the Simulator; read by
-/// experiments after (or during) a run.
+/// experiments after (or during) a run. Internally synchronized so a
+/// monitoring thread can snapshot the tallies while the simulation records
+/// — the per-send lock is uncontended in the single-threaded simulator.
 class StatsCollector {
  public:
   /// Records one transmitted message.
@@ -39,20 +43,29 @@ class StatsCollector {
   void RecordDrop();
 
   /// Messages recorded as dropped.
-  uint64_t MessagesDropped() const { return dropped_; }
+  uint64_t MessagesDropped() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
 
   /// Total messages transmitted.
-  uint64_t TotalMessages() const { return total_messages_; }
+  uint64_t TotalMessages() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return total_messages_;
+  }
 
   /// Messages of one kind.
   uint64_t MessagesOfKind(MessageKind kind) const;
 
   /// Total payload volume in numbers.
-  uint64_t TotalNumbers() const { return total_numbers_; }
+  uint64_t TotalNumbers() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return total_numbers_;
+  }
 
   /// Total payload volume in bytes at `bytes_per_number` per value.
   uint64_t TotalBytes(uint64_t bytes_per_number) const {
-    return total_numbers_ * bytes_per_number;
+    return TotalNumbers() * bytes_per_number;
   }
 
   /// Average message rate over a span of simulated seconds. Returns 0 for a
@@ -60,7 +73,7 @@ class StatsCollector {
   /// has, by convention, no traffic rate).
   double MessagesPerSecond(double elapsed) const {
     if (!(elapsed > 0.0)) return 0.0;
-    return static_cast<double>(total_messages_) / elapsed;
+    return static_cast<double>(TotalMessages()) / elapsed;
   }
 
   /// Forgets all recorded traffic (e.g. to exclude warm-up from a
@@ -68,10 +81,11 @@ class StatsCollector {
   void Reset();
 
  private:
-  uint64_t total_messages_ = 0;
-  uint64_t total_numbers_ = 0;
-  uint64_t dropped_ = 0;
-  std::map<MessageKind, uint64_t> by_kind_;
+  mutable std::mutex mu_;
+  uint64_t total_messages_ GUARDED_BY(mu_) = 0;
+  uint64_t total_numbers_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::map<MessageKind, uint64_t> by_kind_ GUARDED_BY(mu_);
 };
 
 }  // namespace sensord

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace sensord::obs {
 
 /// Adds `delta` to an atomic double with relaxed CAS (fetch_add for
@@ -191,13 +193,14 @@ class MetricsRegistry {
 
  private:
   // Rejects (SENSORD_CHECK) `name` registered under a different kind.
-  // Pre: mu_ held.
-  void CheckKindCollision(const std::string& name, MetricKind kind) const;
+  void CheckKindCollision(const std::string& name, MetricKind kind) const
+      REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// The standard latency histogram layout: exponential 16ns .. ~0.5s.

@@ -2,19 +2,43 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace sensord::obs {
 namespace {
 
 std::atomic<bool> g_timing_enabled{false};
 
-// Sink state: the atomic flag is the hot-path check; the mutex serializes
-// open/close/write so records never interleave.
+// Hot-path flags are atomics; everything that must change together (the
+// sink file and the injected virtual clock) lives behind one mutex so
+// records never interleave and a span can never read a clock whose owner
+// was destroyed mid-write.
 std::atomic<bool> g_sink_enabled{false};
-std::mutex g_sink_mu;
-FILE* g_sink_file = nullptr;  // guarded by g_sink_mu
+std::atomic<int> g_clock_mode{static_cast<int>(TraceClockMode::kVirtual)};
+
+struct SinkState {
+  std::mutex mu;
+  FILE* file GUARDED_BY(mu) = nullptr;
+  TraceVirtualClockFn clock_fn GUARDED_BY(mu) = nullptr;
+  void* clock_ctx GUARDED_BY(mu) = nullptr;
+};
+
+SinkState& State() {
+  // Leaked: spans in static destructors must still find live state.
+  static SinkState* state = new SinkState();
+  return *state;
+}
+
+// Virtual seconds → integer nanoseconds, the JSONL stamp unit. Clamped at
+// zero: spans before the simulation starts stamp 0, never wrap.
+uint64_t VirtualTimeToNs(double vt) {
+  if (!(vt > 0.0)) return 0;
+  return static_cast<uint64_t>(std::llround(vt * 1e9));
+}
 
 }  // namespace
 
@@ -33,28 +57,55 @@ void SetTimingEnabled(bool enabled) {
   g_timing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+void SetTraceClockMode(TraceClockMode mode) {
+  g_clock_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+TraceClockMode GetTraceClockMode() {
+  return static_cast<TraceClockMode>(
+      g_clock_mode.load(std::memory_order_relaxed));
+}
+
+void SetTraceVirtualClock(TraceVirtualClockFn fn, void* ctx) {
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.clock_fn = fn;
+  state.clock_ctx = fn == nullptr ? nullptr : ctx;
+}
+
+void ClearTraceVirtualClock(void* ctx) {
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.clock_ctx == ctx) {
+    state.clock_fn = nullptr;
+    state.clock_ctx = nullptr;
+  }
+}
+
 Status OpenTraceSink(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
-  if (g_sink_file != nullptr) {
-    std::fclose(g_sink_file);
-    g_sink_file = nullptr;
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
     g_sink_enabled.store(false, std::memory_order_release);
   }
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open trace sink: " + path);
   }
-  g_sink_file = f;
+  state.file = f;
   g_sink_enabled.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
 void CloseTraceSink() {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
   g_sink_enabled.store(false, std::memory_order_release);
-  if (g_sink_file != nullptr) {
-    std::fclose(g_sink_file);
-    g_sink_file = nullptr;
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
   }
 }
 
@@ -63,6 +114,18 @@ bool TraceSinkEnabled() {
 }
 
 namespace internal {
+
+uint64_t SpanNowNs(double fallback_virtual_time) {
+  if (GetTraceClockMode() == TraceClockMode::kWall) {
+    return MonotonicNowNs();
+  }
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.clock_fn != nullptr) {
+    return VirtualTimeToNs(state.clock_fn(state.clock_ctx));
+  }
+  return VirtualTimeToNs(fallback_virtual_time);
+}
 
 void WriteTraceEvent(const char* name, int64_t node, double virtual_time,
                      uint64_t begin_ns, uint64_t end_ns) {
@@ -77,9 +140,10 @@ void WriteTraceEvent(const char* name, int64_t node, double virtual_time,
   // A span name long enough to overflow the buffer would truncate to invalid
   // JSON; drop the record instead (names are short literals by contract).
   if (len <= 0 || len >= static_cast<int>(sizeof(line))) return;
-  std::lock_guard<std::mutex> lock(g_sink_mu);
-  if (g_sink_file == nullptr) return;  // sink closed between check and write
-  std::fwrite(line, 1, static_cast<size_t>(len), g_sink_file);
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file == nullptr) return;  // sink closed between check and write
+  std::fwrite(line, 1, static_cast<size_t>(len), state.file);
 }
 
 }  // namespace internal

@@ -10,15 +10,21 @@
 //    an obs::Histogram. Disabled, a ScopedTimer is one atomic load — no
 //    clock reads, no allocation.
 //  * Span tracing (OpenTraceSink): TraceSpan appends one JSONL record per
-//    scope — name, node id, event-queue virtual time, begin/end monotonic
-//    nanoseconds — to the sink file. Disabled, a TraceSpan is one atomic
+//    scope — name, node id, event-queue virtual time, begin/end timestamps
+//    in nanoseconds — to the sink file. Disabled, a TraceSpan is one atomic
 //    load — no clock reads, no allocation (the micro-benchmark
 //    BM_ObsDisabledTraceSpan holds this to zero allocations per event).
 //
-// Virtual time is the simulator's SimTime at span construction; it lets a
-// trace of a discrete-event run be ordered by simulated causality rather
-// than by host wall time (the event queue may burn through hours of
-// simulated seconds per wall second).
+// Span timestamps are VIRTUAL by default: begin_ns/end_ns derive from the
+// simulator's event-queue clock (SetTraceVirtualClock; the Simulator
+// installs itself on construction), falling back to the virtual time the
+// span was constructed with. Two same-seed runs therefore emit
+// byte-identical traces — the determinism property the soak and golden
+// suites rely on, and which tools/lint/sensord_lint.py enforces repo-wide.
+// Host wall-clock stamps (the steady clock) are an explicit opt-in via
+// SetTraceClockMode(TraceClockMode::kWall) for offline profiling of real
+// elapsed time; such traces are not reproducible and must never feed golden
+// files.
 
 #ifndef SENSORD_OBS_TRACE_H_
 #define SENSORD_OBS_TRACE_H_
@@ -31,7 +37,9 @@
 
 namespace sensord::obs {
 
-/// Monotonic clock reading in nanoseconds (steady_clock).
+/// Monotonic host clock reading in nanoseconds (the one wall-clock source
+/// in sensord; see tools/lint/determinism_allowlist.txt). Used by
+/// ScopedTimer latency capture and by TraceClockMode::kWall spans only.
 uint64_t MonotonicNowNs();
 
 /// True when ScopedTimer should capture latencies. Default: false.
@@ -42,6 +50,9 @@ void SetTimingEnabled(bool enabled);
 
 /// RAII latency capture: records the scope's duration in nanoseconds into
 /// `hist` when timing is enabled (and `hist` non-null); otherwise a no-op.
+/// Latencies are real host time by design — they measure the hardware, not
+/// the simulation — and are aggregated into histograms, never into
+/// deterministic outputs.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* hist)
@@ -62,6 +73,33 @@ class ScopedTimer {
   uint64_t begin_ns_;
 };
 
+/// What TraceSpan stamps begin_ns/end_ns from.
+enum class TraceClockMode {
+  /// Event-queue virtual time, scaled to integer nanoseconds. Deterministic:
+  /// same seed, same trace bytes. The default.
+  kVirtual,
+  /// Host steady clock. Opt-in for offline profiling; not reproducible.
+  kWall,
+};
+
+/// Sets the span timestamp source. Default: TraceClockMode::kVirtual.
+void SetTraceClockMode(TraceClockMode mode);
+TraceClockMode GetTraceClockMode();
+
+/// A callback yielding the current event-queue virtual time in seconds.
+using TraceVirtualClockFn = double (*)(void* ctx);
+
+/// Installs the process-wide virtual clock consulted by kVirtual spans at
+/// begin and end (so a span that straddles event-queue progress shows its
+/// virtual extent). The Simulator installs itself on construction; the most
+/// recently constructed simulator wins, which matches "one simulation per
+/// process" usage. Pass fn=nullptr to uninstall unconditionally.
+void SetTraceVirtualClock(TraceVirtualClockFn fn, void* ctx);
+
+/// Uninstalls the virtual clock only if `ctx` matches the installed one —
+/// a destroyed simulator must not yank a newer simulator's clock.
+void ClearTraceVirtualClock(void* ctx);
+
 /// Opens (or truncates) `path` as the process-wide JSONL trace sink and
 /// enables span tracing. Returns IoError if the file cannot be opened.
 Status OpenTraceSink(const std::string& path);
@@ -73,6 +111,11 @@ void CloseTraceSink();
 bool TraceSinkEnabled();
 
 namespace internal {
+/// Current span timestamp in nanoseconds under the active clock mode:
+/// kWall → MonotonicNowNs(); kVirtual → the installed virtual clock, or
+/// `fallback_virtual_time` (seconds) when none is installed.
+uint64_t SpanNowNs(double fallback_virtual_time);
+
 /// Appends one span record to the sink (drops it if the sink closed in the
 /// meantime). `name` must be a short identifier without '"' or '\'.
 void WriteTraceEvent(const char* name, int64_t node, double virtual_time,
@@ -90,12 +133,13 @@ class TraceSpan {
       : name_(name),
         node_(node_id),
         virtual_time_(virtual_time),
-        begin_ns_(TraceSinkEnabled() ? MonotonicNowNs() : 0) {}
+        active_(TraceSinkEnabled()),
+        begin_ns_(active_ ? internal::SpanNowNs(virtual_time) : 0) {}
 
   ~TraceSpan() {
-    if (begin_ns_ != 0) {
+    if (active_) {
       internal::WriteTraceEvent(name_, node_, virtual_time_, begin_ns_,
-                                MonotonicNowNs());
+                                internal::SpanNowNs(virtual_time_));
     }
   }
 
@@ -106,6 +150,7 @@ class TraceSpan {
   const char* name_;
   int64_t node_;
   double virtual_time_;
+  bool active_;
   uint64_t begin_ns_;
 };
 

@@ -2,12 +2,28 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace sensord {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::string* g_test_sink = nullptr;
+
+// Destination of finished log lines. The mutex serializes sink swaps
+// against emission, so concurrent loggers never interleave within a line
+// and a test sink can be detached without racing an in-flight message.
+struct LogSink {
+  std::mutex mu;
+  std::string* test_sink GUARDED_BY(mu) = nullptr;
+};
+
+LogSink& Sink() {
+  // Leaked: loggers in static destructors must still find a live sink.
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -35,7 +51,11 @@ const char* Basename(const char* path) {
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
-void SetLogSinkForTest(std::string* sink) { g_test_sink = sink; }
+
+void SetLogSinkForTest(std::string* sink) {
+  const std::lock_guard<std::mutex> lock(Sink().mu);
+  Sink().test_sink = sink;
+}
 
 namespace internal {
 
@@ -49,9 +69,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    if (g_test_sink != nullptr) {
-      g_test_sink->append(stream_.str());
-      g_test_sink->push_back('\n');
+    const std::lock_guard<std::mutex> lock(Sink().mu);
+    if (Sink().test_sink != nullptr) {
+      Sink().test_sink->append(stream_.str());
+      Sink().test_sink->push_back('\n');
     } else {
       std::fprintf(stderr, "%s\n", stream_.str().c_str());
     }

@@ -23,7 +23,8 @@ LogLevel GetLogLevel();
 
 /// Redirects finished log lines into `*sink` (appended, one '\n'-terminated
 /// line per message) instead of stderr. Pass nullptr to restore stderr.
-/// Test-only: not synchronized against concurrent loggers.
+/// Emission and sink swaps are mutex-serialized, so lines never interleave;
+/// the sink object itself must outlive the redirection.
 void SetLogSinkForTest(std::string* sink);
 
 namespace internal {

@@ -1,0 +1,59 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// Under clang, GUARDED_BY(mu) on a field makes every unsynchronized access a
+// compile error once the analysis is enabled; the SENSORD_THREAD_SAFETY
+// CMake toggle promotes the warnings to errors, and scripts/ci.sh runs that
+// configuration whenever a clang toolchain is available. Under other
+// compilers the macros expand to nothing, so annotated code builds
+// everywhere.
+//
+// The companion static rule (tools/lint/sensord_lint.py, thread-annotation)
+// is compiler-independent: any class that owns a std::mutex must annotate
+// every other non-atomic, non-const field, so the analysis model can never
+// silently decay as fields are added.
+//
+// Annotation cheat sheet:
+//   GUARDED_BY(mu)   field: reads/writes require holding mu
+//   PT_GUARDED_BY(mu) pointer field: the pointee is protected by mu
+//   REQUIRES(mu)     function: caller must hold mu
+//   EXCLUDES(mu)     function: caller must NOT hold mu (it locks internally)
+//   ACQUIRE/RELEASE  lock-management functions themselves
+
+#ifndef SENSORD_UTIL_THREAD_ANNOTATIONS_H_
+#define SENSORD_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SENSORD_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SENSORD_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+#define GUARDED_BY(x) SENSORD_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) SENSORD_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define REQUIRES(...) \
+  SENSORD_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SENSORD_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) SENSORD_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  SENSORD_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  SENSORD_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define ACQUIRED_BEFORE(...) \
+  SENSORD_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SENSORD_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define CAPABILITY(x) SENSORD_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY SENSORD_THREAD_ANNOTATION__(scoped_lockable)
+#define RETURN_CAPABILITY(x) SENSORD_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SENSORD_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SENSORD_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,29 @@
+// sensord_lint fixture: the determinism-clock rule must fire EXACTLY ONCE
+// on this file (the steady_clock token below), and no other rule may fire.
+// Not compiled into any target; consumed by tests/lint_tool_test.py.
+#include <chrono>
+#include <cstdint>
+
+namespace sensord_lint_fixture {
+
+inline uint64_t ReadsTheWallClock() {
+  // One banned token: steady_clock.
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+// Mentions in comments must NOT fire: system_clock, std::rand(), mt19937.
+// Nor in strings:
+inline const char* kDoc = "call system_clock::now() at your peril";
+
+// An identifier merely containing a banned name must not fire either.
+inline int randomize_grand_total(int grand) { return grand + 1; }
+
+// A bare identifier that is banned only in call position (no '(' follows)
+// must not fire: this is a field named time, not a clock read.
+struct Msg {
+  int time = 0;
+};
+inline int UsesMember(const Msg& m) { return m.time; }
+
+}  // namespace sensord_lint_fixture

@@ -1,0 +1,19 @@
+// sensord_lint fixture: the header-hygiene rule must pass this header — it
+// includes everything it uses and carries an include guard (the probe
+// includes it twice). Not part of any build target.
+
+#ifndef SENSORD_TESTS_LINT_FIXTURES_HEADER_CLEAN_H_
+#define SENSORD_TESTS_LINT_FIXTURES_HEADER_CLEAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sensord_lint_fixture {
+
+struct SelfContained {
+  std::vector<uint64_t> values;
+};
+
+}  // namespace sensord_lint_fixture
+
+#endif  // SENSORD_TESTS_LINT_FIXTURES_HEADER_CLEAN_H_

@@ -1,0 +1,17 @@
+// sensord_lint fixture: the header-hygiene rule must fail on this header —
+// it uses std::vector and uint64_t without including <vector>/<cstdint>, so
+// it only compiles when its includer happens to provide them.
+// Not part of any build target.
+
+#ifndef SENSORD_TESTS_LINT_FIXTURES_HEADER_VIOLATION_H_
+#define SENSORD_TESTS_LINT_FIXTURES_HEADER_VIOLATION_H_
+
+namespace sensord_lint_fixture {
+
+struct NotSelfContained {
+  std::vector<uint64_t> values;  // missing includes: fails standalone
+};
+
+}  // namespace sensord_lint_fixture
+
+#endif  // SENSORD_TESTS_LINT_FIXTURES_HEADER_VIOLATION_H_

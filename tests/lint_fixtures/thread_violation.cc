@@ -1,0 +1,35 @@
+// sensord_lint fixture: the thread-annotation rule must fire EXACTLY ONCE
+// (the unannotated `pending` field below). Not compiled into any target.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace sensord_lint_fixture {
+
+class GuardedQueue {
+ public:
+  void Push(uint64_t v) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(v);
+    pending_ = items_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<uint64_t> items_ GUARDED_BY(mu_);  // annotated: clean
+  uint64_t pending_ = 0;  // VIOLATION: guarded in practice, unannotated
+  std::atomic<uint64_t> pushes_{0};  // atomic: exempt by policy
+  const std::string name_ = "queue";  // const: exempt by policy
+};
+
+// No mutex member: nothing to annotate, rule must stay silent.
+struct PlainAggregate {
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+}  // namespace sensord_lint_fixture

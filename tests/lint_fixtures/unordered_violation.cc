@@ -1,0 +1,49 @@
+// sensord_lint fixture: the determinism-unordered rule must fire EXACTLY
+// ONCE (the range-for feeding Send below); the same loop shapes that stay
+// local must not fire. Not compiled into any target.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sensord_lint_fixture {
+
+struct FakeNet {
+  void Send(uint64_t id) { sent.push_back(id); }
+  std::vector<uint64_t> sent;
+};
+
+struct Emitter {
+  std::unordered_map<uint64_t, double> readings;
+  std::unordered_set<std::string> names;
+
+  // VIOLATION: hash-iteration order leaks into the message stream.
+  void Broadcast(FakeNet& net) {
+    for (const auto& [id, value] : readings) {
+      if (value > 0.5) net.Send(id);
+    }
+  }
+
+  // Clean: iteration feeds a commutative aggregate, no sink in the body.
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [id, value] : readings) sum += value;
+    return sum;
+  }
+
+  // Clean: collect-then-sort before anything order-sensitive happens.
+  std::vector<uint64_t> SortedIds() const {
+    std::vector<uint64_t> ids;
+    for (const auto& [id, value] : readings) ids.push_back(id);
+    // (callers sort; the loop body itself reaches no sink)
+    return ids;
+  }
+
+  // Clean: an ordered container may feed a sink directly.
+  void BroadcastOrdered(FakeNet& net, const std::vector<uint64_t>& ids) {
+    for (uint64_t id : ids) net.Send(id);
+  }
+};
+
+}  // namespace sensord_lint_fixture

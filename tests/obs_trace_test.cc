@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace sensord::obs {
 namespace {
@@ -79,8 +81,11 @@ TEST(TraceSinkTest, OpenFailsOnUnwritablePath) {
 
 // The round-trip contract: every span becomes one parseable JSONL record
 // carrying the span name, node id, virtual time and a begin <= end interval.
+// Under the default kVirtual clock mode the stamps are the span's virtual
+// time in integer nanoseconds — no wall clock involved.
 TEST(TraceSinkTest, SpansRoundTripThroughJsonl) {
   const std::string path = TempPath("obs_trace_roundtrip.jsonl");
+  ASSERT_EQ(GetTraceClockMode(), TraceClockMode::kVirtual);
   ASSERT_TRUE(OpenTraceSink(path).ok());
   EXPECT_TRUE(TraceSinkEnabled());
   { const TraceSpan span("alpha.work", 3, 1.5); }
@@ -97,7 +102,9 @@ TEST(TraceSinkTest, SpansRoundTripThroughJsonl) {
     const double begin_ns = JsonNumberField(line, "begin_ns");
     const double end_ns = JsonNumberField(line, "end_ns");
     EXPECT_LE(begin_ns, end_ns);
-    EXPECT_GT(begin_ns, 0.0);
+    // Virtual stamps equal the span's vt scaled to nanoseconds.
+    EXPECT_EQ(begin_ns, JsonNumberField(line, "vt") * 1e9);
+    EXPECT_EQ(end_ns, begin_ns);
   }
   EXPECT_NE(lines[0].find("\"name\":\"alpha.work\""), std::string::npos);
   EXPECT_EQ(JsonNumberField(lines[0], "node"), 3.0);
@@ -105,6 +112,72 @@ TEST(TraceSinkTest, SpansRoundTripThroughJsonl) {
   EXPECT_NE(lines[1].find("\"name\":\"beta.work\""), std::string::npos);
   EXPECT_EQ(JsonNumberField(lines[1], "node"), -1.0);
   std::remove(path.c_str());
+}
+
+// The explicit wall-clock opt-in for offline profiling: stamps come from
+// the host monotonic clock and are not reproducible across runs.
+TEST(TraceSinkTest, WallClockModeIsAnExplicitOptIn) {
+  const std::string path = TempPath("obs_trace_wall.jsonl");
+  SetTraceClockMode(TraceClockMode::kWall);
+  ASSERT_TRUE(OpenTraceSink(path).ok());
+  { const TraceSpan span("wall.work", 7, 2.0); }
+  CloseTraceSink();
+  SetTraceClockMode(TraceClockMode::kVirtual);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const double begin_ns = JsonNumberField(lines[0], "begin_ns");
+  const double end_ns = JsonNumberField(lines[0], "end_ns");
+  EXPECT_GT(begin_ns, 0.0);          // a real clock reading, not vt
+  EXPECT_LE(begin_ns, end_ns);
+  EXPECT_NE(begin_ns, 2.0 * 1e9);    // and not the virtual time
+  EXPECT_EQ(JsonNumberField(lines[0], "vt"), 2.0);
+  std::remove(path.c_str());
+}
+
+namespace {
+
+// Schedules `spans` Rng-jittered spans on a fresh Simulator (which installs
+// its event queue as the process-wide trace clock) and returns the JSONL.
+std::vector<std::string> RunSeededTrace(const std::string& path,
+                                        uint64_t seed, int spans) {
+  Rng rng(seed);
+  Simulator sim;
+  EXPECT_TRUE(OpenTraceSink(path).ok());
+  for (int i = 0; i < spans; ++i) {
+    const double at = rng.UniformDouble(0.0, 10.0);
+    sim.ScheduleAt(at, [&sim, i] {
+      const TraceSpan span("seeded.tick", i, sim.Now());
+    });
+  }
+  sim.RunAll();
+  CloseTraceSink();
+  return ReadLines(path);
+}
+
+}  // namespace
+
+// The determinism contract the lint layer exists to protect: two runs with
+// the same seed emit byte-identical span streams, stamped from the event
+// queue's virtual clock that the Simulator installs on construction.
+TEST(TraceSinkTest, SameSeedRunsProduceIdenticalSpans) {
+  const std::string path_a = TempPath("obs_trace_seed_a.jsonl");
+  const std::string path_b = TempPath("obs_trace_seed_b.jsonl");
+  const std::vector<std::string> a = RunSeededTrace(path_a, 0xDE7E12, 16);
+  const std::vector<std::string> b = RunSeededTrace(path_b, 0xDE7E12, 16);
+  ASSERT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, b);
+  for (const std::string& line : a) {
+    // Stamps are the virtual firing time in ns ("vt" itself prints with 9
+    // significant digits, so allow its ~10ns rounding granularity).
+    EXPECT_NEAR(JsonNumberField(line, "begin_ns"),
+                JsonNumberField(line, "vt") * 1e9, 100.0);
+  }
+  // A different seed schedules different times: the trace must change.
+  const std::vector<std::string> c = RunSeededTrace(path_a, 0xBEEF01, 16);
+  EXPECT_NE(a, c);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 TEST(TraceSinkTest, SpanOpenAcrossCloseIsDropped) {
