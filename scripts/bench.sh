@@ -10,6 +10,9 @@
 #     metrics table carries the transport + degradation counters
 #     (net.retries, net.timeouts, net.dup_suppressed, net.abandoned,
 #     core.degraded_windows) -> $OUT_DIR/BENCH_ablation_packet_loss.json
+#   - the crash-recovery ablation (level-2 recall and time-to-recover vs
+#     checkpoint interval under amnesia crashes; recovery.* counters)
+#     -> $OUT_DIR/BENCH_ablation_crash_recovery.json
 #
 # SENSORD_QUICK=1 (default here) keeps the run CI-sized; set SENSORD_QUICK=0
 # for paper-scale numbers. OUT_DIR defaults to the repo root.
@@ -24,9 +27,10 @@ export SENSORD_QUICK="${SENSORD_QUICK:-1}"
 
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-    --target micro_benchmarks fig11_message_scaling ablation_packet_loss
+    --target micro_benchmarks fig11_message_scaling ablation_packet_loss \
+            ablation_crash_recovery
 
-echo "=== bench.sh [1/3] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
+echo "=== bench.sh [1/4] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
 # Filter to a quick, representative subset in quick mode; everything else
 # still runs when SENSORD_QUICK=0.
 FILTER=""
@@ -39,15 +43,19 @@ build/release/bench/micro_benchmarks ${FILTER} \
     --benchmark_out="${OUT_DIR}/BENCH_micro.json" \
     --benchmark_out_format=json
 
-echo "=== bench.sh [2/3] fig11_message_scaling ==="
+echo "=== bench.sh [2/4] fig11_message_scaling ==="
 SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/fig11_message_scaling
 
-echo "=== bench.sh [3/3] ablation_packet_loss (transport counters) ==="
+echo "=== bench.sh [3/4] ablation_packet_loss (transport counters) ==="
 SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/ablation_packet_loss
+
+echo "=== bench.sh [4/4] ablation_crash_recovery (recovery counters) ==="
+SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/ablation_crash_recovery
 
 python3 - "$OUT_DIR/BENCH_micro.json" \
     "$OUT_DIR/BENCH_fig11_message_scaling.json" \
-    "$OUT_DIR/BENCH_ablation_packet_loss.json" <<'EOF'
+    "$OUT_DIR/BENCH_ablation_packet_loss.json" \
+    "$OUT_DIR/BENCH_ablation_crash_recovery.json" <<'EOF'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as f:

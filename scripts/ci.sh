@@ -17,8 +17,10 @@
 #      via scripts/check.sh.
 #   4. TSan preset: build + the soak-labelled suite. The soak tests drive
 #      the full simulator (transport retries, fault schedules, crash
-#      windows) for thousands of virtual seconds — the highest-value place
-#      to look for data races.
+#      windows, amnesia checkpoint/restore) for thousands of virtual
+#      seconds — the highest-value place to look for data races.
+#      SENSORD_SOAK_SEEDS widens the crash-recovery seed sweep (default 4;
+#      nightly runs export a larger value).
 #   5. clang-tidy over src tests bench examples via scripts/lint.sh
 #      (skipped with a notice if clang-tidy is not installed).
 #   6. Quick bench run via scripts/bench.sh — proves the bench harnesses run
@@ -69,6 +71,7 @@ scripts/check.sh -LE soak
 
 echo "=== ci.sh [4/6] tsan build + soak suite ==="
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+export SENSORD_SOAK_SEEDS="${SENSORD_SOAK_SEEDS:-4}"
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" -L soak

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "core/distance_outlier.h"
 #include "core/protocol.h"
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -43,6 +45,28 @@ obs::Counter* DegradedWindowsCounter() {
   return counter;
 }
 
+// Rejoin-protocol telemetry, shared with mgdd.cc by name.
+struct RejoinMetrics {
+  obs::Counter* announces;  // rejoin/recovered announces sent upward
+  obs::Counter* resyncs;    // model resync summaries sent to children
+  obs::Histogram* ttr_s;    // restart -> capability, virtual seconds
+};
+
+const RejoinMetrics& Rejoin() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const RejoinMetrics m{
+      registry.GetCounter("recovery.rejoin_announces"),
+      registry.GetCounter("recovery.rejoin_resyncs"),
+      registry.GetHistogram("recovery.time_to_recover_s",
+                            obs::DurationBoundariesS())};
+  return m;
+}
+
+// Snapshot payload versions (core/snapshot.h frame field) of the D3 node
+// checkpoints. Bump on layout change.
+constexpr uint32_t kD3LeafSnapshotVersion = 1;
+constexpr uint32_t kD3ParentSnapshotVersion = 2;
+
 }  // namespace
 
 DensityModelConfig LeaderModelConfigFor(const DensityModelConfig& leaf,
@@ -75,12 +99,20 @@ DensityModelConfig LeaderModelConfig(const DensityModelConfig& leaf,
 
 D3LeafNode::D3LeafNode(const D3Options& options, Rng rng,
                        OutlierObserver* observer)
-    : options_(options), model_(options.model, rng.Split()), rng_(rng),
-      observer_(observer) {}
+    : options_(options), boot_rng_(rng), model_(options.model, rng.Split()),
+      rng_(rng), validator_(options.ingest),
+      stuck_(options.ingest.stuck_run_threshold), observer_(observer) {}
 
 void D3LeafNode::OnReading(const Point& value) {
+  // Ingest validation firewall: a NaN from a dying transducer would poison
+  // the chain sample for a full window, so bad values are dropped before
+  // the model ever sees them.
+  if (validator_.Check(value) != IngestVerdict::kAccept) return;
+  if (stuck_.ShouldQuarantine(value)) return;
+
   // Figure 4, LeafProcess: update the model first, then test the value.
   const bool inserted = model_.Observe(value);
+  if (recovering_) MaybeFinishRecovery();
 
   if (inserted && parent() != kNoNode &&
       rng_.Bernoulli(options_.sample_fraction)) {
@@ -117,14 +149,85 @@ void D3LeafNode::OnReading(const Point& value) {
 }
 
 void D3LeafNode::HandleMessage(const Message& msg) {
-  // Leaves receive nothing in D3; tolerate stray traffic.
-  (void)msg;
+  // Leaves receive nothing in D3 except a post-restart model resync from
+  // the parent; tolerate stray traffic.
+  if (msg.kind != kMsgRejoinResync) return;
+  if (!recovering_ || warm_started_) return;  // late/duplicate resync
+  const auto& resync = std::any_cast<const RejoinResyncPayload&>(msg.payload);
+  warm_started_ = true;
+  for (const Point& p : resync.sample) model_.Observe(p);
+  MaybeFinishRecovery();
+}
+
+std::vector<uint8_t> D3LeafNode::SaveState() const {
+  SnapshotWriter writer;
+  model_.Serialize(&writer);
+  writer.PutRng(rng_);
+  return std::move(writer).Finish(kD3LeafSnapshotVersion);
+}
+
+bool D3LeafNode::RestoreState(const std::vector<uint8_t>& bytes) {
+  auto reader = SnapshotReader::Open(bytes, kD3LeafSnapshotVersion);
+  if (!reader.ok()) return false;
+  if (!model_.Restore(&reader.value())) return false;
+  rng_ = reader.value().TakeRng();
+  return reader.value().ok();
+}
+
+void D3LeafNode::ResetVolatileState() {
+  // Replay construction exactly: split off the model rng from a copy of the
+  // boot rng so the cold-started node draws the same random stream as a
+  // freshly built one (bit-identical replay depends on this).
+  Rng boot = boot_rng_;
+  model_ = DensityModel(options_.model, boot.Split());
+  rng_ = boot;
+  validator_ = IngestValidator(options_.ingest);
+  stuck_ = StuckSensorDetector(options_.ingest.stuck_run_threshold);
+  recovering_ = false;
+  warm_started_ = false;
+  restart_time_ = 0.0;
+}
+
+void D3LeafNode::OnRestart(bool restored_from_checkpoint,
+                           uint32_t incarnation) {
+  (void)incarnation;  // transport stamps outgoing messages itself
+  recovering_ = true;
+  warm_started_ = false;
+  restart_time_ = sim()->Now();
+  SendAnnounce(restored_from_checkpoint, /*recovered=*/false);
+  // A checkpoint restore may come back already capable.
+  MaybeFinishRecovery();
+}
+
+void D3LeafNode::SendAnnounce(bool restored_from_checkpoint, bool recovered) {
+  if (parent() == kNoNode) return;
+  Rejoin().announces->Increment();
+  RejoinAnnouncePayload ann;
+  ann.incarnation = sim()->Incarnation(id());
+  ann.restored_seen = model_.total_seen();
+  ann.from_checkpoint = restored_from_checkpoint;
+  ann.recovered = recovered;
+  Message msg;
+  msg.from = id();
+  msg.to = parent();
+  msg.kind = kMsgRejoinAnnounce;
+  msg.size_numbers = ann.SizeNumbers();
+  msg.payload = ann;
+  sim()->Send(std::move(msg));
+}
+
+void D3LeafNode::MaybeFinishRecovery() {
+  if (!recovering_) return;
+  if (model_.total_seen() < options_.min_observations) return;
+  recovering_ = false;
+  Rejoin().ttr_s->Record(sim()->Now() - restart_time_);
+  SendAnnounce(/*restored_from_checkpoint=*/false, /*recovered=*/true);
 }
 
 D3ParentNode::D3ParentNode(const D3Options& options, Rng rng,
                            OutlierObserver* observer)
-    : options_(options), model_(options.model, rng.Split()), rng_(rng),
-      observer_(observer) {
+    : options_(options), boot_rng_(rng), model_(options.model, rng.Split()),
+      rng_(rng), observer_(observer) {
   // Register the counter up front so core.degraded_windows shows up (as 0)
   // in metric dumps of healthy runs too.
   (void)DegradedWindowsCounter();
@@ -136,6 +239,9 @@ void D3ParentNode::OnStart() {
 }
 
 bool D3ParentNode::ComputeDegraded(SimTime now) const {
+  // A child mid-recovery is a hole in the model regardless of how chatty
+  // it is, so it degrades the parent just like a silent one.
+  if (!recovering_children_.empty()) return true;
   if (!std::isfinite(options_.staleness_threshold)) return false;
   for (const auto& [child, heard] : last_heard_) {
     if (now - heard > options_.staleness_threshold) return true;
@@ -170,9 +276,129 @@ void D3ParentNode::HandleMessage(const Message& msg) {
       HandleOutlierReport(payload);
       break;
     }
+    case kMsgRejoinAnnounce: {
+      const auto& payload =
+          std::any_cast<const RejoinAnnouncePayload&>(msg.payload);
+      HandleRejoinAnnounce(msg.from, payload);
+      // The announce itself can open or close the recovering-children
+      // degradation window; settle it with the usual rising-edge count.
+      const bool now_degraded = ComputeDegraded(now);
+      if (now_degraded && !degraded_state_) {
+        DegradedWindowsCounter()->Increment();
+      }
+      degraded_state_ = now_degraded;
+      break;
+    }
+    case kMsgRejoinResync: {
+      const auto& payload =
+          std::any_cast<const RejoinResyncPayload&>(msg.payload);
+      HandleRejoinResync(payload);
+      break;
+    }
     default:
       break;  // not ours
   }
+}
+
+void D3ParentNode::HandleRejoinAnnounce(NodeId child,
+                                        const RejoinAnnouncePayload& ann) {
+  (void)ann.incarnation;  // dedup is the transport's job; this is telemetry
+  if (ann.recovered) {
+    recovering_children_.erase(child);
+    return;
+  }
+  if (ann.restored_seen < options_.min_observations) {
+    recovering_children_.insert(child);
+  }
+  // Resync only a cold-started child: one restored from its own checkpoint
+  // already holds a model at least as fresh as anything we could send.
+  if (ann.from_checkpoint || !model_.Ready()) return;
+  Rejoin().resyncs->Increment();
+  RejoinResyncPayload resync;
+  resync.sample = model_.sample().Snapshot();
+  resync.spreads = model_.BandwidthSpreads();
+  resync.parent_seen = model_.total_seen();
+  Message msg;
+  msg.from = id();
+  msg.to = child;
+  msg.kind = kMsgRejoinResync;
+  msg.size_numbers = resync.SizeNumbers(options_.model.dimensions);
+  msg.payload = std::move(resync);
+  sim()->Send(std::move(msg));
+}
+
+void D3ParentNode::HandleRejoinResync(const RejoinResyncPayload& resync) {
+  if (!recovering_ || warm_started_) return;  // late/duplicate resync
+  warm_started_ = true;
+  // Absorbed like ordinary sample arrivals, but never re-propagated upward:
+  // the grandparent already holds this data from before the crash.
+  for (const Point& p : resync.sample) model_.Observe(p);
+  MaybeFinishRecovery();
+}
+
+std::vector<uint8_t> D3ParentNode::SaveState() const {
+  SnapshotWriter writer;
+  model_.Serialize(&writer);
+  writer.PutRng(rng_);
+  return std::move(writer).Finish(kD3ParentSnapshotVersion);
+}
+
+bool D3ParentNode::RestoreState(const std::vector<uint8_t>& bytes) {
+  auto reader = SnapshotReader::Open(bytes, kD3ParentSnapshotVersion);
+  if (!reader.ok()) return false;
+  if (!model_.Restore(&reader.value())) return false;
+  rng_ = reader.value().TakeRng();
+  return reader.value().ok();
+}
+
+void D3ParentNode::ResetVolatileState() {
+  Rng boot = boot_rng_;
+  model_ = DensityModel(options_.model, boot.Split());
+  rng_ = boot;
+  last_heard_.clear();
+  recovering_children_.clear();
+  degraded_state_ = false;
+  recovering_ = false;
+  warm_started_ = false;
+  restart_time_ = 0.0;
+}
+
+void D3ParentNode::OnRestart(bool restored_from_checkpoint,
+                             uint32_t incarnation) {
+  (void)incarnation;
+  // The silence clocks restart from the moment of rejoin, exactly as they
+  // do at OnStart: a child is not "stale" for time the parent slept through.
+  for (NodeId child : children()) last_heard_[child] = sim()->Now();
+  recovering_ = true;
+  warm_started_ = false;
+  restart_time_ = sim()->Now();
+  SendAnnounce(restored_from_checkpoint, /*recovered=*/false);
+  MaybeFinishRecovery();
+}
+
+void D3ParentNode::SendAnnounce(bool restored_from_checkpoint,
+                                bool recovered) {
+  if (parent() == kNoNode) return;  // the root rejoins nobody
+  Rejoin().announces->Increment();
+  RejoinAnnouncePayload ann;
+  ann.incarnation = sim()->Incarnation(id());
+  ann.restored_seen = model_.total_seen();
+  ann.from_checkpoint = restored_from_checkpoint;
+  ann.recovered = recovered;
+  Message msg;
+  msg.from = id();
+  msg.to = parent();
+  msg.kind = kMsgRejoinAnnounce;
+  msg.size_numbers = ann.SizeNumbers();
+  msg.payload = ann;
+  sim()->Send(std::move(msg));
+}
+
+void D3ParentNode::MaybeFinishRecovery() {
+  if (!recovering_) return;
+  if (model_.total_seen() < options_.min_observations) return;
+  recovering_ = false;
+  SendAnnounce(/*restored_from_checkpoint=*/false, /*recovered=*/true);
 }
 
 void D3ParentNode::HandleSampleValue(const Point& value) {
@@ -180,6 +406,7 @@ void D3ParentNode::HandleSampleValue(const Point& value) {
   // never outlier-tested here — exactly the work Theorem 3 saves a parent.
   Metrics().parent_sample_arrivals->Increment();
   const bool inserted = model_.Observe(value);
+  if (recovering_) MaybeFinishRecovery();
   if (inserted && parent() != kNoNode &&
       rng_.Bernoulli(options_.sample_fraction)) {
     Metrics().parent_propagations->Increment();

@@ -22,11 +22,15 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "core/config.h"
 #include "core/density_model.h"
+#include "core/faulty_sensor.h"
 #include "core/outlier_observer.h"
 #include "core/protocol.h"
+#include "data/validate.h"
 #include "net/network.h"
 #include "net/node.h"
 #include "util/rng.h"
@@ -55,6 +59,11 @@ struct D3Options {
   /// into the degraded state bumps `core.degraded_windows`. Infinity
   /// disables the check (the paper assumes reliable links and live nodes).
   double staleness_threshold = std::numeric_limits<double>::infinity();
+
+  /// Ingest validation firewall applied to every leaf reading before the
+  /// model sees it (data/validate.h). The default policy accepts all finite
+  /// readings and never quarantines, so clean streams are unaffected.
+  IngestPolicy ingest;
 };
 
 /// Computes the DensityModelConfig for a leader node with `num_children`
@@ -88,14 +97,38 @@ class D3LeafNode : public Node {
   void OnReading(const Point& value) override;
   void HandleMessage(const Message& msg) override;
 
+  // Crash recovery (DESIGN.md §10): the checkpoint is the model plus the
+  // propagation rng; ResetVolatileState rewinds both to their boot state.
+  std::vector<uint8_t> SaveState() const override;
+  bool RestoreState(const std::vector<uint8_t>& bytes) override;
+  void ResetVolatileState() override;
+  void OnRestart(bool restored_from_checkpoint, uint32_t incarnation) override;
+
   const DensityModel& model() const { return model_; }
   const D3Options& options() const { return options_; }
+  const IngestValidator& validator() const { return validator_; }
+
+  /// True between an amnesia restart and the model regaining capability
+  /// (total_seen back above min_observations).
+  bool recovering() const { return recovering_; }
 
  private:
+  // Announces rejoin/recovery to the parent.
+  void SendAnnounce(bool restored_from_checkpoint, bool recovered);
+  // Closes the recovery window once the model is capable again.
+  void MaybeFinishRecovery();
+
   D3Options options_;
+  Rng boot_rng_;  // construction-time rng, replayed by ResetVolatileState
   DensityModel model_;
   Rng rng_;
+  IngestValidator validator_;
+  StuckSensorDetector stuck_;
   OutlierObserver* observer_;
+
+  bool recovering_ = false;
+  bool warm_started_ = false;  // consumed a rejoin resync this incarnation
+  SimTime restart_time_ = 0.0;
 };
 
 /// A leader node running D3's ParentProcess at any tier above the leaves.
@@ -108,26 +141,46 @@ class D3ParentNode : public Node {
   void OnStart() override;
   void HandleMessage(const Message& msg) override;
 
+  // Crash recovery: same checkpoint shape as the leaf (model + rng); the
+  // silence clocks and recovering-children set are rebuilt, not restored.
+  std::vector<uint8_t> SaveState() const override;
+  bool RestoreState(const std::vector<uint8_t>& bytes) override;
+  void ResetVolatileState() override;
+  void OnRestart(bool restored_from_checkpoint, uint32_t incarnation) override;
+
   const DensityModel& model() const { return model_; }
   const D3Options& options() const { return options_; }
 
   /// True if some child has been silent past options().staleness_threshold
-  /// as of the current simulation time.
+  /// as of the current simulation time, or some child is mid-recovery from
+  /// an amnesia restart (announced rejoin, not yet reported capable).
   bool degraded() const;
 
  private:
   void HandleSampleValue(const Point& value);
   void HandleOutlierReport(const OutlierReportPayload& report);
+  void HandleRejoinAnnounce(NodeId child, const RejoinAnnouncePayload& ann);
+  void HandleRejoinResync(const RejoinResyncPayload& resync);
   bool ComputeDegraded(SimTime now) const;
+  void SendAnnounce(bool restored_from_checkpoint, bool recovered);
+  void MaybeFinishRecovery();
 
   D3Options options_;
+  Rng boot_rng_;  // construction-time rng, replayed by ResetVolatileState
   DensityModel model_;
   Rng rng_;
   OutlierObserver* observer_;
 
   // Last time each direct child was heard from (any message kind).
   std::map<NodeId, SimTime> last_heard_;
+  // Children that announced an amnesia rejoin and have not yet reported
+  // recovery; the node stays degraded while this is non-empty.
+  std::set<NodeId> recovering_children_;
   bool degraded_state_ = false;
+
+  bool recovering_ = false;
+  bool warm_started_ = false;
+  SimTime restart_time_ = 0.0;
 };
 
 }  // namespace sensord

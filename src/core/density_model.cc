@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/bandwidth.h"
@@ -116,6 +117,25 @@ std::vector<double> DensityModel::Means() const {
   out.reserve(sketches_.size());
   for (const VarianceSketch& s : sketches_) out.push_back(s.Mean());
   return out;
+}
+
+void DensityModel::Serialize(SnapshotWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(config_.dimensions));
+  sample_.Serialize(writer);
+  for (const VarianceSketch& s : sketches_) s.Serialize(writer);
+}
+
+bool DensityModel::Restore(SnapshotReader* reader) {
+  const uint32_t dimensions = reader->TakeU32();
+  if (!reader->ok() || dimensions != config_.dimensions) return false;
+  if (!sample_.Restore(reader)) return false;
+  for (VarianceSketch& s : sketches_) {
+    if (!s.Restore(reader)) return false;
+  }
+  cached_.reset();
+  cached_sample_version_ = 0;
+  cached_at_count_ = 0;
+  return true;
 }
 
 size_t DensityModel::MemoryBytes(size_t bytes_per_number) const {

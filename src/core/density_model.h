@@ -30,6 +30,9 @@
 
 namespace sensord {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Online, bounded-memory approximation of the sliding-window distribution
 /// of a d-dimensional stream.
 class DensityModel {
@@ -84,6 +87,17 @@ class DensityModel {
 
   /// The Theorem 1 upper bound for the same accounting.
   size_t TheoreticalBoundBytes(size_t bytes_per_number) const;
+
+  /// Appends the model's full online state — chain sample and per-dimension
+  /// variance sketches — to `writer`, for checkpoint/restore
+  /// (core/snapshot.h). The cached estimator is derived state and is not
+  /// written; a restored model rebuilds it on first query.
+  void Serialize(SnapshotWriter* writer) const;
+
+  /// Overwrites this model with state previously written by Serialize() on
+  /// a model with the same configuration. Returns false (model unspecified,
+  /// safe to destroy or reassign) on reader failure or config mismatch.
+  bool Restore(SnapshotReader* reader);
 
  private:
   DensityModelConfig config_;

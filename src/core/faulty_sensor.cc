@@ -1,10 +1,20 @@
 #include "core/faulty_sensor.h"
 
+#include "obs/metrics.h"
 #include "stats/divergence.h"
 
 #include "util/check.h"
 
 namespace sensord {
+namespace {
+
+obs::Counter* StuckRejectedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("ingest.rejected.stuck");
+  return counter;
+}
+
+}  // namespace
 
 StatusOr<std::vector<FaultVerdict>> DetectFaultySensors(
     const std::vector<const DistributionEstimator*>& children,
@@ -46,6 +56,27 @@ StatusOr<std::vector<FaultVerdict>> DetectFaultySensors(
     verdicts.push_back(v);
   }
   return verdicts;
+}
+
+StuckSensorDetector::StuckSensorDetector(uint64_t run_threshold)
+    : run_threshold_(run_threshold) {}
+
+bool StuckSensorDetector::ShouldQuarantine(const Point& reading) {
+  if (run_threshold_ == 0) return false;
+  if (run_length_ > 0 && reading == last_) {
+    ++run_length_;
+  } else {
+    last_ = reading;
+    run_length_ = 1;
+    quarantined_ = false;
+  }
+  if (run_length_ > run_threshold_) {
+    quarantined_ = true;
+    ++rejected_;
+    StuckRejectedCounter()->Increment();
+    return true;
+  }
+  return false;
 }
 
 OutlierRateMonitor::OutlierRateMonitor(double window_seconds)

@@ -10,10 +10,12 @@
 #define SENSORD_CORE_FAULTY_SENSOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "stats/estimator.h"
+#include "util/math_utils.h"
 #include "util/status.h"
 
 namespace sensord {
@@ -46,6 +48,37 @@ struct FaultVerdict {
 StatusOr<std::vector<FaultVerdict>> DetectFaultySensors(
     const std::vector<const DistributionEstimator*>& children,
     const FaultySensorConfig& config);
+
+/// Stuck-at transducer quarantine, the history-bearing half of the ingest
+/// validation firewall (data/validate.h): a run of identical readings
+/// longer than the threshold quarantines the stream until it moves again.
+/// A constant reading is *legitimate* in small doses — hence quarantine
+/// lives here with the other model-level fault judgements, keyed on run
+/// length, rather than in the stateless value checks.
+class StuckSensorDetector {
+ public:
+  /// Quarantine after `run_threshold` consecutive identical readings
+  /// (i.e. the threshold-plus-first repeat is the first one rejected).
+  /// 0 disables the detector entirely: ShouldQuarantine is always false.
+  explicit StuckSensorDetector(uint64_t run_threshold);
+
+  /// Feeds the next reading; true iff it should be dropped as stuck.
+  /// Counts quarantined readings into the ingest.rejected.stuck metric.
+  bool ShouldQuarantine(const Point& reading);
+
+  /// True while the stream is quarantined (the last reading was dropped).
+  bool quarantined() const { return quarantined_; }
+
+  /// Readings dropped so far.
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  uint64_t run_threshold_;
+  Point last_;
+  uint64_t run_length_ = 0;
+  bool quarantined_ = false;
+  uint64_t rejected_ = 0;
+};
 
 /// Sliding-time-window counter of outlier events in a region, for queries
 /// like "warn if more than T outliers in the last W seconds".

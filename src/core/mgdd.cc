@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/divergence.h"
@@ -50,13 +51,38 @@ obs::Counter* DegradedWindowsCounter() {
   return counter;
 }
 
+// Rejoin-protocol telemetry, shared with d3.cc by name.
+struct RejoinMetrics {
+  obs::Counter* announces;
+  obs::Counter* resyncs;
+  obs::Histogram* ttr_s;
+};
+
+const RejoinMetrics& Rejoin() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const RejoinMetrics m{
+      registry.GetCounter("recovery.rejoin_announces"),
+      registry.GetCounter("recovery.rejoin_resyncs"),
+      registry.GetHistogram("recovery.time_to_recover_s",
+                            obs::DurationBoundariesS())};
+  return m;
+}
+
+// Snapshot payload versions (core/snapshot.h frame field) of the MGDD node
+// checkpoints. Bump on layout change.
+constexpr uint32_t kMgddLeafSnapshotVersion = 3;
+constexpr uint32_t kMgddInternalSnapshotVersion = 4;
+
 }  // namespace
 
 MgddLeafNode::MgddLeafNode(const MgddOptions& options, Rng rng,
                            OutlierObserver* observer)
     : options_(options),
+      boot_rng_(rng),
       local_model_(options.model, rng.Split()),
       rng_(rng),
+      validator_(options.ingest),
+      stuck_(options.ingest.stuck_run_threshold),
       observer_(observer) {
   // Register the counter up front so core.degraded_windows shows up (as 0)
   // in metric dumps of healthy runs too.
@@ -64,9 +90,15 @@ MgddLeafNode::MgddLeafNode(const MgddOptions& options, Rng rng,
 }
 
 void MgddLeafNode::OnReading(const Point& value) {
+  // Ingest validation firewall, as in D3: drop poisoned readings before
+  // the local model — and the upward sample stream — can absorb them.
+  if (validator_.Check(value) != IngestVerdict::kAccept) return;
+  if (stuck_.ShouldQuarantine(value)) return;
+
   // Figure 4, MGDD LeafProcess: update the local model, test the value
   // against the *global* estimator, propagate sample insertions upward.
   const bool inserted = local_model_.Observe(value);
+  if (recovering_) MaybeFinishRecovery();
 
   if (HasGlobalModel() &&
       local_model_.total_seen() >= options_.min_observations) {
@@ -122,6 +154,105 @@ void MgddLeafNode::HandleMessage(const Message& msg) {
   last_update_time_ = sim()->Now();
   degraded_state_ = false;  // a fresh replica heals the degradation
   Metrics().updates_applied->Increment();
+  if (recovering_) MaybeFinishRecovery();
+}
+
+std::vector<uint8_t> MgddLeafNode::SaveState() const {
+  SnapshotWriter writer;
+  local_model_.Serialize(&writer);
+  writer.PutRng(rng_);
+  // Global-model replica. Slot points are written even when invalid (they
+  // are then empty), so slot count alone fixes the layout.
+  writer.PutU32(static_cast<uint32_t>(global_sample_.size()));
+  for (size_t i = 0; i < global_sample_.size(); ++i) {
+    writer.PutBool(slot_valid_[i]);
+    writer.PutPoint(global_sample_[i]);
+  }
+  writer.PutDoubles(global_stddevs_);
+  writer.PutU64(replica_version_);
+  writer.PutU64(updates_received_);
+  writer.PutDouble(last_update_time_);
+  return std::move(writer).Finish(kMgddLeafSnapshotVersion);
+}
+
+bool MgddLeafNode::RestoreState(const std::vector<uint8_t>& bytes) {
+  auto reader = SnapshotReader::Open(bytes, kMgddLeafSnapshotVersion);
+  if (!reader.ok()) return false;
+  SnapshotReader& r = reader.value();
+  if (!local_model_.Restore(&r)) return false;
+  rng_ = r.TakeRng();
+  const uint32_t slots = r.TakeU32();
+  global_sample_.clear();
+  slot_valid_.clear();
+  for (uint32_t i = 0; i < slots && r.ok(); ++i) {
+    slot_valid_.push_back(r.TakeBool());
+    global_sample_.push_back(r.TakePoint());
+  }
+  global_stddevs_ = r.TakeDoubles();
+  replica_version_ = r.TakeU64();
+  updates_received_ = r.TakeU64();
+  last_update_time_ = r.TakeDouble();
+  if (!r.ok()) return false;
+  cached_global_.reset();
+  cached_version_ = 0;
+  return true;
+}
+
+void MgddLeafNode::ResetVolatileState() {
+  // Replay construction exactly (see D3LeafNode::ResetVolatileState).
+  Rng boot = boot_rng_;
+  local_model_ = DensityModel(options_.model, boot.Split());
+  rng_ = boot;
+  validator_ = IngestValidator(options_.ingest);
+  stuck_ = StuckSensorDetector(options_.ingest.stuck_run_threshold);
+  global_sample_.clear();
+  slot_valid_.clear();
+  global_stddevs_.clear();
+  updates_received_ = 0;
+  replica_version_ = 0;
+  last_update_time_ = 0.0;
+  degraded_state_ = false;
+  cached_global_.reset();
+  cached_version_ = 0;
+  recovering_ = false;
+  restart_time_ = 0.0;
+}
+
+void MgddLeafNode::OnRestart(bool restored_from_checkpoint,
+                             uint32_t incarnation) {
+  (void)incarnation;
+  recovering_ = true;
+  restart_time_ = sim()->Now();
+  SendAnnounce(restored_from_checkpoint, /*recovered=*/false);
+  MaybeFinishRecovery();
+}
+
+void MgddLeafNode::SendAnnounce(bool restored_from_checkpoint,
+                                bool recovered) {
+  if (parent() == kNoNode) return;
+  Rejoin().announces->Increment();
+  RejoinAnnouncePayload ann;
+  ann.incarnation = sim()->Incarnation(id());
+  ann.restored_seen = local_model_.total_seen();
+  ann.from_checkpoint = restored_from_checkpoint;
+  ann.recovered = recovered;
+  Message msg;
+  msg.from = id();
+  msg.to = parent();
+  msg.kind = kMsgRejoinAnnounce;
+  msg.size_numbers = ann.SizeNumbers();
+  msg.payload = ann;
+  sim()->Send(std::move(msg));
+}
+
+void MgddLeafNode::MaybeFinishRecovery() {
+  if (!recovering_) return;
+  // Capable again = warm local model AND a global replica to test against.
+  if (!HasGlobalModel()) return;
+  if (local_model_.total_seen() < options_.min_observations) return;
+  recovering_ = false;
+  Rejoin().ttr_s->Record(sim()->Now() - restart_time_);
+  SendAnnounce(/*restored_from_checkpoint=*/false, /*recovered=*/true);
 }
 
 bool MgddLeafNode::degraded() const {
@@ -148,7 +279,8 @@ const KernelDensityEstimator& MgddLeafNode::GlobalEstimator() const {
 }
 
 MgddInternalNode::MgddInternalNode(const MgddOptions& options, Rng rng)
-    : options_(options), model_(options.model, rng.Split()), rng_(rng) {}
+    : options_(options), boot_rng_(rng), model_(options.model, rng.Split()),
+      rng_(rng) {}
 
 void MgddInternalNode::HandleMessage(const Message& msg) {
   switch (msg.kind) {
@@ -164,9 +296,30 @@ void MgddInternalNode::HandleMessage(const Message& msg) {
       BroadcastToChildren(*update);
       break;
     }
+    case kMsgRejoinAnnounce:
+      HandleRejoinAnnounce(msg);
+      break;
     default:
       break;
   }
+}
+
+void MgddInternalNode::HandleRejoinAnnounce(const Message& msg) {
+  const auto& ann = std::any_cast<const RejoinAnnouncePayload&>(msg.payload);
+  // Recovered-notices are D3 parent bookkeeping; MGDD has nothing to clear.
+  if (ann.recovered) return;
+  if (!is_root()) {
+    // Relay upward so the root hears about rejoins anywhere in its subtree.
+    Message up = msg;
+    up.from = id();
+    up.to = parent();
+    sim()->Send(std::move(up));
+    return;
+  }
+  // The rejoined node (or the leaves below it) lost its replica; push a
+  // full snapshot so every slot is refreshed. Broadcast rather than route:
+  // replicas elsewhere just apply an idempotent refresh.
+  BroadcastFullSnapshot();
 }
 
 void MgddInternalNode::HandleSampleValue(const Point& value) {
@@ -236,6 +389,87 @@ void MgddInternalNode::MaybeOriginateUpdate() {
   Metrics().updates_originated->Increment();
   Metrics().update_slots->Record(static_cast<double>(payload.updates.size()));
   BroadcastToChildren(payload);
+}
+
+void MgddInternalNode::BroadcastFullSnapshot() {
+  if (!model_.Ready()) return;  // nothing to push yet
+  Rejoin().resyncs->Increment();
+  const std::vector<Point> snapshot = model_.sample().Snapshot();
+  GlobalModelUpdatePayload payload;
+  payload.stddevs = model_.BandwidthSpreads();
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    payload.updates.push_back(
+        GlobalSlotUpdate{static_cast<uint32_t>(i), snapshot[i]});
+  }
+  // Keep the diff baseline in step with what the replicas now hold.
+  last_broadcast_sample_ = snapshot;
+  payload.version = ++update_version_;
+  ++updates_originated_;
+  Metrics().updates_originated->Increment();
+  Metrics().update_slots->Record(static_cast<double>(payload.updates.size()));
+  BroadcastToChildren(payload);
+}
+
+std::vector<uint8_t> MgddInternalNode::SaveState() const {
+  SnapshotWriter writer;
+  model_.Serialize(&writer);
+  writer.PutRng(rng_);
+  writer.PutU64(update_version_);
+  return std::move(writer).Finish(kMgddInternalSnapshotVersion);
+}
+
+bool MgddInternalNode::RestoreState(const std::vector<uint8_t>& bytes) {
+  auto reader = SnapshotReader::Open(bytes, kMgddInternalSnapshotVersion);
+  if (!reader.ok()) return false;
+  SnapshotReader& r = reader.value();
+  if (!model_.Restore(&r)) return false;
+  rng_ = r.TakeRng();
+  update_version_ = r.TakeU64();
+  if (!r.ok()) return false;
+  // The checkpoint predates the crash, so the replicas below may hold newer
+  // slots than this model does. An empty diff baseline (and no last-pushed
+  // estimator) forces the next originated update to cover every slot.
+  last_broadcast_sample_.clear();
+  last_pushed_estimator_.reset();
+  last_sample_version_ = model_.sample().version();
+  return true;
+}
+
+void MgddInternalNode::ResetVolatileState() {
+  Rng boot = boot_rng_;
+  model_ = DensityModel(options_.model, boot.Split());
+  rng_ = boot;
+  last_broadcast_sample_.clear();
+  last_pushed_estimator_.reset();
+  update_version_ = 0;
+  updates_originated_ = 0;
+  last_sample_version_ = 0;
+}
+
+void MgddInternalNode::OnRestart(bool restored_from_checkpoint,
+                                 uint32_t incarnation) {
+  (void)incarnation;
+  if (is_root()) {
+    // A freshly restored root re-pushes its sample so every replica is
+    // known-consistent with the new incarnation's model.
+    BroadcastFullSnapshot();
+    return;
+  }
+  // Announce upward: the root answers any rejoin with a full snapshot,
+  // which this node relays down — healing its own subtree's replicas.
+  Rejoin().announces->Increment();
+  RejoinAnnouncePayload ann;
+  ann.incarnation = sim()->Incarnation(id());
+  ann.restored_seen = model_.total_seen();
+  ann.from_checkpoint = restored_from_checkpoint;
+  ann.recovered = false;
+  Message msg;
+  msg.from = id();
+  msg.to = parent();
+  msg.kind = kMsgRejoinAnnounce;
+  msg.size_numbers = ann.SizeNumbers();
+  msg.payload = ann;
+  sim()->Send(std::move(msg));
 }
 
 void MgddInternalNode::BroadcastToChildren(

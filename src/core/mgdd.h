@@ -32,9 +32,11 @@
 
 #include "core/config.h"
 #include "core/density_model.h"
+#include "core/faulty_sensor.h"
 #include "core/mdef.h"
 #include "core/outlier_observer.h"
 #include "core/protocol.h"
+#include "data/validate.h"
 #include "net/network.h"
 #include "net/node.h"
 #include "stats/kde.h"
@@ -78,6 +80,11 @@ struct MgddOptions {
   /// global model is best-effort. Crossing into the degraded state bumps
   /// `core.degraded_windows`. Infinity disables the check.
   double staleness_threshold = std::numeric_limits<double>::infinity();
+
+  /// Ingest validation firewall applied to every leaf reading before the
+  /// local model sees it (data/validate.h). Defaults accept all finite
+  /// readings, so clean streams are unaffected.
+  IngestPolicy ingest;
 };
 
 /// A leaf sensor running MGDD's LeafProcess: maintains its local model,
@@ -90,7 +97,19 @@ class MgddLeafNode : public Node {
   void OnReading(const Point& value) override;
   void HandleMessage(const Message& msg) override;
 
+  // Crash recovery (DESIGN.md §10): the checkpoint holds the local model,
+  // the propagation rng, and the global-model replica; a restarted leaf
+  // announces its rejoin upward so the root refreshes the replica.
+  std::vector<uint8_t> SaveState() const override;
+  bool RestoreState(const std::vector<uint8_t>& bytes) override;
+  void ResetVolatileState() override;
+  void OnRestart(bool restored_from_checkpoint, uint32_t incarnation) override;
+
   const DensityModel& local_model() const { return local_model_; }
+
+  /// True between an amnesia restart and the leaf being capable again
+  /// (local model warm and a global replica in hand).
+  bool recovering() const { return recovering_; }
 
   /// True once at least one global update has been received.
   bool HasGlobalModel() const { return !global_sample_.empty(); }
@@ -107,10 +126,21 @@ class MgddLeafNode : public Node {
   bool degraded() const;
 
  private:
+  // Announces rejoin/recovery to the parent.
+  void SendAnnounce(bool restored_from_checkpoint, bool recovered);
+  // Closes the recovery window once the leaf is capable again.
+  void MaybeFinishRecovery();
+
   MgddOptions options_;
+  Rng boot_rng_;  // construction-time rng, replayed by ResetVolatileState
   DensityModel local_model_;
   Rng rng_;
+  IngestValidator validator_;
+  StuckSensorDetector stuck_;
   OutlierObserver* observer_;
+
+  bool recovering_ = false;
+  SimTime restart_time_ = 0.0;
 
   // Replica of the root's sample and sigmas.
   std::vector<Point> global_sample_;  // indexed by slot; may be sparse early
@@ -134,6 +164,14 @@ class MgddInternalNode : public Node {
 
   void HandleMessage(const Message& msg) override;
 
+  // Crash recovery: the checkpoint is the model, the rng, and the broadcast
+  // version counter. A rejoin announce arriving from below makes the root
+  // re-broadcast a full snapshot so the rejoined subtree's replicas heal.
+  std::vector<uint8_t> SaveState() const override;
+  bool RestoreState(const std::vector<uint8_t>& bytes) override;
+  void ResetVolatileState() override;
+  void OnRestart(bool restored_from_checkpoint, uint32_t incarnation) override;
+
   const DensityModel& model() const { return model_; }
 
   /// Number of global updates this node originated (root only).
@@ -141,10 +179,14 @@ class MgddInternalNode : public Node {
 
  private:
   void HandleSampleValue(const Point& value);
+  void HandleRejoinAnnounce(const Message& msg);
   void MaybeOriginateUpdate();
+  // Pushes every slot of the current sample to the children (root only).
+  void BroadcastFullSnapshot();
   void BroadcastToChildren(const GlobalModelUpdatePayload& payload);
 
   MgddOptions options_;
+  Rng boot_rng_;  // construction-time rng, replayed by ResetVolatileState
   DensityModel model_;
   Rng rng_;
 

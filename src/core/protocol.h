@@ -34,6 +34,13 @@ enum ProtocolKind : MessageKind {
   kMsgQueryRequest = 5,
   /// A partial aggregate flowing back up toward the query's origin.
   kMsgQueryResponse = 6,
+  /// A restarted node announcing its new incarnation to its parent, and —
+  /// once its model is back to capability — reporting recovery complete
+  /// (DESIGN.md §10, rejoin protocol).
+  kMsgRejoinAnnounce = 7,
+  /// The parent's answer to a rejoin: a summary of its model (sample
+  /// snapshot + bandwidth spreads) the child warm-starts from.
+  kMsgRejoinResync = 8,
 };
 
 /// Payload of kMsgSampleValue and kMsgRawReading.
@@ -57,6 +64,41 @@ struct OutlierReportPayload {
 struct GlobalSlotUpdate {
   uint32_t slot = 0;
   Point value;
+};
+
+/// Payload of kMsgRejoinAnnounce.
+struct RejoinAnnouncePayload {
+  /// The announcing node's new transport incarnation epoch.
+  uint32_t incarnation = 0;
+  /// Observations the node's restored model had already seen (0 for a cold
+  /// restart) — tells the parent how degraded the child is.
+  uint64_t restored_seen = 0;
+  /// True if the restart restored a checkpoint.
+  bool from_checkpoint = false;
+  /// False on the initial announce; true on the follow-up announce sent
+  /// once the node's model is capable again (closes the parent's
+  /// degraded window for this child).
+  bool recovered = false;
+
+  /// Numbers on the wire: incarnation, seen count, and the two flags packed
+  /// into one number.
+  size_t SizeNumbers() const { return 3; }
+};
+
+/// Payload of kMsgRejoinResync.
+struct RejoinResyncPayload {
+  /// The parent model's current sample snapshot.
+  std::vector<Point> sample;
+  /// The parent's bandwidth spreads (see DensityModel::BandwidthSpreads).
+  std::vector<double> spreads;
+  /// Observations behind the parent's model, for context.
+  uint64_t parent_seen = 0;
+
+  /// Numbers on the wire: d coordinates per sample point + d spreads + the
+  /// seen counter.
+  size_t SizeNumbers(size_t dimensions) const {
+    return sample.size() * dimensions + spreads.size() + 1;
+  }
 };
 
 /// Payload of kMsgGlobalModelUpdate: the slots of the root's sample that

@@ -1,0 +1,101 @@
+#include "core/snapshot.h"
+
+#include <string>
+
+namespace sensord {
+namespace {
+
+// Frame layout (all little-endian):
+//   [0..3]   magic 'S' 'N' 'S' 'D'
+//   [4..7]   format version (kFormatVersion)
+//   [8..11]  payload version (component-defined)
+//   [12..15] payload length in bytes
+//   [16..]   payload
+//   [tail]   FNV-1a(64) over bytes [0 .. 16+length)
+constexpr uint8_t kMagic[4] = {'S', 'N', 'S', 'D'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderSize = 16;
+constexpr size_t kChecksumSize = 8;
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void WriteU32At(std::vector<uint8_t>* bytes, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[at + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+}  // namespace
+
+uint64_t SnapshotChecksum(const uint8_t* bytes, size_t size) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish(uint32_t payload_version) && {
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderSize + bytes_.size() + kChecksumSize);
+  frame.assign(kMagic, kMagic + 4);
+  frame.resize(kHeaderSize, 0);
+  WriteU32At(&frame, 4, kFormatVersion);
+  WriteU32At(&frame, 8, payload_version);
+  WriteU32At(&frame, 12, static_cast<uint32_t>(bytes_.size()));
+  frame.insert(frame.end(), bytes_.begin(), bytes_.end());
+  const uint64_t checksum = SnapshotChecksum(frame.data(), frame.size());
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
+  }
+  return frame;
+}
+
+StatusOr<SnapshotReader> SnapshotReader::Open(
+    const std::vector<uint8_t>& snapshot, uint32_t expected_payload_version) {
+  if (snapshot.size() < kHeaderSize + kChecksumSize) {
+    return Status::InvalidArgument("snapshot truncated: " +
+                                   std::to_string(snapshot.size()) + " bytes");
+  }
+  const uint8_t* p = snapshot.data();
+  if (std::memcmp(p, kMagic, 4) != 0) {
+    return Status::InvalidArgument("snapshot magic mismatch");
+  }
+  const uint32_t format = ReadU32(p + 4);
+  if (format != kFormatVersion) {
+    return Status::InvalidArgument("snapshot format version " +
+                                   std::to_string(format) + ", expected " +
+                                   std::to_string(kFormatVersion));
+  }
+  const uint32_t payload_version = ReadU32(p + 8);
+  if (payload_version != expected_payload_version) {
+    return Status::InvalidArgument(
+        "snapshot payload version " + std::to_string(payload_version) +
+        ", expected " + std::to_string(expected_payload_version));
+  }
+  const uint32_t length = ReadU32(p + 12);
+  if (snapshot.size() != kHeaderSize + length + kChecksumSize) {
+    return Status::InvalidArgument(
+        "snapshot length field " + std::to_string(length) +
+        " inconsistent with frame size " + std::to_string(snapshot.size()));
+  }
+  const uint64_t expected = ReadU64(p + kHeaderSize + length);
+  const uint64_t actual = SnapshotChecksum(p, kHeaderSize + length);
+  if (expected != actual) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+  return SnapshotReader(p, kHeaderSize, kHeaderSize + length);
+}
+
+}  // namespace sensord

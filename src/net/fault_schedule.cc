@@ -1,19 +1,24 @@
 #include "net/fault_schedule.h"
 
+#include <limits>
+
 #include "obs/metrics.h"
 
 namespace sensord {
 namespace {
 
 struct FaultMetrics {
-  obs::Counter* drops;       // transmissions killed by the schedule
-  obs::Counter* duplicates;  // radio-level duplicate copies injected
+  obs::Counter* drops;             // transmissions killed by the schedule
+  obs::Counter* duplicates;        // radio-level duplicate copies injected
+  obs::Counter* sensor_perturbed;  // readings corrupted at the source
 };
 
 const FaultMetrics& Metrics() {
   auto& registry = obs::MetricsRegistry::Global();
-  static const FaultMetrics m{registry.GetCounter("net.fault.drops"),
-                              registry.GetCounter("net.fault.duplicates")};
+  static const FaultMetrics m{
+      registry.GetCounter("net.fault.drops"),
+      registry.GetCounter("net.fault.duplicates"),
+      registry.GetCounter("net.fault.sensor_perturbed")};
   return m;
 }
 
@@ -35,6 +40,40 @@ bool FaultSchedule::IsLinkUp(NodeId from, NodeId to, SimTime t) const {
     if ((p.group.count(from) > 0) != (p.group.count(to) > 0)) return false;
   }
   return true;
+}
+
+bool FaultSchedule::PerturbReading(NodeId node, SimTime t, Point* reading) {
+  const auto it = sensor_faults_.find(node);
+  if (it == sensor_faults_.end()) return false;
+  for (const SensorFault& fault : it->second) {
+    if (t < fault.from || t >= fault.until) continue;
+    // Randomness only when the window is actually probabilistic, mirroring
+    // DecideTransmission's knob-gated draws.
+    if (fault.probability < 1.0 && !rng_.Bernoulli(fault.probability)) {
+      return false;  // this window decided; later windows do not re-roll
+    }
+    ++sensor_perturbations_;
+    Metrics().sensor_perturbed->Increment();
+    switch (fault.kind) {
+      case SensorDataFaultKind::kStuckAt:
+        for (double& c : *reading) c = fault.value;
+        break;
+      case SensorDataFaultKind::kDropout:
+        // Alternate NaN and +Inf deterministically so both non-finite
+        // classes hit the ingest firewall without consuming randomness.
+        for (double& c : *reading) {
+          c = (sensor_perturbations_ % 2 == 0)
+                  ? std::numeric_limits<double>::infinity()
+                  : std::numeric_limits<double>::quiet_NaN();
+        }
+        break;
+      case SensorDataFaultKind::kSpike:
+        for (double& c : *reading) c += fault.value;
+        break;
+    }
+    return true;
+  }
+  return false;
 }
 
 const LinkFault& FaultSchedule::FaultFor(NodeId from, NodeId to) const {

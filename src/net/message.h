@@ -44,6 +44,11 @@ struct Message {
   /// datagrams. Stamped by ReliableTransport on reliable sends and echoed
   /// back by acks (where it names the acked data message).
   uint64_t transport_seq = 0;
+  /// Sender's incarnation epoch at send time (see ReliableTransport). Bumped
+  /// when the sender restarts from an amnesia crash, so receivers can tell a
+  /// restarted peer's reused seq numbers from stale duplicates. Echoed by
+  /// acks alongside transport_seq. 0 until the sender's first restart.
+  uint32_t transport_epoch = 0;
   /// Opaque payload; receivers std::any_cast to the struct the kind implies.
   std::any payload;
 };

@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -13,6 +14,26 @@ double SimulatorVirtualNow(void* ctx) {
   return static_cast<Simulator*>(ctx)->Now();
 }
 
+struct RecoveryMetrics {
+  obs::Counter* checkpoints;       // node checkpoints written to flash
+  obs::Counter* restarts;          // amnesia restarts executed
+  obs::Counter* restored;          // restarts that restored a checkpoint
+  obs::Counter* cold_restarts;     // restarts with no usable checkpoint
+  obs::Histogram* checkpoint_bytes;
+};
+
+const RecoveryMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const RecoveryMetrics m{
+      registry.GetCounter("recovery.checkpoints"),
+      registry.GetCounter("recovery.restarts"),
+      registry.GetCounter("recovery.restored_from_checkpoint"),
+      registry.GetCounter("recovery.cold_restarts"),
+      registry.GetHistogram("recovery.checkpoint_bytes",
+                            obs::SizeBoundaries())};
+  return m;
+}
+
 }  // namespace
 
 Simulator::Simulator(SimulatorOptions options)
@@ -21,6 +42,21 @@ Simulator::Simulator(SimulatorOptions options)
       transport_(new ReliableTransport(this, options.transport)),
       loss_rng_(options.loss_seed) {
   obs::SetTraceVirtualClock(&SimulatorVirtualNow, this);
+  // Amnesia crashes need a restart event at the interval's end; omission
+  // crashes recover implicitly (IsNodeUp flips) and keep their memory.
+  faults_.SetCrashListener(
+      [this](NodeId node, SimTime /*from*/, SimTime until, CrashKind kind) {
+        if (kind != CrashKind::kAmnesia) return;
+        if (until == FaultSchedule::kForever) return;  // never comes back
+        // Scheduled as soon as the crash is configured, so the restart
+        // (FIFO at equal timestamps) runs before deliveries and readings
+        // scheduled later for the same instant.
+        queue_.ScheduleAt(until, [this, node]() { RestartNode(node); });
+      });
+  if (options_.recovery.checkpoint_interval > 0.0) {
+    const SimTime interval = options_.recovery.checkpoint_interval;
+    queue_.ScheduleAt(interval, [this, interval]() { CheckpointTick(interval); });
+  }
 }
 
 Simulator::~Simulator() { obs::ClearTraceVirtualClock(this); }
@@ -131,7 +167,55 @@ void Simulator::Deliver(const Message& msg) {
 void Simulator::DeliverReading(NodeId node, const Point& value) {
   SENSORD_DCHECK_LT(node, nodes_.size());
   if (!faults_.IsNodeUp(node, Now())) return;
+  if (faults_.HasSensorFaults(node)) {
+    // Corrupt at the source: the node's ingest firewall sees exactly what a
+    // broken transducer would emit. Clean nodes never pay for the copy.
+    Point corrupted = value;
+    faults_.PerturbReading(node, Now(), &corrupted);
+    nodes_[node]->OnReading(corrupted);
+    return;
+  }
   nodes_[node]->OnReading(value);
+}
+
+void Simulator::CheckpointNow() {
+  // NodeId order: deterministic and identical to the periodic path.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!faults_.IsNodeUp(id, Now())) continue;  // a dead mote writes nothing
+    std::vector<uint8_t> bytes = nodes_[id]->SaveState();
+    if (bytes.empty()) continue;  // stateless node; keep any prior snapshot
+    Metrics().checkpoints->Increment();
+    Metrics().checkpoint_bytes->Record(static_cast<double>(bytes.size()));
+    flash_[id] = std::move(bytes);
+  }
+}
+
+void Simulator::CheckpointTick(SimTime t) {
+  if (t > horizon_) return;  // same guard as PeriodicTick: chain ends
+  CheckpointNow();
+  const SimTime next = t + options_.recovery.checkpoint_interval;
+  queue_.ScheduleAt(next, [this, next]() { CheckpointTick(next); });
+}
+
+void Simulator::RestartNode(NodeId node) {
+  SENSORD_DCHECK_LT(node, nodes_.size());
+  // An overlapping crash interval may still cover this instant; the node
+  // only boots when every interval has released it (a later restart event
+  // fires at that interval's end).
+  if (!faults_.IsNodeUp(node, Now())) return;
+  Metrics().restarts->Increment();
+  transport_->OnNodeRestart(node);
+  Node& n = *nodes_[node];
+  n.ResetVolatileState();
+  bool restored = false;
+  const auto it = flash_.find(node);
+  if (it != flash_.end()) restored = n.RestoreState(it->second);
+  if (restored) {
+    Metrics().restored->Increment();
+  } else {
+    Metrics().cold_restarts->Increment();
+  }
+  n.OnRestart(restored, transport_->incarnation(node));
 }
 
 void Simulator::SchedulePeriodicReadings(NodeId node, SimTime start,
@@ -168,7 +252,10 @@ void Simulator::RunUntil(SimTime until) {
 }
 
 void Simulator::RunAll() {
-  horizon_ = std::numeric_limits<SimTime>::max();
+  // horizon_ stays at the last RunUntil value: draining runs every one-shot
+  // event (retransmission timers, scheduled restarts) to completion, while
+  // the self-rescheduling tick chains (periodic readings, checkpoints) end
+  // at the horizon instead of perpetuating the queue forever.
   queue_.RunAll();
 }
 

@@ -25,7 +25,9 @@
 #ifndef SENSORD_NET_NETWORK_H_
 #define SENSORD_NET_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -40,6 +42,15 @@
 #include "util/status.h"
 
 namespace sensord {
+
+/// Crash-recovery knobs (DESIGN.md §10).
+struct RecoveryConfig {
+  /// Virtual-time period, in seconds, between checkpoints of every node's
+  /// volatile state (Node::SaveState) into the simulator's per-node flash.
+  /// An amnesia restart restores the latest checkpoint. 0 (the default)
+  /// disables checkpointing: amnesia restarts are cold.
+  double checkpoint_interval = 0.0;
+};
 
 /// Tuning knobs of the simulated radio and sensing layer.
 struct SimulatorOptions {
@@ -61,6 +72,9 @@ struct SimulatorOptions {
 
   /// Ack/retransmit protocol (see net/transport.h). Off by default.
   TransportOptions transport;
+
+  /// Checkpoint/restore behaviour for amnesia crashes. Off by default.
+  RecoveryConfig recovery;
 
   /// Radio energy model, in abstract units. Transmitting dominates
   /// receiving on real motes; payload size adds a per-number term.
@@ -157,6 +171,19 @@ class Simulator {
   ReliableTransport& transport() { return *transport_; }
   const ReliableTransport& transport() const { return *transport_; }
 
+  /// Checkpoints every live node's volatile state immediately, regardless
+  /// of the configured cadence. Test hook; the periodic CheckpointTick is
+  /// the production path.
+  void CheckpointNow();
+
+  /// True if `node` has a checkpoint in flash.
+  bool HasCheckpoint(NodeId node) const { return flash_.count(node) > 0; }
+
+  /// The node's transport incarnation epoch (0 = never restarted).
+  uint32_t Incarnation(NodeId node) const {
+    return transport_->incarnation(node);
+  }
+
   /// Test hook: called for every physical message that reaches a live
   /// receiver (including acks and duplicate copies, before dedup), in
   /// delivery order. Lets determinism tests record the exact delivery
@@ -183,6 +210,14 @@ class Simulator {
   /// Arrival of one physical copy at the receiver.
   void Deliver(const Message& msg);
 
+  /// Periodic checkpoint of every live node (recovery.checkpoint_interval).
+  void CheckpointTick(SimTime t);
+
+  /// Amnesia restart of `node`: transport epoch bump, volatile-state reset,
+  /// checkpoint restore (if flash holds one), then Node::OnRestart. No-op
+  /// if another crash interval still covers the restart instant.
+  void RestartNode(NodeId node);
+
   SimulatorOptions options_;
   EventQueue queue_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -194,6 +229,9 @@ class Simulator {
   std::vector<double> energy_;  // per NodeId
   SimTime horizon_ = 0.0;       // periodic readings stop beyond this
   std::function<void(const Message&)> delivery_tap_;
+  // Simulated per-node flash: the latest checkpoint of each node's volatile
+  // state (framed by the node, opaque here). Survives amnesia crashes.
+  std::map<NodeId, std::vector<uint8_t>> flash_;
 };
 
 }  // namespace sensord

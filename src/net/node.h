@@ -13,6 +13,7 @@
 #ifndef SENSORD_NET_NODE_H_
 #define SENSORD_NET_NODE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "net/message.h"
@@ -43,6 +44,37 @@ class Node {
   /// Called when this node's own sensor produces a measurement. Only leaf
   /// sensors receive readings. Default: no-op.
   virtual void OnReading(const Point& value) { (void)value; }
+
+  // Crash-recovery hooks (DESIGN.md §10). The Simulator checkpoints nodes
+  // on a virtual-time cadence and drives amnesia restarts through
+  // ResetVolatileState -> RestoreState -> OnRestart. The byte payloads are
+  // opaque to net/: detector nodes frame them with core/snapshot.h.
+
+  /// Serializes this node's volatile state for a checkpoint. Returning an
+  /// empty vector (the default) means "nothing to checkpoint" and the
+  /// node's previous checkpoint, if any, is kept.
+  virtual std::vector<uint8_t> SaveState() const { return {}; }
+
+  /// Restores state previously returned by SaveState(). Returns false if
+  /// the bytes are unusable (corrupt, wrong version, mismatched config);
+  /// the node then continues from its reset (cold) state. Default: false.
+  virtual bool RestoreState(const std::vector<uint8_t>& bytes) {
+    (void)bytes;
+    return false;
+  }
+
+  /// Erases all volatile state, as an amnesia crash would. Called before
+  /// RestoreState on every amnesia restart. Default: no-op (a stateless
+  /// node has nothing to lose).
+  virtual void ResetVolatileState() {}
+
+  /// Called after an amnesia restart completes, with whether a checkpoint
+  /// was restored and the node's new transport incarnation. Detector nodes
+  /// use this to announce their rejoin to the parent. Default: no-op.
+  virtual void OnRestart(bool restored_from_checkpoint, uint32_t incarnation) {
+    (void)restored_from_checkpoint;
+    (void)incarnation;
+  }
 
   NodeId id() const { return id_; }
 

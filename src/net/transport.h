@@ -21,6 +21,16 @@
 // Acks themselves are unreliable datagrams (never acked, never
 // retransmitted); a lost ack costs one duplicate data transmission, which
 // the receiver suppresses and re-acks.
+//
+// Amnesia restarts add an *incarnation epoch* per node (DESIGN.md §10). A
+// node that loses its volatile state restarts its per-link sequence
+// counters from 1; without epochs, receivers whose dedup sets survived
+// would silently eat the reused numbers — and the restarted receiver's own
+// empty dedup sets would re-deliver late retransmits of messages it already
+// consumed. OnNodeRestart() therefore bumps the node's epoch, flushes its
+// sender state, and wipes its receiver dedup; every reliable message (and
+// its ack echo) carries the sender's epoch, receivers track the highest
+// epoch seen per link and drop — without acking — anything older.
 
 #ifndef SENSORD_NET_TRANSPORT_H_
 #define SENSORD_NET_TRANSPORT_H_
@@ -77,6 +87,19 @@ class ReliableTransport {
   /// Receive path of a kMsgTransportAck: settles the pending entry.
   void HandleAck(const Message& ack);
 
+  /// Amnesia restart of `node`: bumps its incarnation epoch, abandons its
+  /// in-flight sends, resets its per-link sequence counters, and wipes its
+  /// receiver-side dedup state (the restarted node no longer remembers what
+  /// it delivered — the epoch on subsequent acks is what keeps the peers'
+  /// retransmits from being mis-deduped). Called by Simulator::RestartNode.
+  void OnNodeRestart(NodeId node);
+
+  /// The node's current incarnation epoch (0 = never restarted).
+  uint32_t incarnation(NodeId node) const {
+    const auto it = incarnation_.find(node);
+    return it == incarnation_.end() ? 0 : it->second;
+  }
+
   /// In-flight (sent, unacked, not yet abandoned) messages.
   size_t PendingCount() const { return pending_.size(); }
 
@@ -87,6 +110,8 @@ class ReliableTransport {
   uint64_t dup_suppressed() const { return dup_suppressed_; }
   uint64_t abandoned() const { return abandoned_; }
   uint64_t acks_sent() const { return acks_sent_; }
+  uint64_t stale_epoch_dropped() const { return stale_epoch_dropped_; }
+  uint64_t flushed_pending() const { return flushed_pending_; }
 
  private:
   // (sender, receiver, sequence number) of an unacked message.
@@ -100,21 +125,33 @@ class ReliableTransport {
 
   void OnTimeout(const PendingKey& key);
 
+  // Receiver-side dedup of one directed link: sequence numbers already
+  // delivered within the sender's current incarnation epoch. A higher epoch
+  // on an incoming message supersedes (and clears) the set — the restarted
+  // sender restarts its seqs from 1; a lower epoch is a stale straggler.
+  struct LinkDedup {
+    uint32_t epoch = 0;
+    std::set<uint64_t> seqs;
+  };
+
   Simulator* sim_;
   TransportOptions options_;
   std::map<std::pair<NodeId, NodeId>, uint64_t> next_seq_;
   std::map<PendingKey, Pending> pending_;
-  // Receiver-side dedup: sequence numbers already delivered per link.
-  // Sequence numbers are per-link monotone and the retry budget bounds how
-  // late a straggler can arrive, so the sets stay small relative to the
-  // traffic; simulation runs are finite and this is exact.
-  std::map<std::pair<NodeId, NodeId>, std::set<uint64_t>> delivered_;
+  // Sequence numbers are per-link monotone within an epoch and the retry
+  // budget bounds how late a straggler can arrive, so the sets stay small
+  // relative to the traffic; simulation runs are finite and this is exact.
+  std::map<std::pair<NodeId, NodeId>, LinkDedup> delivered_;
+  // Incarnation epochs of restarted nodes; absent = 0 = never restarted.
+  std::map<NodeId, uint32_t> incarnation_;
 
   uint64_t retries_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t dup_suppressed_ = 0;
   uint64_t abandoned_ = 0;
   uint64_t acks_sent_ = 0;
+  uint64_t stale_epoch_dropped_ = 0;
+  uint64_t flushed_pending_ = 0;
 };
 
 }  // namespace sensord

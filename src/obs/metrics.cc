@@ -196,4 +196,8 @@ std::vector<double> SizeBoundaries() {
   return Histogram::ExponentialBoundaries(1.0, 2.0, 16);
 }
 
+std::vector<double> DurationBoundariesS() {
+  return Histogram::ExponentialBoundaries(0.125, 2.0, 16);
+}
+
 }  // namespace sensord::obs

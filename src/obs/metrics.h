@@ -209,6 +209,11 @@ std::vector<double> LatencyBoundariesNs();
 /// The standard size histogram layout: exponential 1 .. 32768.
 std::vector<double> SizeBoundaries();
 
+/// The standard virtual-time duration layout: exponential 0.125s .. ~4096s.
+/// Used by recovery metrics (e.g. recovery.time_to_recover_s) whose values
+/// are simulated seconds, not wall-clock nanoseconds.
+std::vector<double> DurationBoundariesS();
+
 }  // namespace sensord::obs
 
 #endif  // SENSORD_OBS_METRICS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "stats/bandwidth.h"
 
@@ -160,6 +161,25 @@ double KernelDensityEstimator::Pdf(const Point& p) const {
     total += contrib;
   }
   return total / static_cast<double>(sample_size_);
+}
+
+void KernelDensityEstimator::Serialize(SnapshotWriter* writer) const {
+  writer->PutDoubles(bandwidths());
+  writer->PutU32(static_cast<uint32_t>(sample_.size()));
+  for (const Point& p : sample_) writer->PutPoint(p);
+}
+
+StatusOr<KernelDensityEstimator> KernelDensityEstimator::Deserialize(
+    SnapshotReader* reader) {
+  std::vector<double> bandwidths = reader->TakeDoubles();
+  const uint32_t n = reader->TakeU32();
+  std::vector<Point> sample;
+  sample.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) sample.push_back(reader->TakePoint());
+  if (!reader->ok()) {
+    return Status::InvalidArgument("KDE snapshot truncated");
+  }
+  return Create(std::move(sample), std::move(bandwidths));
 }
 
 size_t KernelDensityEstimator::MemoryBytes(size_t bytes_per_number) const {

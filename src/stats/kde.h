@@ -28,6 +28,9 @@
 
 namespace sensord {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Product-Epanechnikov kernel density estimator over [0,1]^d.
 class KernelDensityEstimator : public DistributionEstimator {
  public:
@@ -65,6 +68,16 @@ class KernelDensityEstimator : public DistributionEstimator {
   /// Footprint under the paper's accounting: d numbers per sample point plus
   /// d bandwidths, at `bytes_per_number` bytes each.
   size_t MemoryBytes(size_t bytes_per_number) const;
+
+  /// Appends the estimator's defining state (sample points and bandwidths)
+  /// to `writer`, for checkpoint/restore (core/snapshot.h). The sorted 1-d
+  /// index is derived and rebuilt on Deserialize.
+  void Serialize(SnapshotWriter* writer) const;
+
+  /// Rebuilds an estimator from state previously written by Serialize(),
+  /// re-validating through Create(). Returns InvalidArgument if the reader
+  /// fails or the decoded state does not satisfy Create()'s preconditions.
+  static StatusOr<KernelDensityEstimator> Deserialize(SnapshotReader* reader);
 
  private:
   KernelDensityEstimator(std::vector<Point> sample,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -30,6 +31,41 @@ const ChainSampleMetrics& Metrics() {
       registry.GetHistogram("stream.chain_sample.add_ns",
                             obs::LatencyBoundariesNs())};
   return m;
+}
+
+using PendingMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+void SerializePendingMap(SnapshotWriter* writer, const PendingMap& map) {
+  std::vector<uint64_t> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, chains] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer->PutU32(static_cast<uint32_t>(keys.size()));
+  for (uint64_t key : keys) {
+    const std::vector<uint32_t>& chains = map.at(key);
+    writer->PutU64(key);
+    writer->PutU32(static_cast<uint32_t>(chains.size()));
+    for (uint32_t c : chains) writer->PutU32(c);
+  }
+}
+
+bool RestorePendingMap(SnapshotReader* reader, uint32_t chain_count,
+                       PendingMap* map) {
+  map->clear();
+  const uint32_t buckets = reader->TakeU32();
+  for (uint32_t b = 0; b < buckets; ++b) {
+    const uint64_t key = reader->TakeU64();
+    const uint32_t size = reader->TakeU32();
+    if (!reader->ok()) return false;
+    std::vector<uint32_t>& chains = (*map)[key];
+    chains.reserve(size);
+    for (uint32_t e = 0; e < size; ++e) {
+      const uint32_t c = reader->TakeU32();
+      if (c >= chain_count) return false;
+      chains.push_back(c);
+    }
+  }
+  return reader->ok();
 }
 
 }  // namespace
@@ -161,6 +197,71 @@ size_t ChainSample::StoredElements() const {
   size_t n = 0;
   for (const Chain& chain : chains_) n += chain.entries.size();
   return n;
+}
+
+void ChainSample::Serialize(SnapshotWriter* writer) const {
+  writer->PutU64(window_size_);
+  writer->PutU64(now_);
+  writer->PutU64(version_);
+  writer->PutBool(seeded_);
+  writer->PutRng(rng_);
+  writer->PutU32(static_cast<uint32_t>(chains_.size()));
+  for (const Chain& chain : chains_) {
+    writer->PutU64(chain.next_replacement_index);
+    writer->PutU32(static_cast<uint32_t>(chain.entries.size()));
+    for (const ChainEntry& entry : chain.entries) {
+      writer->PutU64(entry.index);
+      writer->PutPoint(entry.value);
+    }
+  }
+  // The pending maps must be written verbatim, not re-derived from the chain
+  // state: when several chains wait on the same arrival index, the bucket's
+  // vector order decides which chain draws its next replacement first, and
+  // that assignment must survive a restore for the continuation to be
+  // bit-identical. Keys are emitted sorted so the encoding is deterministic
+  // (bucket lookup is by key, so map iteration order itself is behaviour-
+  // neutral); stale registrations are kept — a live sampler skips them
+  // lazily without touching the rng.
+  SerializePendingMap(writer, pending_replacement_);
+  SerializePendingMap(writer, pending_expiry_);
+}
+
+bool ChainSample::Restore(SnapshotReader* reader) {
+  const uint64_t window_size = reader->TakeU64();
+  const uint64_t now = reader->TakeU64();
+  const uint64_t version = reader->TakeU64();
+  const bool seeded = reader->TakeBool();
+  Rng rng = reader->TakeRng();
+  const uint32_t chain_count = reader->TakeU32();
+  if (!reader->ok() || window_size != window_size_ ||
+      chain_count != chains_.size()) {
+    return false;
+  }
+  now_ = now;
+  version_ = version;
+  seeded_ = seeded;
+  rng_ = rng;
+  pending_replacement_.clear();
+  pending_expiry_.clear();
+  for (uint32_t c = 0; c < chain_count; ++c) {
+    Chain& chain = chains_[c];
+    chain.entries.clear();
+    chain.next_replacement_index = reader->TakeU64();
+    const uint32_t entry_count = reader->TakeU32();
+    for (uint32_t e = 0; e < entry_count; ++e) {
+      ChainEntry entry;
+      entry.index = reader->TakeU64();
+      entry.value = reader->TakePoint();
+      chain.entries.push_back(std::move(entry));
+    }
+    if (!reader->ok()) return false;
+    if (seeded_ && chain.entries.empty()) return false;
+  }
+  if (!RestorePendingMap(reader, chain_count, &pending_replacement_) ||
+      !RestorePendingMap(reader, chain_count, &pending_expiry_)) {
+    return false;
+  }
+  return reader->ok();
 }
 
 size_t ChainSample::MemoryBytes(size_t dimensions,

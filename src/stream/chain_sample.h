@@ -37,6 +37,9 @@
 
 namespace sensord {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Uniform random sample (with replacement across chains) of the last
 /// `window_size` stream elements, maintained in one pass.
 class ChainSample {
@@ -91,6 +94,19 @@ class ChainSample {
   /// paper's Section 10.3 convention of `bytes_per_number` bytes per numeric
   /// value (the paper assumes a 16-bit architecture, i.e. 2).
   size_t MemoryBytes(size_t dimensions, size_t bytes_per_number) const;
+
+  /// Appends the complete sampler state (clock, rng, every chain with its
+  /// queued replacements, and the pending-arrival maps with their bucket
+  /// orders intact) to `writer`, for checkpoint/restore (core/snapshot.h).
+  void Serialize(SnapshotWriter* writer) const;
+
+  /// Overwrites this sampler with state previously written by Serialize().
+  /// Returns false (leaving the sampler unspecified but safe to destroy or
+  /// re-Restore) if the reader fails or the saved shape does not match this
+  /// sampler's sample_size/window_size configuration. No rng draws occur
+  /// and the pending buckets keep their recorded order, so a restored
+  /// sampler continues the stream bit-for-bit.
+  bool Restore(SnapshotReader* reader);
 
  private:
   struct ChainEntry {

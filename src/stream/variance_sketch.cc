@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/snapshot.h"
 #include "util/check.h"
 
 #include "util/math_utils.h"
@@ -156,6 +157,45 @@ double VarianceSketch::Count() const {
   const Bucket& oldest = buckets_.back();
   n += oldest.first >= window_start ? oldest.n : std::max(1.0, oldest.n / 2.0);
   return n;
+}
+
+void VarianceSketch::Serialize(SnapshotWriter* writer) const {
+  writer->PutU64(window_size_);
+  writer->PutDouble(epsilon_);
+  writer->PutU64(now_);
+  writer->PutU64(since_compact_);
+  writer->PutU32(static_cast<uint32_t>(buckets_.size()));
+  for (const Bucket& b : buckets_) {
+    writer->PutU64(b.first);
+    writer->PutU64(b.last);
+    writer->PutDouble(b.n);
+    writer->PutDouble(b.mean);
+    writer->PutDouble(b.var);
+  }
+}
+
+bool VarianceSketch::Restore(SnapshotReader* reader) {
+  const uint64_t window_size = reader->TakeU64();
+  const double epsilon = reader->TakeDouble();
+  const uint64_t now = reader->TakeU64();
+  const uint64_t since_compact = reader->TakeU64();
+  const uint32_t bucket_count = reader->TakeU32();
+  if (!reader->ok() || window_size != window_size_ || epsilon != epsilon_) {
+    return false;
+  }
+  now_ = now;
+  since_compact_ = since_compact;
+  buckets_.clear();
+  for (uint32_t i = 0; i < bucket_count; ++i) {
+    Bucket b;
+    b.first = reader->TakeU64();
+    b.last = reader->TakeU64();
+    b.n = reader->TakeDouble();
+    b.mean = reader->TakeDouble();
+    b.var = reader->TakeDouble();
+    buckets_.push_back(b);
+  }
+  return reader->ok();
 }
 
 size_t VarianceSketch::MemoryBytes(size_t bytes_per_number) const {

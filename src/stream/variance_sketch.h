@@ -27,6 +27,9 @@
 
 namespace sensord {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Streaming sketch answering windowed variance / standard deviation /
 /// mean queries with bounded relative error, in one pass and sublinear
 /// memory. Values are arbitrary doubles; sensord feeds it one coordinate of
@@ -78,6 +81,15 @@ class VarianceSketch {
 
   /// The footprint corresponding to TheoreticalBoundBuckets().
   size_t TheoreticalBoundBytes(size_t bytes_per_number) const;
+
+  /// Appends the complete sketch state (clock, compaction phase, buckets
+  /// newest-first) to `writer`, for checkpoint/restore (core/snapshot.h).
+  void Serialize(SnapshotWriter* writer) const;
+
+  /// Overwrites this sketch with state previously written by Serialize().
+  /// Returns false if the reader fails or the saved window_size/epsilon do
+  /// not match this sketch's configuration.
+  bool Restore(SnapshotReader* reader);
 
  private:
   struct Bucket {

@@ -87,6 +87,21 @@ bool Rng::Bernoulli(double p) {
   return UniformDouble() < p;
 }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::LoadState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;  // never from SaveState
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 Rng Rng::Split() {
   // Mix two fresh outputs into a child seed; advancing the parent guarantees
   // successive Split() calls yield distinct children.

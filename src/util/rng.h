@@ -57,6 +57,21 @@ class Rng {
   /// children split from it.
   Rng Split();
 
+  /// Complete generator state, for checkpoint/restore (core/snapshot.h): the
+  /// four xoshiro256** words plus the Marsaglia-polar spare deviate, so a
+  /// restored generator continues the stream bit-for-bit.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+
+  /// Overwrites this generator with `state`. Pre: state.s is not all-zero
+  /// (never produced by SaveState of a validly seeded Rng).
+  void LoadState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

@@ -1,5 +1,6 @@
 #include "net/fault_schedule.h"
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -172,6 +173,168 @@ TEST(FaultScheduleTest, SameSeedReplaysIdenticalDecisions) {
   EXPECT_TRUE(diverged);
 }
 
+// --- Crash-kind and boundary semantics (DESIGN.md §10). ---
+
+TEST(FaultScheduleTest, AmnesiaCrashSharesOmissionWindowSemantics) {
+  // The crash *kind* changes what happens at restart, never whether the
+  // node is down: the half-open [from, until) rule is kind-independent.
+  FaultSchedule faults;
+  faults.CrashNode(5, 1.0, 2.0, CrashKind::kAmnesia);
+  EXPECT_TRUE(faults.IsNodeUp(5, 0.999));
+  EXPECT_FALSE(faults.IsNodeUp(5, 1.0));
+  EXPECT_FALSE(faults.IsNodeUp(5, 1.999));
+  EXPECT_TRUE(faults.IsNodeUp(5, 2.0));
+  EXPECT_FALSE(faults.IsLinkUp(5, 0, 1.5));
+}
+
+TEST(FaultScheduleTest, OverlappingCrashIntervalsUnionDown) {
+  FaultSchedule faults;
+  faults.CrashNode(4, 1.0, 3.0);
+  faults.CrashNode(4, 2.0, 5.0, CrashKind::kAmnesia);
+  EXPECT_TRUE(faults.IsNodeUp(4, 0.5));
+  EXPECT_FALSE(faults.IsNodeUp(4, 1.0));
+  EXPECT_FALSE(faults.IsNodeUp(4, 2.5));  // both intervals cover it
+  EXPECT_FALSE(faults.IsNodeUp(4, 3.0));  // first ended, second still on
+  EXPECT_FALSE(faults.IsNodeUp(4, 4.999));
+  EXPECT_TRUE(faults.IsNodeUp(4, 5.0));
+}
+
+TEST(FaultScheduleTest, CrashListenerObservesEveryCrashSynchronously) {
+  FaultSchedule faults;
+  struct Seen {
+    NodeId node;
+    SimTime from, until;
+    CrashKind kind;
+  };
+  std::vector<Seen> seen;
+  faults.SetCrashListener([&seen](NodeId n, SimTime f, SimTime u,
+                                  CrashKind k) {
+    seen.push_back({n, f, u, k});
+  });
+  faults.CrashNode(1, 2.0, 3.0);
+  faults.CrashNode(2, 4.0, FaultSchedule::kForever, CrashKind::kAmnesia);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].node, 1u);
+  EXPECT_EQ(seen[0].kind, CrashKind::kOmission);
+  EXPECT_EQ(seen[1].node, 2u);
+  EXPECT_DOUBLE_EQ(seen[1].from, 4.0);
+  EXPECT_EQ(seen[1].until, FaultSchedule::kForever);
+  EXPECT_EQ(seen[1].kind, CrashKind::kAmnesia);
+}
+
+// --- Sensor data faults: corruption at the reading source. ---
+
+TEST(FaultScheduleTest, StuckAtFreezesReadingsInsideItsWindow) {
+  FaultSchedule faults;
+  SensorFault fault;
+  fault.kind = SensorDataFaultKind::kStuckAt;
+  fault.from = 1.0;
+  fault.until = 2.0;
+  fault.value = 0.25;
+  faults.AddSensorFault(7, fault);
+  EXPECT_TRUE(faults.HasSensorFaults(7));
+  EXPECT_FALSE(faults.HasSensorFaults(8));
+
+  Point before{0.5, 0.6};
+  EXPECT_FALSE(faults.PerturbReading(7, 0.999, &before));
+  EXPECT_EQ(before, (Point{0.5, 0.6}));
+  Point at_start{0.5, 0.6};
+  EXPECT_TRUE(faults.PerturbReading(7, 1.0, &at_start));  // [from, until)
+  EXPECT_EQ(at_start, (Point{0.25, 0.25}));
+  Point at_end{0.5};
+  EXPECT_FALSE(faults.PerturbReading(7, 2.0, &at_end));
+  EXPECT_EQ(at_end, (Point{0.5}));
+  // Other nodes are untouched.
+  Point other{0.5};
+  EXPECT_FALSE(faults.PerturbReading(8, 1.5, &other));
+  EXPECT_EQ(faults.sensor_perturbations(), 1u);
+}
+
+TEST(FaultScheduleTest, SpikeAddsAndDropoutAlternatesNonFinite) {
+  FaultSchedule faults;
+  SensorFault spike;
+  spike.kind = SensorDataFaultKind::kSpike;
+  spike.value = 0.3;
+  faults.AddSensorFault(1, spike);
+  Point p{0.1, 0.2};
+  EXPECT_TRUE(faults.PerturbReading(1, 0.0, &p));
+  EXPECT_DOUBLE_EQ(p[0], 0.4);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+
+  SensorFault dropout;
+  dropout.kind = SensorDataFaultKind::kDropout;
+  faults.AddSensorFault(2, dropout);
+  Point q{0.5};
+  EXPECT_TRUE(faults.PerturbReading(2, 0.0, &q));
+  const bool first_nan = std::isnan(q[0]);
+  EXPECT_TRUE(first_nan || std::isinf(q[0]));
+  Point q2{0.5};
+  EXPECT_TRUE(faults.PerturbReading(2, 0.0, &q2));
+  // Both non-finite classes appear, deterministically alternating.
+  EXPECT_NE(first_nan, std::isnan(q2[0]));
+  EXPECT_TRUE(std::isnan(q2[0]) || std::isinf(q2[0]));
+}
+
+TEST(FaultScheduleTest, EarliestAddedActiveWindowWins) {
+  FaultSchedule faults;
+  SensorFault stuck;
+  stuck.kind = SensorDataFaultKind::kStuckAt;
+  stuck.value = 0.1;
+  stuck.until = 10.0;
+  SensorFault spike;
+  spike.kind = SensorDataFaultKind::kSpike;
+  spike.value = 100.0;
+  faults.AddSensorFault(3, stuck);
+  faults.AddSensorFault(3, spike);
+  Point p{0.5};
+  EXPECT_TRUE(faults.PerturbReading(3, 5.0, &p));
+  EXPECT_EQ(p, (Point{0.1}));  // stuck-at, added first, applied
+  // Once the first window closes, the second takes over.
+  Point late{0.5};
+  EXPECT_TRUE(faults.PerturbReading(3, 10.0, &late));
+  EXPECT_DOUBLE_EQ(late[0], 100.5);
+}
+
+TEST(FaultScheduleTest, CertainSensorFaultConsumesNoRandomness) {
+  // Two same-seed schedules, one of which also perturbs readings with a
+  // probability-1 sensor fault: their transmission decision streams must
+  // stay identical, proving the certain fault path never touches the rng.
+  LinkFault flaky;
+  flaky.drop_probability = 0.4;
+  FaultSchedule plain(/*seed=*/9), faulted(/*seed=*/9);
+  plain.SetDefaultLinkFault(flaky);
+  faulted.SetDefaultLinkFault(flaky);
+  SensorFault stuck;
+  stuck.kind = SensorDataFaultKind::kStuckAt;
+  stuck.value = 0.0;
+  faulted.AddSensorFault(0, stuck);
+  for (int i = 0; i < 200; ++i) {
+    Point p{0.5};
+    EXPECT_TRUE(faulted.PerturbReading(0, 1.0, &p));
+    ASSERT_EQ(plain.DecideTransmission(0, 1, 0.0).drop,
+              faulted.DecideTransmission(0, 1, 0.0).drop)
+        << "diverged at decision " << i;
+  }
+}
+
+TEST(FaultScheduleTest, ProbabilisticSensorFaultMatchesRate) {
+  FaultSchedule faults(/*seed=*/17);
+  SensorFault spike;
+  spike.kind = SensorDataFaultKind::kSpike;
+  spike.probability = 0.25;
+  spike.value = 1.0;
+  faults.AddSensorFault(0, spike);
+  const int trials = 4000;
+  int perturbed = 0;
+  for (int i = 0; i < trials; ++i) {
+    Point p{0.0};
+    if (faults.PerturbReading(0, 0.0, &p)) ++perturbed;
+  }
+  EXPECT_NEAR(static_cast<double>(perturbed) / trials, 0.25, 0.03);
+  EXPECT_EQ(faults.sensor_perturbations(),
+            static_cast<uint64_t>(perturbed));
+}
+
 // --- Simulator integration: the schedule drives the radio and sensing. ---
 
 TEST(FaultScheduleSimTest, CrashedSenderTransmitsNothing) {
@@ -243,6 +406,49 @@ TEST(FaultScheduleSimTest, FaultDropsFeedTheUnifiedDropCounter) {
   EXPECT_EQ(sim.MessagesDropped(), 3u);
   EXPECT_EQ(sim.MessagesDropped(), sim.stats().MessagesDropped());
   EXPECT_EQ(static_cast<ProbeNode&>(sim.node(b)).received.size(), 2u);
+}
+
+TEST(FaultScheduleSimTest, SensorFaultCorruptsDeliveredReadings) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  SensorFault stuck;
+  stuck.kind = SensorDataFaultKind::kStuckAt;
+  stuck.from = 2.0;
+  stuck.until = 5.0;
+  stuck.value = 0.9;
+  sim.faults().AddSensorFault(a, stuck);
+  sim.SchedulePeriodicReadings(a, 0.0, 1.0, [] { return Point{0.1}; });
+  sim.RunUntil(7.0);
+
+  // Ticks at t = 2, 3, 4 are frozen at the stuck value; the rest are clean.
+  const auto& readings = static_cast<ProbeNode&>(sim.node(a)).readings;
+  ASSERT_EQ(readings.size(), 8u);
+  for (size_t i = 0; i < readings.size(); ++i) {
+    const double expected = (i >= 2 && i < 5) ? 0.9 : 0.1;
+    EXPECT_DOUBLE_EQ(readings[i][0], expected) << "tick " << i;
+  }
+}
+
+TEST(FaultScheduleSimTest, AmnesiaRestartWaitsForOverlappingIntervals) {
+  // Two overlapping amnesia windows: the restart scheduled at the first
+  // window's end is a no-op (the second still covers it); only the restart
+  // at the end of the union bumps the incarnation.
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.faults().CrashNode(a, 1.0, 2.0, CrashKind::kAmnesia);
+  sim.faults().CrashNode(a, 1.5, 3.0, CrashKind::kAmnesia);
+  sim.RunUntil(2.5);
+  EXPECT_EQ(sim.Incarnation(a), 0u);  // first restart was swallowed
+  sim.RunUntil(4.0);
+  EXPECT_EQ(sim.Incarnation(a), 1u);
+}
+
+TEST(FaultScheduleSimTest, OmissionCrashDoesNotRestartOrBumpEpoch) {
+  Simulator sim;
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.faults().CrashNode(a, 1.0, 2.0);  // classic omission crash
+  sim.RunUntil(3.0);
+  EXPECT_EQ(sim.Incarnation(a), 0u);
 }
 
 TEST(FaultScheduleSimTest, RadioDuplicateDeliversTwiceWithoutTransport) {

@@ -1,6 +1,7 @@
 // sensord_lint fixture: the determinism-unordered rule must fire EXACTLY
-// ONCE (the range-for feeding Send below); the same loop shapes that stay
-// local must not fire. Not compiled into any target.
+// TWICE (the range-for feeding Send and the one feeding PutU64 below); the
+// same loop shapes that stay local must not fire. Not compiled into any
+// target.
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -43,6 +44,28 @@ struct Emitter {
   // Clean: an ordered container may feed a sink directly.
   void BroadcastOrdered(FakeNet& net, const std::vector<uint64_t>& ids) {
     for (uint64_t id : ids) net.Send(id);
+  }
+};
+
+struct FakeSnapshotWriter {
+  void PutU64(uint64_t v) { bytes.push_back(v); }
+  std::vector<uint64_t> bytes;
+};
+
+struct Checkpointer {
+  std::unordered_map<uint64_t, uint64_t> pending;
+
+  // VIOLATION: hash-iteration order leaks into the checkpoint encoding,
+  // so two runs of the same seed write different snapshot bytes.
+  void Serialize(FakeSnapshotWriter& writer) const {
+    for (const auto& [key, value] : pending) writer.PutU64(key);
+  }
+
+  // Clean: collect-then-sort before the writer sees anything.
+  std::vector<uint64_t> SortedKeys() const {
+    std::vector<uint64_t> keys;
+    for (const auto& [key, value] : pending) keys.push_back(key);
+    return keys;
   }
 };
 

@@ -12,6 +12,7 @@
 //  * Determinism: identical (seed, schedule) => identical event history.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
@@ -25,6 +26,7 @@
 #include "net/fault_schedule.h"
 #include "net/hierarchy.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "util/math_utils.h"
 #include "util/rng.h"
 
@@ -131,12 +133,14 @@ RunResult RunDetector(Detector detector,
                       const std::vector<std::vector<Point>>& readings,
                       size_t fanout, uint64_t seed, double loss,
                       bool reliable,
-                      const std::function<void(Simulator&)>& inject = {}) {
+                      const std::function<void(Simulator&)>& inject = {},
+                      double checkpoint_interval = 0.0) {
   const size_t leaves = readings.empty() ? 0 : readings[0].size();
   SimulatorOptions sim_opts;
   sim_opts.drop_probability = loss;
   sim_opts.loss_seed = seed * 7919 + 17;
   sim_opts.fault_seed = seed * 104729 + 5;
+  sim_opts.recovery.checkpoint_interval = checkpoint_interval;
   sim_opts.transport.reliable = reliable;
   sim_opts.transport.ack_timeout = 0.05;
   sim_opts.transport.backoff_factor = 2.0;
@@ -337,6 +341,132 @@ std::string EventHistory(const std::vector<OutlierEvent>& events) {
     out += line;
   }
   return out;
+}
+
+// Seed sweep width for the crash-recovery soak; scripts/ci.sh widens it via
+// SENSORD_SOAK_SEEDS for the nightly run.
+uint64_t SoakSeedCount() {
+  if (const char* env = std::getenv("SENSORD_SOAK_SEEDS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<uint64_t>(n);
+  }
+  return 4;
+}
+
+// Anomaly keys for crash runs. A crashed leaf misses every reading of its
+// down window, so its post-restart seq counter runs behind the loss-free
+// baseline and (leaf, seq) keys stop matching. The injected readings are
+// deterministic and anomaly values are continuous draws (unique within a
+// run with probability 1), so (leaf, value) identifies the same reading
+// across fault schedules.
+std::set<std::pair<NodeId, double>> AnomalyValueKeys(
+    const std::vector<OutlierEvent>& events, int min_level, double lo,
+    double hi) {
+  std::set<std::pair<NodeId, double>> keys;
+  for (const OutlierEvent& e : events) {
+    if (e.level < min_level || e.value.empty()) continue;
+    if (e.value[0] < lo || e.value[0] > hi) continue;
+    keys.insert({e.source_leaf, e.value[0]});
+  }
+  return keys;
+}
+
+// Two leaves each lose their entire volatile state mid-run (amnesia crash)
+// while the 20% lossy radio keeps running. With periodic checkpoints the
+// restarted leaves resume from near-current models and the detected outlier
+// set stays close to the loss-free baseline; with checkpointing off they
+// cold-start and must re-learn min_observations readings, which measurably
+// costs detections. Crashes land after the first checkpoints exist so that
+// time-to-recover reflects the restore path, not initial warm-up.
+TEST(SimSoakTest, AmnesiaCrashRecoverySoak) {
+  const int kRounds = 600;
+  const int kLeaves = 16;
+  const size_t kFanout = 4;
+  const double kLoss = 0.2;
+  const double kCheckpointInterval = 50.0;
+  const auto inject = [](Simulator& sim) {
+    sim.faults().CrashNode(1, 250.0, 270.0, CrashKind::kAmnesia);
+    sim.faults().CrashNode(9, 380.0, 400.0, CrashKind::kAmnesia);
+  };
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetValues();
+
+  // Phase 1: loss-free baselines and checkpointed crash runs. The TTR
+  // histogram is read before any cold-start run pollutes it.
+  size_t base_total = 0, ckpt_hits = 0;
+  std::vector<std::set<std::pair<NodeId, double>>> base_keys;
+  for (uint64_t seed = 1; seed <= SoakSeedCount(); ++seed) {
+    const auto readings = MakeReadings(seed, kRounds, kLeaves, 0.60, 1.0);
+    base_keys.push_back(AnomalyValueKeys(
+        RunDetector(Detector::kD3, readings, kFanout, seed, 0.0, false)
+            .events,
+        /*min_level=*/2, 0.55, 1.0));
+    ASSERT_GT(base_keys.back().size(), 50u);
+    const auto ckpt = AnomalyValueKeys(
+        RunDetector(Detector::kD3, readings, kFanout, seed, kLoss,
+                    /*reliable=*/true, inject, kCheckpointInterval)
+            .events,
+        2, 0.55, 1.0);
+    base_total += base_keys.back().size();
+    for (const auto& key : base_keys.back()) ckpt_hits += ckpt.count(key);
+  }
+  EXPECT_GT(registry.GetCounter("recovery.restored_from_checkpoint")->value(),
+            0u);
+  EXPECT_EQ(registry.GetCounter("recovery.cold_restarts")->value(), 0u)
+      << "with warm checkpoints every restart must restore";
+  const double ttr_p95 =
+      registry
+          .GetHistogram("recovery.time_to_recover_s",
+                        obs::DurationBoundariesS())
+          ->Quantile(0.95);
+  RecordProperty("ttr_p95_s", std::to_string(ttr_p95));
+  EXPECT_LT(ttr_p95, 2.0 * kCheckpointInterval);
+
+  // Phase 2: same crashes, checkpointing off — the counterfactual.
+  size_t cold_hits = 0;
+  for (uint64_t seed = 1; seed <= SoakSeedCount(); ++seed) {
+    const auto readings = MakeReadings(seed, kRounds, kLeaves, 0.60, 1.0);
+    const auto cold = AnomalyValueKeys(
+        RunDetector(Detector::kD3, readings, kFanout, seed, kLoss,
+                    /*reliable=*/true, inject, /*checkpoint_interval=*/0.0)
+            .events,
+        2, 0.55, 1.0);
+    for (const auto& key : base_keys[seed - 1]) cold_hits += cold.count(key);
+  }
+  EXPECT_GT(registry.GetCounter("recovery.cold_restarts")->value(), 0u);
+
+  const double ckpt_recall =
+      static_cast<double>(ckpt_hits) / static_cast<double>(base_total);
+  const double cold_recall =
+      static_cast<double>(cold_hits) / static_cast<double>(base_total);
+  RecordProperty("ckpt_recall", std::to_string(ckpt_recall));
+  RecordProperty("cold_recall", std::to_string(cold_recall));
+  EXPECT_GE(ckpt_recall, 0.90)
+      << "checkpointed leaves must rejoin without losing the outlier set";
+  EXPECT_LT(cold_recall, ckpt_recall)
+      << "cold restarts must measurably cost detections";
+}
+
+TEST(SimSoakTest, AmnesiaRecoveryReplaysIdentically) {
+  const int kRounds = 400;
+  const int kLeaves = 8;
+  const auto readings = MakeReadings(5, kRounds, kLeaves, 0.60, 1.0);
+  const auto inject = [](Simulator& sim) {
+    sim.faults().CrashNode(2, 150.0, 170.0, CrashKind::kAmnesia);
+    sim.faults().CrashNode(6, 260.0, 280.0, CrashKind::kAmnesia);
+  };
+  const RunResult a =
+      RunDetector(Detector::kD3, readings, 4, /*seed=*/5, 0.15,
+                  /*reliable=*/true, inject, /*checkpoint_interval=*/40.0);
+  const RunResult b =
+      RunDetector(Detector::kD3, readings, 4, /*seed=*/5, 0.15,
+                  /*reliable=*/true, inject, /*checkpoint_interval=*/40.0);
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(EventHistory(a.events), EventHistory(b.events))
+      << "amnesia crash + checkpoint restore must replay bit-identically";
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.retries, b.retries);
 }
 
 TEST(SimSoakTest, SameSeedReplaysIdenticalEventHistory) {

@@ -220,6 +220,84 @@ TEST(TransportTest, UnreliableModeBypassesTransportEntirely) {
   EXPECT_EQ(sim.transport().PendingCount(), 0u);
 }
 
+// --- Incarnation epochs: correctness across amnesia restarts. ---
+
+TEST(TransportTest, ReceiverAmnesiaRestartAcceptsInFlightRetransmit) {
+  // b is amnesia-down for the first attempts; its restart wipes the link
+  // dedup state, and the sender's retransmit (same epoch, same seq) must
+  // still deliver exactly once and settle the pending entry.
+  Simulator sim = MakeReliableSim(/*ack_timeout=*/0.2, /*max_retries=*/5,
+                                  /*backoff=*/2.0);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.faults().CrashNode(b, 0.0, 0.5, CrashKind::kAmnesia);
+  sim.Send(Msg(a, b));
+  sim.RunAll();
+
+  EXPECT_EQ(sim.Incarnation(b), 1u);
+  auto& receiver = static_cast<ProbeNode&>(sim.node(b));
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.received[0].transport_seq, 1u);
+  EXPECT_EQ(receiver.received[0].transport_epoch, 0u);  // sender's epoch
+  EXPECT_EQ(sim.transport().retries(), 2u);  // attempts at 0, 0.2, 0.6
+  EXPECT_EQ(sim.transport().PendingCount(), 0u);
+  EXPECT_EQ(sim.transport().stale_epoch_dropped(), 0u);
+}
+
+TEST(TransportTest, SenderAmnesiaRestartReusedSeqIsNotMisDeduped) {
+  // Regression: a restarted sender restarts its per-link seq counter at 1.
+  // Without epochs the receiver's dedup set would silently eat the reused
+  // seq; the bumped epoch must flush it instead.
+  Simulator sim = MakeReliableSim();
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  sim.Send(Msg(a, b, /*kind=*/42));  // delivered as (epoch 0, seq 1)
+  sim.faults().CrashNode(a, 0.1, 0.2, CrashKind::kAmnesia);
+  sim.ScheduleAt(0.3, [&sim, a, b] { sim.Send(Msg(a, b, /*kind=*/43)); });
+  sim.RunAll();
+
+  EXPECT_EQ(sim.Incarnation(a), 1u);
+  auto& receiver = static_cast<ProbeNode&>(sim.node(b));
+  ASSERT_EQ(receiver.received.size(), 2u);
+  EXPECT_EQ(receiver.received[0].kind, 42);
+  EXPECT_EQ(receiver.received[1].kind, 43);
+  // The second message reused seq 1 under the new epoch — and got through.
+  EXPECT_EQ(receiver.received[1].transport_seq, 1u);
+  EXPECT_EQ(receiver.received[1].transport_epoch, 1u);
+  EXPECT_EQ(sim.transport().dup_suppressed(), 0u);
+  EXPECT_EQ(sim.transport().PendingCount(), 0u);
+}
+
+TEST(TransportTest, StaleEpochCopyIsDroppedWithoutAck) {
+  // msg1's only physical copy is held back a full second by the reorder
+  // fault; meanwhile its sender amnesia-restarts (flushing the pending
+  // entry) and sends msg2 under epoch 1. When the stale epoch-0 copy
+  // finally lands it must be dropped without an ack — acking it would
+  // settle a new-incarnation pending entry carrying the same seq.
+  Simulator sim = MakeReliableSim(/*ack_timeout=*/0.5, /*max_retries=*/3);
+  const NodeId a = sim.AddNode(std::make_unique<ProbeNode>());
+  const NodeId b = sim.AddNode(std::make_unique<ProbeNode>());
+  LinkFault slow;
+  slow.reorder_probability = 1.0;
+  slow.reorder_delay = 1.0;
+  sim.faults().SetLinkFault(a, b, slow);
+  sim.Send(Msg(a, b, /*kind=*/42));  // epoch 0, seq 1; arrives ~t=1.001
+  sim.faults().CrashNode(a, 0.1, 0.2, CrashKind::kAmnesia);
+  sim.ScheduleAt(0.3, [&sim, a, b] {
+    sim.faults().SetLinkFault(a, b, LinkFault{});  // link is fast again
+    sim.Send(Msg(a, b, /*kind=*/43));              // epoch 1, seq 1
+  });
+  sim.RunAll();
+
+  EXPECT_EQ(sim.transport().flushed_pending(), 1u);  // msg1 died with a
+  auto& receiver = static_cast<ProbeNode&>(sim.node(b));
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.received[0].kind, 43);
+  EXPECT_EQ(sim.transport().stale_epoch_dropped(), 1u);
+  EXPECT_EQ(sim.transport().acks_sent(), 1u);  // only msg2 was acked
+  EXPECT_EQ(sim.transport().PendingCount(), 0u);
+}
+
 // Records the exact physical delivery sequence of a simulation run.
 std::vector<std::string> RunAndTapDeliveries(uint64_t fault_seed) {
   SimulatorOptions opts;

@@ -109,8 +109,12 @@ BANNED_CALLS = {
 SINK_EXACT = {
     "OutlierEvent", "Send", "Transmit", "Deliver", "Emit", "fprintf",
     "fwrite", "fputs", "printf", "sprintf", "snprintf",
+    # Snapshot encoding: checkpoint bytes must be identical across runs of
+    # the same seed (the replay tests compare them), so hash-order writes
+    # are as bad as hash-order sends.
+    "Serialize", "SaveState",
 }
-SINK_PREFIX = ("Write", "Export", "Append")
+SINK_PREFIX = ("Write", "Export", "Append", "Put")
 
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
