@@ -17,6 +17,7 @@
 
 #include "obs/exporters.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace sensord::bench {
@@ -58,7 +59,11 @@ inline void Rule() {
 class RunTelemetry {
  public:
   explicit RunTelemetry(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+      : bench_name_(std::move(bench_name)) {
+    // SENSORD_TRACE_JSONL / SENSORD_FLIGHT_JSONL opt any bench binary into
+    // the causal-trace and flight-recorder sinks; no-ops when unset.
+    obs::InitTracingFromEnv();
+  }
 
   RunTelemetry(const RunTelemetry&) = delete;
   RunTelemetry& operator=(const RunTelemetry&) = delete;
@@ -68,6 +73,10 @@ class RunTelemetry {
   }
 
   ~RunTelemetry() {
+    // Flush flight rings (reason "shutdown") and close both trace sinks
+    // before the metrics table prints, so the JSONL artifacts are complete
+    // even if the process exits right after.
+    obs::ShutdownTracingFromEnv();
     const auto& registry = obs::MetricsRegistry::Global();
     Header("metrics: " + bench_name_);
     obs::PrintMetricsTable(registry, stdout);

@@ -15,6 +15,7 @@
 
 #include "core/density_model.h"
 #include "core/mdef.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/divergence.h"
@@ -234,6 +235,28 @@ void BM_ObsDisabledTraceSpan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsDisabledTraceSpan);
+
+// The flight recorder's cost contract (obs/flight_recorder.h): disabled —
+// the shipped default — Record() is one relaxed atomic load and nothing
+// else. allocs_per_op must read 0.
+void BM_ObsDisabledFlightRecorder(benchmark::State& state) {
+  const uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  int64_t vt = 0;
+  for (auto _ : state) {
+    obs::FlightRecorder::Record(/*node=*/3, obs::FlightEventKind::kSend,
+                                static_cast<double>(vt++), /*a=*/7,
+                                /*b=*/2, /*value=*/1.5);
+    benchmark::ClobberMemory();
+  }
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() > 0 ? state.iterations() : 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledFlightRecorder);
 
 }  // namespace
 

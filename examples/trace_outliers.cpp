@@ -32,6 +32,7 @@
 #include "net/network.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -79,6 +80,11 @@ size_t RunHierarchyDemo(const char* tag, size_t leaves, size_t fanout,
 
 int main(int argc, char** argv) {
   using namespace sensord;
+
+  // SENSORD_TRACE_JSONL / SENSORD_FLIGHT_JSONL opt the run into the causal
+  // trace and flight-recorder sinks (tools/trace/trace_report.py joins the
+  // artifacts); no-ops when unset.
+  obs::InitTracingFromEnv();
 
   std::string path;
   if (argc > 1) {
@@ -217,5 +223,6 @@ int main(int argc, char** argv) {
   // Everything above fed the process-wide registry; dump it.
   std::printf("\n");
   obs::PrintMetricsTable(obs::MetricsRegistry::Global(), stdout);
+  obs::ShutdownTracingFromEnv();
   return 0;
 }

@@ -13,6 +13,9 @@
 #   - the crash-recovery ablation (level-2 recall and time-to-recover vs
 #     checkpoint interval under amnesia crashes; recovery.* counters)
 #     -> $OUT_DIR/BENCH_ablation_crash_recovery.json
+#   - a seeded trace_outliers run with the causal-trace and flight-recorder
+#     sinks enabled -> $OUT_DIR/TRACE_demo.jsonl + FLIGHT_demo.jsonl,
+#     validated and summarized by tools/trace/trace_report.py
 #
 # SENSORD_QUICK=1 (default here) keeps the run CI-sized; set SENSORD_QUICK=0
 # for paper-scale numbers. OUT_DIR defaults to the repo root.
@@ -28,9 +31,9 @@ export SENSORD_QUICK="${SENSORD_QUICK:-1}"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
     --target micro_benchmarks fig11_message_scaling ablation_packet_loss \
-            ablation_crash_recovery
+            ablation_crash_recovery trace_outliers
 
-echo "=== bench.sh [1/4] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
+echo "=== bench.sh [1/5] micro_benchmarks -> ${OUT_DIR}/BENCH_micro.json ==="
 # Filter to a quick, representative subset in quick mode; everything else
 # still runs when SENSORD_QUICK=0.
 FILTER=""
@@ -43,14 +46,26 @@ build/release/bench/micro_benchmarks ${FILTER} \
     --benchmark_out="${OUT_DIR}/BENCH_micro.json" \
     --benchmark_out_format=json
 
-echo "=== bench.sh [2/4] fig11_message_scaling ==="
+echo "=== bench.sh [2/5] fig11_message_scaling ==="
 SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/fig11_message_scaling
 
-echo "=== bench.sh [3/4] ablation_packet_loss (transport counters) ==="
+echo "=== bench.sh [3/5] ablation_packet_loss (transport counters) ==="
 SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/ablation_packet_loss
 
-echo "=== bench.sh [4/4] ablation_crash_recovery (recovery counters) ==="
+echo "=== bench.sh [4/5] ablation_crash_recovery (recovery counters) ==="
 SENSORD_BENCH_JSON="${OUT_DIR}/" build/release/bench/ablation_crash_recovery
+
+echo "=== bench.sh [5/5] causal trace + flight recorder artifacts ==="
+# The seeded trace_outliers demo (D3 + MGDD hierarchies with observers)
+# emits per-decision causal chains; the report joins them and the validator
+# gates on malformed lines and orphan spans.
+SENSORD_TRACE_JSONL="${OUT_DIR}/TRACE_demo.jsonl" \
+SENSORD_FLIGHT_JSONL="${OUT_DIR}/FLIGHT_demo.jsonl" \
+    build/release/examples/trace_outliers > /dev/null
+python3 tools/trace/trace_report.py "${OUT_DIR}/TRACE_demo.jsonl" \
+    --flight "${OUT_DIR}/FLIGHT_demo.jsonl" --validate
+python3 tools/trace/trace_report.py "${OUT_DIR}/TRACE_demo.jsonl" \
+    --flight "${OUT_DIR}/FLIGHT_demo.jsonl" --max-chains 5
 
 python3 - "$OUT_DIR/BENCH_micro.json" \
     "$OUT_DIR/BENCH_fig11_message_scaling.json" \

@@ -24,7 +24,10 @@
 #   5. clang-tidy over src tests bench examples via scripts/lint.sh
 #      (skipped with a notice if clang-tidy is not installed).
 #   6. Quick bench run via scripts/bench.sh — proves the bench harnesses run
-#      and leave valid BENCH_*.json artifacts.
+#      and leave valid BENCH_*.json artifacts, plus the causal-trace /
+#      flight-recorder JSONL pair, re-validated here with
+#      tools/trace/trace_report.py --validate (strict: malformed lines,
+#      orphan spans and span-less decisions are fatal).
 # Exits nonzero on the first failure.
 set -euo pipefail
 
@@ -79,7 +82,11 @@ ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" -L soak
 echo "=== ci.sh [5/6] clang-tidy ==="
 scripts/lint.sh
 
-echo "=== ci.sh [6/6] quick bench + BENCH_*.json ==="
+echo "=== ci.sh [6/6] quick bench + BENCH_*.json + trace validation ==="
 SENSORD_QUICK=1 scripts/bench.sh
+# bench.sh already validates its own artifacts; gate on them here explicitly
+# so a future bench.sh refactor cannot silently drop the check.
+python3 tools/trace/trace_report.py TRACE_demo.jsonl \
+    --flight FLIGHT_demo.jsonl --validate
 
 echo "ci.sh: all gates green"

@@ -5,11 +5,14 @@
 #include <limits>
 #include <utility>
 
+#include "core/detection_telemetry.h"
 #include "core/distance_outlier.h"
 #include "core/protocol.h"
 #include "core/snapshot.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 #include "util/check.h"
 
@@ -108,7 +111,18 @@ void D3LeafNode::OnReading(const Point& value) {
   // the chain sample for a full window, so bad values are dropped before
   // the model ever sees them.
   if (validator_.Check(value) != IngestVerdict::kAccept) return;
-  if (stuck_.ShouldQuarantine(value)) return;
+  const bool was_quarantined = stuck_.quarantined();
+  if (stuck_.ShouldQuarantine(value)) {
+    if (!was_quarantined) {
+      // Quarantine onset: record the transition and dump the black box so
+      // the readings that led into the stuck run survive for analysis.
+      obs::FlightRecorder::Record(id(), obs::FlightEventKind::kQuarantine,
+                                  sim()->Now(), 0, 0,
+                                  value.empty() ? 0.0 : value[0]);
+      obs::FlightRecorder::Dump(id(), "quarantine", sim()->Now());
+    }
+    return;
+  }
 
   // Figure 4, LeafProcess: update the model first, then test the value.
   const bool inserted = model_.Observe(value);
@@ -127,15 +141,39 @@ void D3LeafNode::OnReading(const Point& value) {
   }
 
   if (model_.total_seen() < options_.min_observations) return;
-  if (!IsDistanceOutlier(model_.Estimator(), model_.WindowCount(), value,
-                         options_.outlier)) {
-    return;
-  }
+  const double estimate = EstimateNeighborCount(
+      model_.Estimator(), model_.WindowCount(), value, options_.outlier);
+  if (estimate >= options_.outlier.neighbor_threshold) return;  // not outlying
   Metrics().leaf_flags->Increment();
+  const SimTime now = sim()->Now();
   const uint64_t seq = model_.total_seen();
+  // Root of this reading's causal chain (DESIGN.md §11): the trace id is a
+  // pure function of (leaf, seq), so every retransmitted or re-derived hop
+  // joins the same chain and same-seed runs emit identical ids.
+  const uint64_t trace =
+      obs::DeriveReadingTraceId(id(), seq, obs::kTraceDetectorD3);
+  const uint64_t span = obs::DeriveSpanId(trace, id(), /*salt=*/level());
+  obs::EmitCausalSpan("d3.leaf.flag", id(), now, trace, span,
+                      /*parent_span=*/0);
+  DetectionLatencyHist(level())->Record(0.0);
+  obs::DecisionRecord decision;
+  decision.detector = "d3";
+  decision.node = id();
+  decision.level = level();
+  decision.virtual_time = now;
+  decision.trace_id = trace;
+  decision.span_id = span;
+  decision.estimate = estimate;
+  decision.threshold = options_.outlier.neighbor_threshold;
+  decision.model_version = seq;
+  obs::EmitDecisionRecord(decision);
   if (observer_ != nullptr) {
-    observer_->OnOutlierDetected(OutlierEvent{
-        DetectorKind::kD3, id(), level(), value, sim()->Now(), id(), seq});
+    OutlierEvent event{DetectorKind::kD3, id(), level(), value, now, id(),
+                       seq};
+    event.provenance = OutlierProvenance{
+        estimate, options_.outlier.neighbor_threshold, seq,
+        /*staleness_s=*/0.0, trace};
+    observer_->OnOutlierDetected(event);
   }
   if (parent() != kNoNode) {
     Message msg;
@@ -143,7 +181,11 @@ void D3LeafNode::OnReading(const Point& value) {
     msg.to = parent();
     msg.kind = kMsgOutlierReport;
     msg.size_numbers = value.size() + 2;
-    msg.payload = OutlierReportPayload{value, level(), id(), seq};
+    OutlierReportPayload report{value, level(), id(), seq};
+    report.ingest_time = now;
+    msg.payload = report;
+    msg.trace_id = trace;
+    msg.trace_parent_span = span;
     sim()->Send(std::move(msg));
   }
 }
@@ -273,7 +315,7 @@ void D3ParentNode::HandleMessage(const Message& msg) {
     case kMsgOutlierReport: {
       const auto& payload =
           std::any_cast<const OutlierReportPayload&>(msg.payload);
-      HandleOutlierReport(payload);
+      HandleOutlierReport(msg, payload);
       break;
     }
     case kMsgRejoinAnnounce: {
@@ -420,26 +462,63 @@ void D3ParentNode::HandleSampleValue(const Point& value) {
   }
 }
 
-void D3ParentNode::HandleOutlierReport(const OutlierReportPayload& report) {
+void D3ParentNode::HandleOutlierReport(const Message& incoming,
+                                       const OutlierReportPayload& report) {
   // Figure 4, ParentProcess lines 23-27: re-check the child's outlier
   // against this level's model; escalate only if it is still an outlier.
   if (!model_.Ready() || model_.total_seen() < options_.min_observations) {
     return;
   }
   Metrics().parent_rechecks->Increment();
-  const obs::TraceSpan span("d3.parent.recheck", static_cast<int64_t>(id()),
-                            sim()->Now());
-  if (!IsDistanceOutlier(model_.Estimator(), model_.WindowCount(),
-                         report.value, options_.outlier)) {
-    return;
-  }
+  const SimTime now = sim()->Now();
+  // Continue the reading's causal chain. A report from a pre-tracing sender
+  // carries no context; re-derive the trace from the payload provenance so
+  // the chain still joins (the ids are pure functions of (leaf, seq)).
+  const uint64_t trace =
+      incoming.trace_id != 0
+          ? incoming.trace_id
+          : obs::DeriveReadingTraceId(report.source_leaf,
+                                       report.source_seq, obs::kTraceDetectorD3);
+  const uint64_t span = obs::DeriveSpanId(trace, id(), /*salt=*/level());
+  obs::EmitCausalSpan("d3.parent.recheck", id(), now, trace, span,
+                      incoming.trace_parent_span);
+  const double estimate = EstimateNeighborCount(
+      model_.Estimator(), model_.WindowCount(), report.value, options_.outlier);
+  if (estimate >= options_.outlier.neighbor_threshold) return;  // refuted
   Metrics().parent_confirms->Increment();
+  const double latency = report.ingest_time > 0.0 && now >= report.ingest_time
+                             ? now - report.ingest_time
+                             : 0.0;
+  // The stalest child's silence: how out-of-date the worst slice of this
+  // node's model was when it confirmed the flag.
+  double staleness = 0.0;
+  for (const auto& [child, heard] : last_heard_) {
+    staleness = std::max(staleness, now - heard);
+  }
+  DetectionLatencyHist(level())->Record(latency);
+  obs::DecisionRecord decision;
+  decision.detector = "d3";
+  decision.node = id();
+  decision.level = level();
+  decision.virtual_time = now;
+  decision.trace_id = trace;
+  decision.span_id = span;
+  decision.estimate = estimate;
+  decision.threshold = options_.outlier.neighbor_threshold;
+  decision.model_version = model_.total_seen();
+  decision.staleness_s = staleness;
+  decision.degraded = degraded_state_;
+  decision.latency_s = latency;
+  obs::EmitDecisionRecord(decision);
   if (observer_ != nullptr) {
     OutlierEvent event{DetectorKind::kD3,  id(),
                        level(),            report.value,
-                       sim()->Now(),       report.source_leaf,
+                       now,                report.source_leaf,
                        report.source_seq};
     event.degraded = degraded_state_;
+    event.provenance = OutlierProvenance{
+        estimate, options_.outlier.neighbor_threshold, model_.total_seen(),
+        staleness, trace};
     observer_->OnOutlierDetected(event);
   }
   if (parent() != kNoNode) {
@@ -449,6 +528,8 @@ void D3ParentNode::HandleOutlierReport(const OutlierReportPayload& report) {
     msg.kind = kMsgOutlierReport;
     msg.size_numbers = report.value.size() + 2;
     msg.payload = report;
+    msg.trace_id = trace;
+    msg.trace_parent_span = span;
     sim()->Send(std::move(msg));
   }
 }

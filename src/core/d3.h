@@ -158,7 +158,8 @@ class D3ParentNode : public Node {
 
  private:
   void HandleSampleValue(const Point& value);
-  void HandleOutlierReport(const OutlierReportPayload& report);
+  void HandleOutlierReport(const Message& incoming,
+                           const OutlierReportPayload& report);
   void HandleRejoinAnnounce(NodeId child, const RejoinAnnouncePayload& ann);
   void HandleRejoinResync(const RejoinResyncPayload& resync);
   bool ComputeDegraded(SimTime now) const;

@@ -4,9 +4,12 @@
 #include <memory>
 #include <utility>
 
+#include "core/detection_telemetry.h"
 #include "core/snapshot.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "stats/divergence.h"
 
 #include "util/check.h"
@@ -93,7 +96,18 @@ void MgddLeafNode::OnReading(const Point& value) {
   // Ingest validation firewall, as in D3: drop poisoned readings before
   // the local model — and the upward sample stream — can absorb them.
   if (validator_.Check(value) != IngestVerdict::kAccept) return;
-  if (stuck_.ShouldQuarantine(value)) return;
+  const bool was_quarantined = stuck_.quarantined();
+  if (stuck_.ShouldQuarantine(value)) {
+    if (!was_quarantined) {
+      // Quarantine onset: record the transition and dump the black box so
+      // the readings that led into the stuck run survive for analysis.
+      obs::FlightRecorder::Record(id(), obs::FlightEventKind::kQuarantine,
+                                  sim()->Now(), 0, 0,
+                                  value.empty() ? 0.0 : value[0]);
+      obs::FlightRecorder::Dump(id(), "quarantine", sim()->Now());
+    }
+    return;
+  }
 
   // Figure 4, MGDD LeafProcess: update the local model, test the value
   // against the *global* estimator, propagate sample insertions upward.
@@ -112,12 +126,40 @@ void MgddLeafNode::OnReading(const Point& value) {
         ComputeMdef(GlobalEstimator(), value, options_.mdef);
     if (result.is_outlier) {
       Metrics().leaf_flags->Increment();
+      const SimTime now = sim()->Now();
+      const uint64_t seq = local_model_.total_seen();
+      // MGDD decides at the leaf, so the reading's causal chain is one span
+      // deep; the global-model staleness and replica version in the
+      // provenance tie it to the update chain that armed the detector.
+      const uint64_t trace =
+          obs::DeriveReadingTraceId(id(), seq, obs::kTraceDetectorMgdd);
+      const uint64_t span = obs::DeriveSpanId(trace, id(), /*salt=*/level());
+      obs::EmitCausalSpan("mgdd.leaf.flag", id(), now, trace, span,
+                          /*parent_span=*/0);
+      DetectionLatencyHist(level())->Record(0.0);
+      const double threshold = options_.mdef.k_sigma * result.sigma_mdef;
+      const double staleness = now - last_update_time_;
+      obs::DecisionRecord decision;
+      decision.detector = "mgdd";
+      decision.node = id();
+      decision.level = level();
+      decision.virtual_time = now;
+      decision.trace_id = trace;
+      decision.span_id = span;
+      decision.estimate = result.mdef;
+      decision.threshold = threshold;
+      decision.model_version = replica_version_;
+      decision.staleness_s = staleness;
+      decision.degraded = degraded_state_;
+      obs::EmitDecisionRecord(decision);
       if (observer_ != nullptr) {
         OutlierEvent event{DetectorKind::kMgdd, id(),
                            level(),             value,
-                           sim()->Now(),        id(),
-                           local_model_.total_seen()};
+                           now,                 id(),
+                           seq};
         event.degraded = degraded_state_;
+        event.provenance = OutlierProvenance{
+            result.mdef, threshold, replica_version_, staleness, trace};
         observer_->OnOutlierDetected(event);
       }
     }
@@ -139,6 +181,13 @@ void MgddLeafNode::OnReading(const Point& value) {
 void MgddLeafNode::HandleMessage(const Message& msg) {
   if (msg.kind != kMsgGlobalModelUpdate) return;
   const auto& update = std::any_cast<const SharedUpdate&>(msg.payload);
+  if (msg.trace_id != 0) {
+    // Terminal hop of the update chain rooted at mgdd.originate_update.
+    obs::EmitCausalSpan(
+        "mgdd.apply_update", id(), sim()->Now(), msg.trace_id,
+        obs::DeriveSpanId(msg.trace_id, id(), /*salt=*/level()),
+        msg.trace_parent_span);
+  }
   if (global_sample_.empty()) {
     global_sample_.resize(options_.model.sample_size);
     slot_valid_.assign(options_.model.sample_size, false);
@@ -291,9 +340,19 @@ void MgddInternalNode::HandleMessage(const Message& msg) {
       break;
     }
     case kMsgGlobalModelUpdate: {
-      // An update flowing down: relay to all children.
+      // An update flowing down: relay to all children, continuing the
+      // update's causal chain (this relay becomes the children's parent
+      // span).
       const auto& update = std::any_cast<const SharedUpdate&>(msg.payload);
-      BroadcastToChildren(*update);
+      obs::TraceContext ctx{msg.trace_id, msg.trace_parent_span};
+      if (ctx.valid()) {
+        const uint64_t span =
+            obs::DeriveSpanId(ctx.trace_id, id(), /*salt=*/level());
+        obs::EmitCausalSpan("mgdd.relay_update", id(), sim()->Now(),
+                            ctx.trace_id, span, ctx.parent_span);
+        ctx.parent_span = span;
+      }
+      BroadcastToChildren(*update, ctx);
       break;
     }
     case kMsgRejoinAnnounce:
@@ -346,8 +405,6 @@ void MgddInternalNode::HandleSampleValue(const Point& value) {
 }
 
 void MgddInternalNode::MaybeOriginateUpdate() {
-  const obs::TraceSpan trace_span("mgdd.originate_update",
-                                  static_cast<int64_t>(id()), sim()->Now());
   const std::vector<Point> snapshot = model_.sample().Snapshot();
   GlobalModelUpdatePayload payload;
   payload.stddevs = model_.BandwidthSpreads();
@@ -388,7 +445,18 @@ void MgddInternalNode::MaybeOriginateUpdate() {
   ++updates_originated_;
   Metrics().updates_originated->Increment();
   Metrics().update_slots->Record(static_cast<double>(payload.updates.size()));
-  BroadcastToChildren(payload);
+  BroadcastToChildren(payload, OriginateUpdateContext(payload.version));
+}
+
+// Roots an update's causal chain: the trace id is a pure function of
+// (root, version), the originate span its root. Returns the context the
+// broadcast stamps onto every child copy.
+obs::TraceContext MgddInternalNode::OriginateUpdateContext(uint64_t version) {
+  const uint64_t trace = obs::DeriveUpdateTraceId(id(), version);
+  const uint64_t span = obs::DeriveSpanId(trace, id(), /*salt=*/level());
+  obs::EmitCausalSpan("mgdd.originate_update", id(), sim()->Now(), trace,
+                      span, /*parent_span=*/0);
+  return obs::TraceContext{trace, span};
 }
 
 void MgddInternalNode::BroadcastFullSnapshot() {
@@ -407,7 +475,7 @@ void MgddInternalNode::BroadcastFullSnapshot() {
   ++updates_originated_;
   Metrics().updates_originated->Increment();
   Metrics().update_slots->Record(static_cast<double>(payload.updates.size()));
-  BroadcastToChildren(payload);
+  BroadcastToChildren(payload, OriginateUpdateContext(payload.version));
 }
 
 std::vector<uint8_t> MgddInternalNode::SaveState() const {
@@ -473,7 +541,7 @@ void MgddInternalNode::OnRestart(bool restored_from_checkpoint,
 }
 
 void MgddInternalNode::BroadcastToChildren(
-    const GlobalModelUpdatePayload& payload) {
+    const GlobalModelUpdatePayload& payload, const obs::TraceContext& ctx) {
   if (children().empty()) return;
   const auto shared = std::make_shared<const GlobalModelUpdatePayload>(payload);
   const size_t size = payload.SizeNumbers(options_.model.dimensions);
@@ -484,6 +552,8 @@ void MgddInternalNode::BroadcastToChildren(
     msg.kind = kMsgGlobalModelUpdate;
     msg.size_numbers = size;
     msg.payload = SharedUpdate(shared);
+    msg.trace_id = ctx.trace_id;
+    msg.trace_parent_span = ctx.parent_span;
     sim()->Send(std::move(msg));
   }
 }

@@ -37,6 +37,7 @@
 #include "core/outlier_observer.h"
 #include "core/protocol.h"
 #include "data/validate.h"
+#include "obs/trace_context.h"
 #include "net/network.h"
 #include "net/node.h"
 #include "stats/kde.h"
@@ -183,7 +184,11 @@ class MgddInternalNode : public Node {
   void MaybeOriginateUpdate();
   // Pushes every slot of the current sample to the children (root only).
   void BroadcastFullSnapshot();
-  void BroadcastToChildren(const GlobalModelUpdatePayload& payload);
+  // Roots a new update chain (emits the originate span) and returns the
+  // trace context the broadcast stamps onto every child copy.
+  obs::TraceContext OriginateUpdateContext(uint64_t version);
+  void BroadcastToChildren(const GlobalModelUpdatePayload& payload,
+                           const obs::TraceContext& ctx);
 
   MgddOptions options_;
   Rng boot_rng_;  // construction-time rng, replayed by ResetVolatileState

@@ -22,6 +22,30 @@ enum class DetectorKind {
   kMgdd,  ///< MDEF-based, leaf detection against the global model (Section 8)
 };
 
+/// Why the detector decided what it decided (DESIGN.md §11). Attached to
+/// every OutlierEvent so alerting and post-hoc analysis can reconstruct the
+/// decision without replaying the run: the statistic that crossed the
+/// threshold, the model state behind it, and the causal trace the decision
+/// belongs to (joinable against the span JSONL of obs/trace.h).
+struct OutlierProvenance {
+  /// The decision statistic: D3's neighbor-count estimate N(p, r), or
+  /// MGDD's MDEF value.
+  double estimate = 0.0;
+  /// The configured bound the estimate was compared against.
+  double threshold = 0.0;
+  /// Observations behind the deciding model (leaf model for leaf decisions,
+  /// the global model's version tag for MGDD leaf checks).
+  uint64_t model_version = 0;
+  /// Age of the stalest supporting input in virtual seconds: for a D3
+  /// leader, the longest child silence; for an MGDD leaf, the global
+  /// model's age. 0 when the deciding model is the node's own, updated
+  /// this instant.
+  double staleness_s = 0.0;
+  /// Trace id of the causal chain this decision belongs to; 0 when the
+  /// originating message carried no context.
+  uint64_t trace_id = 0;
+};
+
 /// One flagged value.
 struct OutlierEvent {
   DetectorKind detector = DetectorKind::kD3;
@@ -37,6 +61,9 @@ struct OutlierEvent {
   /// the event is best-effort, not backed by fresh data. See the
   /// staleness_threshold knobs in D3Options / MgddOptions.
   bool degraded = false;
+
+  /// Decision provenance (estimate, threshold, model version, trace id).
+  OutlierProvenance provenance = {};
 };
 
 /// Receives detection events. Implementations must tolerate being called

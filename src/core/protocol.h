@@ -58,6 +58,12 @@ struct OutlierReportPayload {
   /// upper levels (and the evaluation harness) identify the observation.
   NodeId source_leaf = kNoNode;
   uint64_t source_seq = 0;
+  /// Virtual time the originating leaf ingested the reading. Upper levels
+  /// subtract it from their decision time to feed the per-tier
+  /// detection.latency_s histograms (DESIGN.md §11). A timestamp the real
+  /// protocol already pays for via source_seq, so not charged again to
+  /// size_numbers.
+  double ingest_time = 0.0;
 };
 
 /// One slot change of the replicated global sample.

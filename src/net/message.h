@@ -49,6 +49,14 @@ struct Message {
   /// restarted peer's reused seq numbers from stale duplicates. Echoed by
   /// acks alongside transport_seq. 0 until the sender's first restart.
   uint32_t transport_epoch = 0;
+  /// Causal trace context (DESIGN.md §11): the trace this message belongs to
+  /// and the span that caused its send, both 0 when untraced. Raw ids, not
+  /// obs types, so net/ stays independent of the obs layer. Out-of-band
+  /// metadata like transport_seq: not charged to size_numbers, and carried
+  /// verbatim through transport retransmits (the transport retains the whole
+  /// Message) so a retransmitted report still joins its original chain.
+  uint64_t trace_id = 0;
+  uint64_t trace_parent_span = 0;
   /// Opaque payload; receivers std::any_cast to the struct the kind implies.
   std::any payload;
 };

@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -45,7 +46,13 @@ Simulator::Simulator(SimulatorOptions options)
   // Amnesia crashes need a restart event at the interval's end; omission
   // crashes recover implicitly (IsNodeUp flips) and keep their memory.
   faults_.SetCrashListener(
-      [this](NodeId node, SimTime /*from*/, SimTime until, CrashKind kind) {
+      [this](NodeId node, SimTime from, SimTime until, CrashKind kind) {
+        // The node's black box dumps at crash onset — the moment the fault
+        // takes hold is exactly when its recent history matters. Dump() is a
+        // no-op when the recorder is disabled, so goldens are unaffected.
+        queue_.ScheduleAt(from, [this, node]() {
+          obs::FlightRecorder::Dump(node, "crash", Now());
+        });
         if (kind != CrashKind::kAmnesia) return;
         if (until == FaultSchedule::kForever) return;  // never comes back
         // Scheduled as soon as the crash is configured, so the restart
@@ -121,6 +128,8 @@ void Simulator::Send(Message msg) {
 
 void Simulator::Transmit(const Message& msg) {
   stats_.RecordSend(msg);
+  obs::FlightRecorder::Record(msg.from, obs::FlightEventKind::kSend, Now(),
+                              msg.to, msg.kind);
   energy_[msg.from] += options_.tx_cost_per_message +
                        options_.tx_cost_per_number *
                            static_cast<double>(msg.size_numbers);
@@ -130,12 +139,16 @@ void Simulator::Transmit(const Message& msg) {
   if (options_.drop_probability > 0.0 &&
       loss_rng_.Bernoulli(options_.drop_probability)) {
     stats_.RecordDrop();
+    obs::FlightRecorder::Record(msg.from, obs::FlightEventKind::kDrop, Now(),
+                                msg.to, msg.kind);
     return;
   }
   const TransmissionPlan plan = faults_.DecideTransmission(msg.from, msg.to,
                                                           Now());
   if (plan.drop) {
     stats_.RecordDrop();
+    obs::FlightRecorder::Record(msg.from, obs::FlightEventKind::kDrop, Now(),
+                                msg.to, msg.kind);
     return;
   }
   for (double extra : plan.extra_delays) {
@@ -148,6 +161,8 @@ void Simulator::Deliver(const Message& msg) {
   if (!faults_.IsNodeUp(msg.to, Now())) {
     // The copy arrived at a crashed receiver: lost like any other drop.
     stats_.RecordDrop();
+    obs::FlightRecorder::Record(msg.to, obs::FlightEventKind::kDrop, Now(),
+                                msg.from, msg.kind);
     return;
   }
   energy_[msg.to] += options_.rx_cost_per_message +
@@ -155,12 +170,17 @@ void Simulator::Deliver(const Message& msg) {
                          static_cast<double>(msg.size_numbers);
   if (delivery_tap_) delivery_tap_(msg);
   if (msg.kind == kMsgTransportAck) {
+    obs::FlightRecorder::Record(msg.to, obs::FlightEventKind::kAck, Now(),
+                                msg.from,
+                                static_cast<int64_t>(msg.transport_seq));
     transport_->HandleAck(msg);  // infrastructure; never reaches the node
     return;
   }
   if (msg.transport_seq != 0 && !transport_->AcceptData(msg)) {
     return;  // duplicate, suppressed (and re-acked) by the transport
   }
+  obs::FlightRecorder::Record(msg.to, obs::FlightEventKind::kDeliver, Now(),
+                              msg.from, msg.kind);
   nodes_[msg.to]->HandleMessage(msg);
 }
 
@@ -172,9 +192,14 @@ void Simulator::DeliverReading(NodeId node, const Point& value) {
     // broken transducer would emit. Clean nodes never pay for the copy.
     Point corrupted = value;
     faults_.PerturbReading(node, Now(), &corrupted);
+    obs::FlightRecorder::Record(node, obs::FlightEventKind::kReading, Now(),
+                                0, 0,
+                                corrupted.empty() ? 0.0 : corrupted[0]);
     nodes_[node]->OnReading(corrupted);
     return;
   }
+  obs::FlightRecorder::Record(node, obs::FlightEventKind::kReading, Now(), 0,
+                              0, value.empty() ? 0.0 : value[0]);
   nodes_[node]->OnReading(value);
 }
 
@@ -186,6 +211,8 @@ void Simulator::CheckpointNow() {
     if (bytes.empty()) continue;  // stateless node; keep any prior snapshot
     Metrics().checkpoints->Increment();
     Metrics().checkpoint_bytes->Record(static_cast<double>(bytes.size()));
+    obs::FlightRecorder::Record(id, obs::FlightEventKind::kCheckpoint, Now(),
+                                0, 0, static_cast<double>(bytes.size()));
     flash_[id] = std::move(bytes);
   }
 }
@@ -215,6 +242,12 @@ void Simulator::RestartNode(NodeId node) {
   } else {
     Metrics().cold_restarts->Increment();
   }
+  obs::FlightRecorder::Record(node, obs::FlightEventKind::kRestart, Now(),
+                              restored ? 1 : 0,
+                              transport_->incarnation(node));
+  // The window between dumps covers exactly the rejoin transition: whatever
+  // the node did between crash onset (the "crash" dump) and coming back.
+  obs::FlightRecorder::Dump(node, "rejoin", Now());
   n.OnRestart(restored, transport_->incarnation(node));
 }
 

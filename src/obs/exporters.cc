@@ -1,5 +1,6 @@
 #include "obs/exporters.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -58,7 +59,20 @@ void AppendJsonSection(std::string& out, const char* section,
                ",\"mean\":" + JsonNumber(mean) +
                ",\"p50\":" + JsonNumber(m.hist_p50) +
                ",\"p95\":" + JsonNumber(m.hist_p95) +
-               ",\"p99\":" + JsonNumber(m.hist_p99) + "}";
+               ",\"p99\":" + JsonNumber(m.hist_p99);
+        // Buckets in ascending boundary order (snapshot order), trailing
+        // overflow bucket last, so same-seed artifacts diff byte-for-byte.
+        out += ",\"boundaries\":[";
+        for (size_t i = 0; i < m.hist_boundaries.size(); ++i) {
+          if (i != 0) out += ",";
+          out += JsonNumber(m.hist_boundaries[i]);
+        }
+        out += "],\"buckets\":[";
+        for (size_t i = 0; i < m.hist_buckets.size(); ++i) {
+          if (i != 0) out += ",";
+          out += std::to_string(m.hist_buckets[i]);
+        }
+        out += "]}";
         break;
       }
     }
@@ -123,8 +137,15 @@ Status WriteBenchJson(const std::string& path, const std::string& bench_name,
   std::string doc = "{\"schema\":\"sensord.bench.v1\",\"bench\":";
   doc += JsonString(bench_name);
   doc += ",\"results\":{";
+  // Result keys print sorted regardless of the order the harness collected
+  // them, so two runs of the same bench emit diff-stable documents.
+  BenchResults sorted_results = results;
+  std::stable_sort(sorted_results.begin(), sorted_results.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
   bool first = true;
-  for (const auto& [key, value] : results) {
+  for (const auto& [key, value] : sorted_results) {
     if (!first) doc += ",";
     first = false;
     doc += JsonString(key);

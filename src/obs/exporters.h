@@ -36,7 +36,10 @@ void PrintMetricsTable(const MetricsRegistry& registry, std::FILE* out);
 std::string MetricsToJson(const MetricsRegistry& registry);
 
 /// Writes a BENCH_*.json perf record: {"schema":"sensord.bench.v1",
-/// "bench":name,"results":{…},"metrics":{…}}. Returns IoError on failure.
+/// "bench":name,"results":{…},"metrics":{…}}. Result keys are emitted in
+/// sorted order (independent of harness collection order) and histogram
+/// buckets ascending, so same-configuration runs produce diffable
+/// documents. Returns IoError on failure.
 Status WriteBenchJson(const std::string& path, const std::string& bench_name,
                       const BenchResults& results,
                       const MetricsRegistry& registry);

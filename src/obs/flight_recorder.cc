@@ -1,0 +1,181 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace sensord::obs {
+
+namespace internal {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// One node's ring: a fixed vector written modulo capacity. `total` counts
+// every event ever recorded since the last dump/clear, so dumps can report
+// how many events the ring evicted.
+struct Ring {
+  std::vector<FlightEvent> slots;
+  uint64_t total = 0;  // events recorded since the last dump
+};
+
+// Rings, capacity, and the dump sink change together; one mutex guards them
+// all (the trace-sink model: hot-path gate is the atomic, everything else
+// locks).
+struct RecorderState {
+  std::mutex mu;
+  size_t capacity GUARDED_BY(mu) = 64;
+  std::map<int64_t, Ring> rings GUARDED_BY(mu);
+  FILE* sink GUARDED_BY(mu) = nullptr;
+};
+
+RecorderState& State() {
+  // Leaked: dumps from static destructors must still find live state.
+  static RecorderState* state = new RecorderState();
+  return *state;
+}
+
+// Writes one event line. The caller holds the state mutex and has checked
+// the sink. Values are %.9g — same rendering as the span sink, so two
+// same-seed runs print identical bytes.
+void WriteEventLine(FILE* sink, int64_t node, const FlightEvent& e) {
+  std::fprintf(sink,
+               "{\"fr\":\"%s\",\"node\":%lld,\"vt\":%.9g,\"a\":%lld,"
+               "\"b\":%lld,\"value\":%.9g}\n",
+               FlightEventKindName(e.kind), static_cast<long long>(node),
+               e.vt, static_cast<long long>(e.a), static_cast<long long>(e.b),
+               e.value);
+}
+
+// Dumps one ring. The caller holds the state mutex.
+void DumpRingLocked(RecorderState& state, int64_t node, Ring& ring,
+                    const char* reason, double vt) {
+  if (state.sink == nullptr || ring.total == 0) return;
+  const size_t kept =
+      ring.total < ring.slots.size() ? static_cast<size_t>(ring.total)
+                                     : ring.slots.size();
+  std::fprintf(state.sink,
+               "{\"flight\":\"%s\",\"node\":%lld,\"vt\":%.9g,\"events\":%zu,"
+               "\"evicted\":%llu}\n",
+               reason, static_cast<long long>(node), vt, kept,
+               static_cast<unsigned long long>(ring.total - kept));
+  // Oldest first: the ring's write cursor is total % capacity, so the
+  // oldest retained slot sits right at the cursor once the ring has lapped.
+  const size_t start =
+      ring.total < ring.slots.size()
+          ? 0
+          : static_cast<size_t>(ring.total % ring.slots.size());
+  for (size_t i = 0; i < kept; ++i) {
+    WriteEventLine(state.sink, node,
+                   ring.slots[(start + i) % ring.slots.size()]);
+  }
+  ring.total = 0;
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kReading: return "reading";
+    case FlightEventKind::kSend: return "send";
+    case FlightEventKind::kDeliver: return "deliver";
+    case FlightEventKind::kDrop: return "drop";
+    case FlightEventKind::kAck: return "ack";
+    case FlightEventKind::kCheckpoint: return "checkpoint";
+    case FlightEventKind::kRestart: return "restart";
+    case FlightEventKind::kQuarantine: return "quarantine";
+    case FlightEventKind::kRejoin: return "rejoin";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::Enable(size_t capacity_per_node) {
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.capacity = capacity_per_node < 1 ? 1 : capacity_per_node;
+  state.rings.clear();
+  internal::g_flight_enabled.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Disable() {
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  internal::g_flight_enabled.store(false, std::memory_order_release);
+  state.rings.clear();
+}
+
+Status FlightRecorder::OpenDumpSink(const std::string& path) {
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.sink != nullptr) {
+    std::fclose(state.sink);
+    state.sink = nullptr;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open flight dump sink: " + path);
+  }
+  state.sink = f;
+  return Status::Ok();
+}
+
+void FlightRecorder::CloseDumpSink() {
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.sink != nullptr) {
+    std::fclose(state.sink);
+    state.sink = nullptr;
+  }
+}
+
+void FlightRecorder::RecordSlow(int64_t node, FlightEventKind kind, double vt,
+                                int64_t a, int64_t b, double value) {
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  // Enable() may have lost a race with the gate check; re-check under the
+  // lock so a ring is never touched after Disable() cleared it.
+  if (!internal::g_flight_enabled.load(std::memory_order_relaxed)) return;
+  Ring& ring = state.rings[node];
+  if (ring.slots.size() != state.capacity) {
+    ring.slots.assign(state.capacity, FlightEvent{});
+    ring.total = 0;
+  }
+  ring.slots[static_cast<size_t>(ring.total % ring.slots.size())] =
+      FlightEvent{vt, kind, a, b, value};
+  ++ring.total;
+}
+
+void FlightRecorder::Dump(int64_t node, const char* reason, double vt) {
+  if (!Enabled()) return;
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.rings.find(node);
+  if (it == state.rings.end()) return;
+  DumpRingLocked(state, node, it->second, reason, vt);
+}
+
+void FlightRecorder::DumpAll(const char* reason) {
+  if (!Enabled()) return;
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  // std::map: ascending node id, deterministic dump order.
+  for (auto& [node, ring] : state.rings) {
+    DumpRingLocked(state, node, ring, reason, 0.0);
+  }
+}
+
+size_t FlightRecorder::BufferedEventsForTest(int64_t node) {
+  RecorderState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.rings.find(node);
+  if (it == state.rings.end()) return 0;
+  const Ring& ring = it->second;
+  return ring.total < ring.slots.size() ? static_cast<size_t>(ring.total)
+                                        : ring.slots.size();
+}
+
+}  // namespace sensord::obs

@@ -172,6 +172,11 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
     s.hist_p50 = hist->Quantile(0.50);
     s.hist_p95 = hist->Quantile(0.95);
     s.hist_p99 = hist->Quantile(0.99);
+    s.hist_boundaries = hist->boundaries();
+    s.hist_buckets.reserve(s.hist_boundaries.size() + 1);
+    for (size_t i = 0; i <= s.hist_boundaries.size(); ++i) {
+      s.hist_buckets.push_back(hist->BucketCount(i));
+    }
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -198,6 +203,10 @@ std::vector<double> SizeBoundaries() {
 
 std::vector<double> DurationBoundariesS() {
   return Histogram::ExponentialBoundaries(0.125, 2.0, 16);
+}
+
+std::vector<double> DetectionLatencyBoundariesS() {
+  return Histogram::ExponentialBoundaries(1e-4, 2.0, 24);
 }
 
 }  // namespace sensord::obs

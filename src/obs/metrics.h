@@ -147,6 +147,11 @@ struct MetricSnapshot {
   double hist_p50 = 0.0;
   double hist_p95 = 0.0;
   double hist_p99 = 0.0;
+  /// Bucket layout in ascending boundary order (buckets has one extra
+  /// trailing overflow entry), so exporters emit buckets in a stable order
+  /// and same-seed artifacts diff cleanly.
+  std::vector<double> hist_boundaries;
+  std::vector<uint64_t> hist_buckets;
 };
 
 /// Registry of metrics by dotted name. Registration is idempotent: asking
@@ -191,6 +196,12 @@ class MetricsRegistry {
   /// conceptually monotonic.
   void ResetValues();
 
+  /// Zeroes the *global* registry — the canonical way a test isolates
+  /// itself from counters earlier tests bled into Global(). Prefer the
+  /// ScopedMetricsReset RAII below, which also re-zeroes on scope exit so
+  /// the test leaves no residue for its successors either.
+  static void ResetForTest() { Global().ResetValues(); }
+
  private:
   // Rejects (SENSORD_CHECK) `name` registered under a different kind.
   void CheckKindCollision(const std::string& name, MetricKind kind) const
@@ -213,6 +224,24 @@ std::vector<double> SizeBoundaries();
 /// Used by recovery metrics (e.g. recovery.time_to_recover_s) whose values
 /// are simulated seconds, not wall-clock nanoseconds.
 std::vector<double> DurationBoundariesS();
+
+/// The detection-latency layout: exponential 0.1ms .. ~840s of *virtual*
+/// time. Sized for the detection.latency_s.level<N> histograms (DESIGN.md
+/// §11): one hop costs ~1ms, so sub-second chains need sub-millisecond
+/// resolution, while retransmit-delayed escalations reach tens of seconds.
+std::vector<double> DetectionLatencyBoundariesS();
+
+/// Zeroes the global registry on construction AND destruction: the test
+/// body observes only its own increments, and the next test inherits a
+/// clean slate regardless of how this one exits.
+class ScopedMetricsReset {
+ public:
+  ScopedMetricsReset() { MetricsRegistry::ResetForTest(); }
+  ~ScopedMetricsReset() { MetricsRegistry::ResetForTest(); }
+
+  ScopedMetricsReset(const ScopedMetricsReset&) = delete;
+  ScopedMetricsReset& operator=(const ScopedMetricsReset&) = delete;
+};
 
 }  // namespace sensord::obs
 

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
 #include "util/thread_annotations.h"
 
 namespace sensord::obs {
@@ -111,6 +113,79 @@ void CloseTraceSink() {
 
 bool TraceSinkEnabled() {
   return g_sink_enabled.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// Appends one fully formatted JSONL line to the sink, dropping it if the
+// sink closed between the enabled check and the write (the TraceSpan
+// straddle contract) or if the formatter overflowed its buffer.
+void AppendSinkLine(const char* line, int len, int cap) {
+  if (len <= 0 || len >= cap) return;
+  SinkState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file == nullptr) return;
+  std::fwrite(line, 1, static_cast<size_t>(len), state.file);
+}
+
+}  // namespace
+
+void EmitCausalSpan(const char* name, int64_t node, double virtual_time,
+                    uint64_t trace_id, uint64_t span_id,
+                    uint64_t parent_span) {
+  if (!TraceSinkEnabled()) return;
+  char line[320];
+  const int len = std::snprintf(
+      line, sizeof(line),
+      "{\"name\":\"%s\",\"node\":%lld,\"vt\":%.9g,\"trace\":%llu,"
+      "\"span\":%llu,\"parent\":%llu}\n",
+      name, static_cast<long long>(node), virtual_time,
+      static_cast<unsigned long long>(trace_id),
+      static_cast<unsigned long long>(span_id),
+      static_cast<unsigned long long>(parent_span));
+  AppendSinkLine(line, len, static_cast<int>(sizeof(line)));
+}
+
+void EmitDecisionRecord(const DecisionRecord& record) {
+  if (!TraceSinkEnabled()) return;
+  char line[448];
+  const int len = std::snprintf(
+      line, sizeof(line),
+      "{\"decision\":\"%s\",\"node\":%lld,\"level\":%d,\"vt\":%.9g,"
+      "\"trace\":%llu,\"span\":%llu,\"estimate\":%.9g,\"threshold\":%.9g,"
+      "\"model_version\":%llu,\"staleness_s\":%.9g,\"degraded\":%d,"
+      "\"latency_s\":%.9g}\n",
+      record.detector, static_cast<long long>(record.node), record.level,
+      record.virtual_time, static_cast<unsigned long long>(record.trace_id),
+      static_cast<unsigned long long>(record.span_id), record.estimate,
+      record.threshold, static_cast<unsigned long long>(record.model_version),
+      record.staleness_s, record.degraded ? 1 : 0, record.latency_s);
+  AppendSinkLine(line, len, static_cast<int>(sizeof(line)));
+}
+
+bool InitTracingFromEnv() {
+  bool any = false;
+  if (const char* path = std::getenv("SENSORD_TRACE_JSONL");
+      path != nullptr && *path != '\0') {
+    if (OpenTraceSink(path).ok()) any = true;
+  }
+  if (const char* path = std::getenv("SENSORD_FLIGHT_JSONL");
+      path != nullptr && *path != '\0') {
+    if (FlightRecorder::OpenDumpSink(path).ok()) {
+      FlightRecorder::Enable();
+      any = true;
+    }
+  }
+  return any;
+}
+
+void ShutdownTracingFromEnv() {
+  if (FlightRecorder::Enabled()) {
+    FlightRecorder::DumpAll("shutdown");
+    FlightRecorder::Disable();
+  }
+  FlightRecorder::CloseDumpSink();
+  CloseTraceSink();
 }
 
 namespace internal {

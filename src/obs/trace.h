@@ -110,6 +110,47 @@ void CloseTraceSink();
 /// True while a sink is open.
 bool TraceSinkEnabled();
 
+/// Appends one *causal* span record to the sink — a span carrying the
+/// trace/span/parent ids of DESIGN.md §11 in addition to the usual
+/// name/node/vt fields, so tools/trace/trace_report.py can join spans into
+/// per-decision chains. Instantaneous (begin == end == the current span
+/// clock). One relaxed atomic load and nothing else when no sink is open.
+/// `name` must be a short identifier without '"' or '\'.
+void EmitCausalSpan(const char* name, int64_t node, double virtual_time,
+                    uint64_t trace_id, uint64_t span_id, uint64_t parent_span);
+
+/// The provenance of one detection decision, mirrored from OutlierEvent
+/// (core/outlier_observer.h) into the trace sink so reports can explain
+/// every decision without the binary's observer hooks.
+struct DecisionRecord {
+  const char* detector = "";  ///< "d3" | "mgdd" (short literal)
+  int64_t node = -1;
+  int level = 1;
+  double virtual_time = 0.0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;    ///< the deciding span (chain walk starts here)
+  double estimate = 0.0;   ///< N(p,r) or MDEF value at decision time
+  double threshold = 0.0;  ///< the configured bound it was compared against
+  uint64_t model_version = 0;  ///< observations behind the deciding model
+  double staleness_s = 0.0;    ///< age of the stalest supporting input
+  bool degraded = false;
+  double latency_s = 0.0;  ///< ingest → this decision, virtual seconds
+};
+
+/// Appends one decision record to the sink. Same cost contract as
+/// EmitCausalSpan when the sink is closed.
+void EmitDecisionRecord(const DecisionRecord& record);
+
+/// Opens trace sinks named by the environment:
+///   SENSORD_TRACE_JSONL=<path>   — the causal span sink (OpenTraceSink)
+///   SENSORD_FLIGHT_JSONL=<path>  — enables the flight recorder and opens
+///                                  its dump sink (obs/flight_recorder.h)
+/// Returns true if either sink was opened. Bench harnesses and examples
+/// call this once at startup; ShutdownTracingFromEnv() flushes and closes
+/// both (dumping every flight ring first, reason "shutdown").
+bool InitTracingFromEnv();
+void ShutdownTracingFromEnv();
+
 namespace internal {
 /// Current span timestamp in nanoseconds under the active clock mode:
 /// kWall → MonotonicNowNs(); kVirtual → the installed virtual clock, or

@@ -1,0 +1,92 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Deterministic causal-trace identifiers (DESIGN.md §11).
+//
+// A *trace* is the causal tree of one detection decision: the leaf reading
+// that started it, every message hop it rode (including transport
+// retransmits — the stored Message carries the ids), and the spans emitted
+// at each tier. Ids must be reproducible — two same-seed runs emit
+// byte-identical trace JSONL — so they are pure hashes of simulation-domain
+// quantities (node id, reading sequence number, hierarchy level), never
+// wall-clock or entropy reads (tools/lint/sensord_lint.py enforces this
+// repo-wide).
+//
+// Derivation scheme:
+//   trace id  = Mix(leaf id, reading seq)         one per flagged reading
+//   trace id  = Mix(root id, version | kUpdate)   one per global-model push
+//   span id   = Mix(trace id, node id, salt)      one per hop/evaluation
+//
+// Mix is the splitmix64 finalizer — cheap, stateless, and well distributed;
+// collisions across a simulation's lifetime are negligible (ids are 64-bit)
+// and would only merge two chains in a report, never corrupt the run.
+
+#ifndef SENSORD_OBS_TRACE_CONTEXT_H_
+#define SENSORD_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace sensord::obs {
+
+/// splitmix64 finalizer: a stateless 64-bit mixer.
+constexpr uint64_t MixTraceBits(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Domain tags keep reading-rooted and update-rooted traces from colliding
+/// even when a node id and a sequence number happen to coincide.
+inline constexpr uint64_t kTraceDomainReading = 0x52EAD117ULL;
+inline constexpr uint64_t kTraceDomainUpdate = 0x0BDA7E05ULL;
+
+/// Detector tags fold into reading-rooted trace ids so one process running
+/// both detectors over the same node ids and sequence numbers (two
+/// Simulators sharing one sink, e.g. examples/trace_outliers) derives
+/// disjoint traces. Both sides of a message derive with the same tag, so
+/// the pre-tracing re-derivation fallback stays exact.
+inline constexpr uint64_t kTraceDetectorD3 = 0;
+inline constexpr uint64_t kTraceDetectorMgdd = 0x4D47ULL << 32;
+
+/// Trace id of the causal tree rooted at reading `seq` of leaf `node`,
+/// flagged by the detector named with `detector_tag`. Never zero (zero
+/// means "no trace context").
+constexpr uint64_t DeriveReadingTraceId(uint64_t node, uint64_t seq,
+                                        uint64_t detector_tag = 0) {
+  const uint64_t id = MixTraceBits(
+      MixTraceBits(kTraceDomainReading ^ detector_tag ^ (node << 1)) ^ seq);
+  return id == 0 ? 1 : id;
+}
+
+/// Trace id of the causal tree rooted at global-model update `version`
+/// originated by `node` (the MGDD root). Never zero.
+constexpr uint64_t DeriveUpdateTraceId(uint64_t node, uint64_t version) {
+  const uint64_t id =
+      MixTraceBits(MixTraceBits(kTraceDomainUpdate ^ (node << 1)) ^ version);
+  return id == 0 ? 1 : id;
+}
+
+/// Span id of one hop/evaluation inside `trace_id` at `node`; `salt`
+/// disambiguates multiple spans of the same node in one trace (hierarchy
+/// level, relay depth). Never zero.
+constexpr uint64_t DeriveSpanId(uint64_t trace_id, uint64_t node,
+                                uint64_t salt) {
+  const uint64_t id =
+      MixTraceBits(trace_id ^ MixTraceBits((node << 20) ^ salt));
+  return id == 0 ? 1 : id;
+}
+
+/// The causal context a message carries across hops (mirrored in
+/// net/message.h as two raw fields so net/ stays independent of obs/).
+/// trace_id == 0 means "not part of any trace" — the zero-initialized
+/// default of every Message.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+
+  constexpr bool valid() const { return trace_id != 0; }
+};
+
+}  // namespace sensord::obs
+
+#endif  // SENSORD_OBS_TRACE_CONTEXT_H_

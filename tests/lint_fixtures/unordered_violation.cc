@@ -1,5 +1,5 @@
 // sensord_lint fixture: the determinism-unordered rule must fire EXACTLY
-// TWICE (the range-for feeding Send and the one feeding PutU64 below); the
+// THREE times (the range-fors feeding Send, PutU64 and Record below); the
 // same loop shapes that stay local must not fire. Not compiled into any
 // target.
 #include <cstdint>
@@ -66,6 +66,21 @@ struct Checkpointer {
     std::vector<uint64_t> keys;
     for (const auto& [key, value] : pending) keys.push_back(key);
     return keys;
+  }
+};
+
+struct FakeFlightRecorder {
+  void Record(uint64_t node, double vt) { slots.push_back(node + vt); }
+  std::vector<double> slots;
+};
+
+struct CrashDumper {
+  std::unordered_map<uint64_t, double> last_seen;
+
+  // VIOLATION: hash-iteration order leaks into the flight-recorder ring,
+  // so two same-seed runs dump their rings in different orders.
+  void SnapshotToRing(FakeFlightRecorder& recorder) const {
+    for (const auto& [node, vt] : last_seen) recorder.Record(node, vt);
   }
 };
 

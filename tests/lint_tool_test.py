@@ -69,13 +69,14 @@ class DeterminismClockRule(unittest.TestCase):
 
 
 class DeterminismUnorderedRule(unittest.TestCase):
-    def test_fires_exactly_twice_on_fixture(self):
+    def test_fires_exactly_thrice_on_fixture(self):
         code, out = run_lint("--rules", "determinism", "--scan",
                              os.path.join(FIXTURES, "unordered_violation.cc"))
         self.assertEqual(code, 1, out)
-        self.assertEqual(count_rule(out, "determinism-unordered"), 2, out)
+        self.assertEqual(count_rule(out, "determinism-unordered"), 3, out)
         self.assertIn("readings", out)
         self.assertIn("pending", out)
+        self.assertIn("last_seen", out)
         self.assertEqual(count_rule(out, "determinism-clock"), 0, out)
 
 

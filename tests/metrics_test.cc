@@ -208,6 +208,48 @@ TEST(RegistryTest, ResetValuesZeroesWithoutInvalidatingPointers) {
   EXPECT_EQ(c->value(), 1u);
 }
 
+TEST(RegistryTest, ResetForTestClearsTheGlobalRegistry) {
+  Counter* c = MetricsRegistry::Global().GetCounter("g.reset.counter");
+  c->Increment(9);
+  MetricsRegistry::ResetForTest();
+  EXPECT_EQ(c->value(), 0u);
+  // Still the same registration: pointers survive the reset.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("g.reset.counter"), c);
+}
+
+TEST(RegistryTest, ScopedMetricsResetRestoresACleanSlate) {
+  Counter* c = MetricsRegistry::Global().GetCounter("g.scoped.counter");
+  {
+    const ScopedMetricsReset scoped_reset;
+    EXPECT_EQ(c->value(), 0u);  // entry reset cleared any prior value
+    c->Increment(4);
+    EXPECT_EQ(c->value(), 4u);
+  }
+  EXPECT_EQ(c->value(), 0u);  // exit reset cleaned up after the scope
+}
+
+TEST(SnapshotTest, HistogramSnapshotCarriesBoundariesAndBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("s.hist", {10.0, 20.0});
+  h->Record(5.0);
+  h->Record(15.0);
+  h->Record(15.5);
+  h->Record(100.0);  // overflow
+  const std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].hist_boundaries, (std::vector<double>{10.0, 20.0}));
+  // One bucket per boundary plus the trailing overflow bucket.
+  EXPECT_EQ(snap[0].hist_buckets, (std::vector<uint64_t>{1, 2, 1}));
+}
+
+TEST(StandardBoundariesTest, DetectionLatencyLayoutIsUsable) {
+  const std::vector<double> b = DetectionLatencyBoundariesS();
+  ASSERT_EQ(b.size(), 24u);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-4);  // sub-millisecond decisions resolve
+  EXPECT_GE(b.back(), 100.0);         // multi-minute staleness still lands
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
 TEST(StandardBoundariesTest, LatencyAndSizeLayoutsAreUsable) {
   const std::vector<double> lat = LatencyBoundariesNs();
   ASSERT_FALSE(lat.empty());

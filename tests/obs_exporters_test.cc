@@ -84,6 +84,48 @@ TEST(WriteBenchJsonTest, WritesSchemaResultsAndMetrics) {
   std::remove(path.c_str());
 }
 
+TEST(MetricsToJsonTest, HistogramsCarrySortedBoundariesAndBuckets) {
+  const std::string json = MetricsToJson(PopulatedRegistry());
+  // LinearBoundaries(1, 1, 4) -> [1,2,3,4]; records 1,2,3 land in the first
+  // three buckets (right-inclusive), overflow bucket trails empty.
+  const size_t pos = json.find("\"boundaries\":[1,2,3,4]");
+  ASSERT_NE(pos, std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":[1,1,1,0,0]"), std::string::npos) << json;
+}
+
+// Machine-diffable artifacts: two writes of the same registry are
+// byte-identical, and results print sorted by key regardless of the order
+// AddResult saw them.
+TEST(WriteBenchJsonTest, OutputIsStableAndResultsAreSorted) {
+  const std::string path_a = ::testing::TempDir() + "obs_bench_sorted_a.json";
+  const std::string path_b = ::testing::TempDir() + "obs_bench_sorted_b.json";
+  const BenchResults results = {{"zeta_metric", 3.0},
+                                {"alpha_metric", 1.0},
+                                {"mid_metric", 2.0}};
+  ASSERT_TRUE(
+      WriteBenchJson(path_a, "sorted", results, PopulatedRegistry()).ok());
+  ASSERT_TRUE(
+      WriteBenchJson(path_b, "sorted", results, PopulatedRegistry()).ok());
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string json = slurp(path_a);
+  EXPECT_EQ(json, slurp(path_b));
+  const size_t alpha = json.find("\"alpha_metric\"");
+  const size_t mid = json.find("\"mid_metric\"");
+  const size_t zeta = json.find("\"zeta_metric\"");
+  ASSERT_NE(alpha, std::string::npos) << json;
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zeta);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 TEST(WriteBenchJsonTest, FailsOnUnwritablePath) {
   EXPECT_FALSE(WriteBenchJson("/nonexistent-dir/out.json", "x", {},
                               PopulatedRegistry())

@@ -1,0 +1,174 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sensord::obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// The recorder is process-wide state; every test starts and ends disabled
+// with no sink so order of execution cannot matter.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::Disable();
+    FlightRecorder::CloseDumpSink();
+  }
+  void TearDown() override {
+    FlightRecorder::Disable();
+    FlightRecorder::CloseDumpSink();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledByDefaultAndRecordIsANoOp) {
+  ASSERT_FALSE(FlightRecorder::Enabled());
+  FlightRecorder::Record(1, FlightEventKind::kSend, 0.5, 2, 3, 4.0);
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(1), 0u);
+  // Dumps while disabled are no-ops, not crashes.
+  FlightRecorder::Dump(1, "crash", 0.5);
+  FlightRecorder::DumpAll("shutdown");
+}
+
+TEST_F(FlightRecorderTest, KindNamesAreStable) {
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kReading), "reading");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kSend), "send");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kDeliver), "deliver");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kDrop), "drop");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kAck), "ack");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kCheckpoint),
+               "checkpoint");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kRestart), "restart");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kQuarantine),
+               "quarantine");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kRejoin), "rejoin");
+}
+
+TEST_F(FlightRecorderTest, RingBuffersUpToCapacityThenEvicts) {
+  FlightRecorder::Enable(/*capacity_per_node=*/4);
+  for (int i = 0; i < 3; ++i) {
+    FlightRecorder::Record(7, FlightEventKind::kReading, i, i, 0, 0.0);
+  }
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(7), 3u);
+  for (int i = 3; i < 10; ++i) {
+    FlightRecorder::Record(7, FlightEventKind::kReading, i, i, 0, 0.0);
+  }
+  // Capacity caps the buffer; older events were evicted, not buffered.
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(7), 4u);
+  // Other nodes are untouched.
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(8), 0u);
+}
+
+TEST_F(FlightRecorderTest, DumpWritesHeaderThenEventsOldestFirst) {
+  const std::string path = TempPath("flight_dump_basic.jsonl");
+  FlightRecorder::Enable(/*capacity_per_node=*/3);
+  ASSERT_TRUE(FlightRecorder::OpenDumpSink(path).ok());
+  // 5 events through a 3-slot ring: 0 and 1 evicted, 2..4 retained.
+  for (int i = 0; i < 5; ++i) {
+    FlightRecorder::Record(2, FlightEventKind::kSend, 10.0 + i, i, 1, 0.5);
+  }
+  FlightRecorder::Dump(2, "crash", 14.5);
+  FlightRecorder::CloseDumpSink();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0],
+            "{\"flight\":\"crash\",\"node\":2,\"vt\":14.5,\"events\":3,"
+            "\"evicted\":2}");
+  EXPECT_EQ(lines[1],
+            "{\"fr\":\"send\",\"node\":2,\"vt\":12,\"a\":2,\"b\":1,"
+            "\"value\":0.5}");
+  EXPECT_EQ(lines[2],
+            "{\"fr\":\"send\",\"node\":2,\"vt\":13,\"a\":3,\"b\":1,"
+            "\"value\":0.5}");
+  EXPECT_EQ(lines[3],
+            "{\"fr\":\"send\",\"node\":2,\"vt\":14,\"a\":4,\"b\":1,"
+            "\"value\":0.5}");
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpClearsTheRing) {
+  const std::string path = TempPath("flight_dump_clears.jsonl");
+  FlightRecorder::Enable(/*capacity_per_node=*/8);
+  ASSERT_TRUE(FlightRecorder::OpenDumpSink(path).ok());
+  FlightRecorder::Record(1, FlightEventKind::kCheckpoint, 1.0, 0, 0, 96.0);
+  FlightRecorder::Dump(1, "rejoin", 1.0);
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(1), 0u);
+  // A second dump of the now-empty ring writes nothing: each dump covers
+  // only the window since the previous one.
+  FlightRecorder::Dump(1, "rejoin", 2.0);
+  FlightRecorder::CloseDumpSink();
+  EXPECT_EQ(ReadLines(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpAllWalksNodesInAscendingOrder) {
+  const std::string path = TempPath("flight_dump_all.jsonl");
+  FlightRecorder::Enable(/*capacity_per_node=*/8);
+  ASSERT_TRUE(FlightRecorder::OpenDumpSink(path).ok());
+  // Record against nodes out of order; the dump must sort them.
+  FlightRecorder::Record(9, FlightEventKind::kReading, 1.0);
+  FlightRecorder::Record(3, FlightEventKind::kReading, 1.0);
+  FlightRecorder::Record(5, FlightEventKind::kReading, 1.0);
+  FlightRecorder::DumpAll("shutdown");
+  FlightRecorder::CloseDumpSink();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 6u);  // 3 headers + 3 events
+  EXPECT_NE(lines[0].find("\"flight\":\"shutdown\",\"node\":3"),
+            std::string::npos);
+  EXPECT_NE(lines[2].find("\"node\":5"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"node\":9"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpWithoutSinkIsDropped) {
+  FlightRecorder::Enable(/*capacity_per_node=*/4);
+  FlightRecorder::Record(1, FlightEventKind::kSend, 1.0);
+  FlightRecorder::Dump(1, "crash", 1.0);  // no sink open: silently dropped
+}
+
+TEST_F(FlightRecorderTest, OpenDumpSinkFailsOnUnwritablePath) {
+  const Status s = FlightRecorder::OpenDumpSink("/nonexistent-dir/fr.jsonl");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(FlightRecorderTest, DisableDiscardsBufferedEvents) {
+  FlightRecorder::Enable(/*capacity_per_node=*/4);
+  FlightRecorder::Record(1, FlightEventKind::kSend, 1.0);
+  ASSERT_EQ(FlightRecorder::BufferedEventsForTest(1), 1u);
+  FlightRecorder::Disable();
+  FlightRecorder::Enable(/*capacity_per_node=*/4);
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(1), 0u);
+}
+
+TEST_F(FlightRecorderTest, ReEnableResizesRings) {
+  FlightRecorder::Enable(/*capacity_per_node=*/2);
+  for (int i = 0; i < 5; ++i) {
+    FlightRecorder::Record(1, FlightEventKind::kSend, i);
+  }
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(1), 2u);
+  FlightRecorder::Enable(/*capacity_per_node=*/16);
+  for (int i = 0; i < 5; ++i) {
+    FlightRecorder::Record(1, FlightEventKind::kSend, i);
+  }
+  EXPECT_EQ(FlightRecorder::BufferedEventsForTest(1), 5u);
+}
+
+}  // namespace
+}  // namespace sensord::obs

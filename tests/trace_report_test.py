@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Tests for tools/trace/trace_report.py.
+
+Covers the two contracts the tool must hold:
+  * report mode is forgiving — corrupt, truncated and alien lines (the
+    flight recorder's output is most interesting when the process died
+    mid-write) are counted and skipped, never fatal;
+  * --validate is strict — malformed lines, orphan spans and span-less
+    decisions exit nonzero with a diagnostic.
+
+A seeded fuzz pass mutates a well-formed artifact (truncation, byte noise,
+merged lines) and asserts report mode never raises. Run directly or via
+ctest (trace_report_test).
+"""
+
+import contextlib
+import io
+import os
+import random
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "trace"))
+import trace_report  # noqa: E402
+
+
+def span(name, node, vt, trace, sid, parent):
+    return ('{"name":"%s","node":%d,"vt":%g,"trace":%d,"span":%d,'
+            '"parent":%d}' % (name, node, vt, trace, sid, parent))
+
+
+def decision(node, level, vt, trace, sid):
+    return ('{"decision":"d3","node":%d,"level":%d,"vt":%g,"trace":%d,'
+            '"span":%d,"estimate":3.5,"threshold":10,"model_version":7,'
+            '"staleness_s":0.5,"degraded":0,"latency_s":0.25}'
+            % (node, level, vt, trace, sid))
+
+
+WELL_FORMED_TRACE = [
+    span("d3.leaf.flag", 2, 1.0, 900, 11, 0),
+    span("d3.parent.recheck", 1, 1.5, 900, 12, 11),
+    decision(1, 2, 1.5, 900, 12),
+    span("mgdd.originate_update", 0, 2.0, 901, 21, 0),
+    span("mgdd.apply_update", 3, 2.5, 901, 22, 21),
+    '{"name":"plain.window","node":4,"vt":3,"begin_ns":0,"end_ns":10}',
+]
+
+WELL_FORMED_FLIGHT = [
+    '{"flight":"crash","node":2,"vt":120,"events":2,"evicted":5}',
+    '{"fr":"send","node":2,"vt":119,"a":1,"b":3,"value":0}',
+    '{"fr":"drop","node":2,"vt":119.5,"a":1,"b":3,"value":0}',
+]
+
+
+def write_lines(path, lines):
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def run_main(args):
+    """Runs trace_report.main capturing stdout/stderr; returns (code, out)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+        code = trace_report.main(args)
+    return code, out.getvalue()
+
+
+class TraceReportTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.trace = os.path.join(self.tmp.name, "trace.jsonl")
+        self.flight = os.path.join(self.tmp.name, "flight.jsonl")
+        write_lines(self.trace, WELL_FORMED_TRACE)
+        write_lines(self.flight, WELL_FORMED_FLIGHT)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_validate_passes_on_well_formed_artifact(self):
+        code, out = run_main([self.trace, "--flight", self.flight,
+                              "--validate"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+        self.assertIn("4 causal span(s)", out)
+
+    def test_report_prints_chain_and_latency_table(self):
+        code, out = run_main([self.trace, "--flight", self.flight])
+        self.assertEqual(code, 0, out)
+        self.assertIn("d3.leaf.flag@n2", out)
+        self.assertIn("d3.parent.recheck@n1", out)
+        self.assertIn("latency breakdown", out)
+        self.assertIn("flight dump reason=crash", out)
+
+    def test_validate_rejects_malformed_json(self):
+        with open(self.trace, "a") as f:
+            f.write('{"name":"torn", "nod\n')
+        code, out = run_main([self.trace, "--validate"])
+        self.assertEqual(code, 1, out)
+        self.assertIn("malformed JSON", out)
+
+    def test_validate_rejects_orphan_span(self):
+        with open(self.trace, "a") as f:
+            f.write(span("d3.parent.recheck", 0, 9.0, 900, 13, 999) + "\n")
+        code, out = run_main([self.trace, "--validate"])
+        self.assertEqual(code, 1, out)
+        self.assertIn("orphan span", out)
+
+    def test_validate_rejects_decision_without_span(self):
+        with open(self.trace, "a") as f:
+            f.write(decision(5, 3, 9.0, 900, 77) + "\n")
+        code, out = run_main([self.trace, "--validate"])
+        self.assertEqual(code, 1, out)
+        self.assertIn("no emitted span", out)
+
+    def test_validate_rejects_record_missing_required_key(self):
+        with open(self.trace, "a") as f:
+            # A causal span missing its "parent" key.
+            f.write('{"name":"x","node":1,"vt":1,"trace":5,"span":6}\n')
+        code, out = run_main([self.trace, "--validate"])
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing", out)
+
+    def test_report_skips_malformed_lines(self):
+        corrupted = WELL_FORMED_TRACE + [
+            '{"name":"torn", "nod',          # truncated mid-key
+            "not json at all",
+            '{"mystery":1}',                 # unknown shape
+            '{"fr":"send","node":1}',        # flight event missing keys
+        ]
+        write_lines(self.trace, corrupted)
+        code, out = run_main([self.trace])
+        self.assertEqual(code, 0, out)
+        self.assertIn("skipped 4 malformed line(s)", out)
+        self.assertIn("d3.leaf.flag@n2", out)
+
+    def test_report_survives_corrupt_flight_dump(self):
+        # Simulate a process dying mid-dump: header torn off, stray events.
+        write_lines(self.flight, [
+            '{"fr":"send","node":2,"vt":1,"a":0,"b":0,"value":0}',
+            '{"flight":"crash","node":2,"vt":2,"events":1,"evic',
+            '{"fr":"ack","node":2,"vt":3,"a":1,"b":9,"value":0}',
+        ])
+        code, out = run_main([self.trace, "--flight", self.flight])
+        self.assertEqual(code, 0, out)
+
+    def test_missing_file_is_fatal_in_validate(self):
+        code, out = run_main([os.path.join(self.tmp.name, "absent.jsonl"),
+                              "--validate"])
+        self.assertEqual(code, 1, out)
+
+    def test_max_chains_truncates_deterministically(self):
+        lines = list(WELL_FORMED_TRACE)
+        for i in range(5):
+            lines.append(span("d3.leaf.flag", 3, 4.0 + i, 910 + i, 31, 0))
+            lines.append(decision(3, 1, 4.0 + i, 910 + i, 31))
+        write_lines(self.trace, lines)
+        code, out = run_main([self.trace, "--max-chains", "2"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("4 more decision(s)", out)
+
+    def test_fuzzed_artifacts_never_raise_in_report_mode(self):
+        rng = random.Random(0x5EED)
+        base = "\n".join(WELL_FORMED_TRACE * 4) + "\n"
+        for trial in range(200):
+            data = list(base)
+            for _ in range(rng.randrange(1, 8)):
+                mutation = rng.randrange(3)
+                pos = rng.randrange(len(data))
+                if mutation == 0:
+                    data[pos] = chr(rng.randrange(32, 127))   # byte noise
+                elif mutation == 1:
+                    data[pos] = ""                            # deletion
+                else:
+                    data[pos] = rng.choice(["\n", "{", '"'])  # structure
+            blob = "".join(data)
+            if rng.randrange(2):
+                blob = blob[:rng.randrange(len(blob))]        # truncation
+            write_lines(self.trace, [blob])
+            code, out = run_main([self.trace])
+            self.assertEqual(code, 0,
+                             "fuzz trial %d crashed:\n%s" % (trial, out))
+
+    def test_validate_is_deterministic_on_the_same_input(self):
+        _, first = run_main([self.trace, "--flight", self.flight])
+        _, second = run_main([self.trace, "--flight", self.flight])
+        self.assertEqual(first, second)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -113,6 +113,10 @@ SINK_EXACT = {
     # the same seed (the replay tests compare them), so hash-order writes
     # are as bad as hash-order sends.
     "Serialize", "SaveState",
+    # Flight-recorder / causal-trace emit paths: ring records and span lines
+    # land in byte-compared JSONL artifacts, so feeding them from a
+    # hash-ordered loop breaks same-seed dump identity.
+    "Record", "Dump", "DumpAll", "EmitCausalSpan", "EmitDecisionRecord",
 }
 SINK_PREFIX = ("Write", "Export", "Append", "Put")
 

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Joins sensord causal-trace and flight-recorder JSONL into a report.
+
+The trace sink (src/obs/trace.h) emits three record shapes, distinguished by
+key presence:
+
+  * causal spans     — {"name", "node", "vt", "trace", "span", "parent"}
+  * decision records — {"decision", "node", "level", "vt", "trace", "span",
+                        "estimate", "threshold", "model_version",
+                        "staleness_s", "degraded", "latency_s"}
+  * plain spans      — {"name", "node", "vt", "begin_ns", "end_ns"}
+                       (latency profiling; not part of any causal chain)
+
+The flight-recorder sink (src/obs/flight_recorder.h) emits dump headers
+({"flight", "node", "vt", "events", "evicted"}) followed by event lines
+({"fr", "node", "vt", "a", "b", "value"}).
+
+Report mode (default) prints, deterministically for a deterministic input:
+  * one causal chain per decision record, leaf-to-deciding-node order,
+  * a per-tier latency breakdown over the decision records,
+  * a flight-dump summary when --flight is given.
+
+Validate mode (--validate) is the CI gate: every line must parse, every
+causal span's parent must exist within its trace, and every decision's span
+must have been emitted. Exit 1 on the first class of violation found.
+
+Outside --validate, malformed lines (truncated writes, corrupted dumps) are
+counted and skipped, never fatal — a flight recorder's output is most
+interesting exactly when the process died mid-write.
+"""
+
+import argparse
+import json
+import sys
+from collections import OrderedDict
+
+
+def classify(record):
+    """Returns one of 'causal', 'decision', 'plain', 'flight_header',
+    'flight_event', or 'unknown'."""
+    if not isinstance(record, dict):
+        return "unknown"
+    if "decision" in record:
+        return "decision"
+    if "flight" in record:
+        return "flight_header"
+    if "fr" in record:
+        return "flight_event"
+    if "name" in record and "trace" in record and "span" in record:
+        return "causal"
+    if "name" in record:
+        return "plain"
+    return "unknown"
+
+
+REQUIRED_KEYS = {
+    "causal": ("name", "node", "vt", "trace", "span", "parent"),
+    "decision": ("decision", "node", "level", "vt", "trace", "span",
+                 "estimate", "threshold", "latency_s"),
+    "flight_header": ("flight", "node", "vt", "events", "evicted"),
+    "flight_event": ("fr", "node", "vt", "a", "b", "value"),
+}
+
+
+def parse_lines(path, strict, errors):
+    """Yields (line_number, record) for each parseable line of `path`.
+
+    In strict mode every defect is appended to `errors`; otherwise defects
+    are skipped and only counted (errors receives nothing)."""
+    skipped = 0
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    if strict:
+                        errors.append(f"{path}:{lineno}: malformed JSON")
+                    skipped += 1
+                    continue
+                kind = classify(record)
+                required = REQUIRED_KEYS.get(kind, ())
+                missing = [k for k in required if k not in record]
+                if kind == "unknown" or missing:
+                    if strict:
+                        what = ("unrecognized record shape" if kind == "unknown"
+                                else f"{kind} record missing {missing}")
+                        errors.append(f"{path}:{lineno}: {what}")
+                    skipped += 1
+                    continue
+                yield lineno, kind, record
+    except OSError as e:
+        errors.append(f"{path}: {e}")
+    if skipped and not strict:
+        print(f"note: skipped {skipped} malformed line(s) in {path}")
+
+
+class TraceIndex:
+    """Causal spans keyed by (trace, span), decisions in file order."""
+
+    def __init__(self):
+        self.spans = {}       # (trace, span) -> record
+        self.decisions = []   # file order
+        self.plain_spans = 0
+
+    def add(self, kind, record):
+        if kind == "causal":
+            self.spans[(record["trace"], record["span"])] = record
+        elif kind == "decision":
+            self.decisions.append(record)
+        elif kind == "plain":
+            self.plain_spans += 1
+
+    def chain_for(self, trace, span):
+        """Walks parent links from `span`; returns (chain_leaf_first,
+        orphan_parent_or_None). Cycles (impossible from correct emitters,
+        possible from corruption) terminate the walk."""
+        chain = []
+        seen = set()
+        cursor = span
+        orphan = None
+        while cursor:
+            if cursor in seen:
+                break  # corrupted parent loop; report what we have
+            seen.add(cursor)
+            record = self.spans.get((trace, cursor))
+            if record is None:
+                orphan = cursor
+                break
+            chain.append(record)
+            cursor = record["parent"]
+        chain.reverse()
+        return chain, orphan
+
+    def orphan_spans(self):
+        """Causal spans whose non-zero parent was never emitted."""
+        out = []
+        for (trace, _span), record in self.spans.items():
+            parent = record["parent"]
+            if parent and (trace, parent) not in self.spans:
+                out.append(record)
+        return out
+
+
+def load_trace(path, strict, errors):
+    index = TraceIndex()
+    for _lineno, kind, record in parse_lines(path, strict, errors):
+        index.add(kind, record)
+    return index
+
+
+def load_flight(path, strict, errors):
+    """Returns a list of dumps: (header, [events])."""
+    dumps = []
+    for _lineno, kind, record in parse_lines(path, strict, errors):
+        if kind == "flight_header":
+            dumps.append((record, []))
+        elif kind == "flight_event":
+            if dumps:
+                dumps[-1][1].append(record)
+            elif strict:
+                errors.append(f"{path}: flight event before any dump header")
+    return dumps
+
+
+def validate(args):
+    errors = []
+    index = load_trace(args.trace, strict=True, errors=errors)
+    if args.flight:
+        load_flight(args.flight, strict=True, errors=errors)
+    for record in index.orphan_spans():
+        errors.append(
+            "orphan span: {name} at node {node} (trace {trace}) references "
+            "missing parent {parent}".format(**record))
+    for decision in index.decisions:
+        if (decision["trace"], decision["span"]) not in index.spans:
+            errors.append(
+                "decision {decision} at node {node} has no emitted span "
+                "{span} (trace {trace})".format(**decision))
+    if errors:
+        for e in errors:
+            print(f"trace_report: {e}", file=sys.stderr)
+        return 1
+    n_files = 2 if args.flight else 1
+    print(f"trace_report: OK ({n_files} file(s), {len(index.spans)} causal "
+          f"span(s), {len(index.decisions)} decision(s), no orphans)")
+    return 0
+
+
+def format_chain(index, decision):
+    chain, orphan = index.chain_for(decision["trace"], decision["span"])
+    hops = " -> ".join(
+        f"{r['name']}@n{r['node']}(vt={r['vt']:g})" for r in chain)
+    if orphan is not None:
+        hops = f"[orphan parent {orphan}] ... {hops}" if hops else \
+            f"[orphan parent {orphan}]"
+    return hops if hops else "(no spans)"
+
+
+def report(args):
+    errors = []
+    index = load_trace(args.trace, strict=False, errors=errors)
+    dumps = load_flight(args.flight, False, errors) if args.flight else []
+    for e in errors:
+        print(f"trace_report: {e}", file=sys.stderr)
+
+    print(f"trace_report: {len(index.spans)} causal span(s), "
+          f"{len(index.decisions)} decision(s), "
+          f"{index.plain_spans} plain span(s)")
+
+    # Per-decision causal chains, leaf to deciding node.
+    shown = 0
+    for decision in index.decisions:
+        if args.max_chains >= 0 and shown >= args.max_chains:
+            remaining = len(index.decisions) - shown
+            print(f"  ... {remaining} more decision(s) "
+                  f"(raise --max-chains to see them)")
+            break
+        shown += 1
+        # Provenance keys beyond the required set default to 0 so a record
+        # from an older emitter (or a torn write) still prints.
+        full = {"model_version": 0, "staleness_s": 0.0, "degraded": 0}
+        full.update(decision)
+        print("decision {decision} node={node} level={level} vt={vt:g} "
+              "estimate={estimate:g} threshold={threshold:g} "
+              "model_version={model_version} staleness_s={staleness_s:g} "
+              "degraded={degraded} latency_s={latency_s:g}".format(**full))
+        print(f"  chain: {format_chain(index, decision)}")
+
+    # Latency breakdown by tier (virtual seconds, ingest -> decision).
+    by_level = OrderedDict()
+    for decision in sorted(index.decisions, key=lambda d: d["level"]):
+        by_level.setdefault(decision["level"], []).append(
+            decision["latency_s"])
+    if by_level:
+        print("latency breakdown (virtual seconds, ingest -> decision):")
+        print(f"  {'level':>5} {'count':>7} {'mean':>12} {'max':>12}")
+        for level, values in by_level.items():
+            mean = sum(values) / len(values)
+            print(f"  {level:>5} {len(values):>7} {mean:>12.6g} "
+                  f"{max(values):>12.6g}")
+
+    orphans = index.orphan_spans()
+    if orphans:
+        print(f"WARNING: {len(orphans)} orphan span(s) — parent emitted "
+              f"nowhere in this trace:")
+        for record in orphans[:10]:
+            print("  {name} at node {node} vt={vt:g} trace={trace} "
+                  "missing parent {parent}".format(**record))
+
+    for header, events in dumps:
+        print("flight dump reason={flight} node={node} vt={vt:g} "
+              "events={events} evicted={evicted}".format(**header))
+        for e in events:
+            print("  {fr:<11} vt={vt:<12g} a={a:<6} b={b:<6} "
+                  "value={value:g}".format(**e))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Join sensord trace/flight JSONL into causal chains and "
+                    "a latency breakdown.")
+    parser.add_argument("trace", help="causal span + decision JSONL "
+                                      "(SENSORD_TRACE_JSONL output)")
+    parser.add_argument("--flight", help="flight-recorder dump JSONL "
+                                         "(SENSORD_FLIGHT_JSONL output)")
+    parser.add_argument("--validate", action="store_true",
+                        help="strict CI gate: malformed lines, orphan spans "
+                             "and span-less decisions are fatal")
+    parser.add_argument("--max-chains", type=int, default=20,
+                        help="decision chains to print in report mode "
+                             "(-1 = all; default %(default)s)")
+    args = parser.parse_args(argv)
+    return validate(args) if args.validate else report(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
