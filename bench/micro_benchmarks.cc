@@ -120,6 +120,31 @@ void BM_KdeBoxQuery2d(benchmark::State& state) {
 }
 BENCHMARK(BM_KdeBoxQuery2d)->Arg(128)->Arg(512)->Arg(2048);
 
+// A clustered 24-box batch (the shape of an MDEF cell scan) through the
+// single-sweep batched path; compare per-box ns against BM_KdeBoxQuery2d.
+void BM_KdeBoxQueryBatch2d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(n, 2, 6), {0.08, 0.08});
+  Rng q(7);
+  constexpr size_t kBoxes = 24;
+  std::vector<Point> lo(kBoxes), hi(kBoxes);
+  std::vector<double> masses;
+  for (auto _ : state) {
+    const double cx = q.UniformDouble(), cy = q.UniformDouble();
+    for (size_t b = 0; b < kBoxes; ++b) {
+      const double dx = 0.02 * static_cast<double>(b % 6);
+      const double dy = 0.02 * static_cast<double>(b / 6);
+      lo[b] = {cx + dx - 0.01, cy + dy - 0.01};
+      hi[b] = {cx + dx + 0.01, cy + dy + 0.01};
+    }
+    kde->BoxProbabilityBatch(lo, hi, &masses);
+    benchmark::DoNotOptimize(masses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBoxes);
+}
+BENCHMARK(BM_KdeBoxQueryBatch2d)->Arg(128)->Arg(512)->Arg(2048);
+
 void BM_HistogramBoxQuery(benchmark::State& state) {
   auto hist = EquiDepthHistogram::Build(
       RandomSample(10000, 1, 8), static_cast<size_t>(state.range(0)));

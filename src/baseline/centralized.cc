@@ -11,19 +11,25 @@ void CentralizedLeafNode::OnReading(const Point& value) {
   msg.to = parent();
   msg.kind = kMsgRawReading;
   msg.size_numbers = value.size();
-  msg.payload = SampleValuePayload{value};
+  msg.payload = MakeSampleValue(value);
   sim()->Send(std::move(msg));
 }
 
 CentralizedRelayNode::CentralizedRelayNode(size_t window_capacity,
                                            size_t dimensions)
-    : window_(window_capacity, dimensions) {}
+    : window_capacity_(window_capacity), dimensions_(dimensions) {}
+
+SlidingWindow& CentralizedRelayNode::EnsureWindow() const {
+  if (!window_.has_value()) window_.emplace(window_capacity_, dimensions_);
+  return *window_;
+}
 
 void CentralizedRelayNode::HandleMessage(const Message& msg) {
   if (msg.kind != kMsgRawReading) return;
-  const auto& payload = std::any_cast<const SampleValuePayload&>(msg.payload);
+  const auto& shared = std::any_cast<const SharedSampleValue&>(msg.payload);
+  const SampleValuePayload& payload = *shared;
   if (parent() == kNoNode) {
-    (void)window_.Add(payload.value);
+    (void)EnsureWindow().Add(payload.value);
     return;
   }
   Message fwd;
@@ -31,7 +37,7 @@ void CentralizedRelayNode::HandleMessage(const Message& msg) {
   fwd.to = parent();
   fwd.kind = kMsgRawReading;
   fwd.size_numbers = payload.value.size();
-  fwd.payload = payload;
+  fwd.payload = shared;  // forward the shared handle, not a payload copy
   sim()->Send(std::move(fwd));
 }
 

@@ -11,6 +11,9 @@
 #ifndef SENSORD_BASELINE_CENTRALIZED_H_
 #define SENSORD_BASELINE_CENTRALIZED_H_
 
+#include <cstddef>
+#include <optional>
+
 #include "net/network.h"
 #include "net/node.h"
 #include "stream/sliding_window.h"
@@ -34,10 +37,17 @@ class CentralizedRelayNode : public Node {
   void HandleMessage(const Message& msg) override;
 
   /// The pooled window at the root (relays keep it empty).
-  const SlidingWindow& window() const { return window_; }
+  const SlidingWindow& window() const { return EnsureWindow(); }
 
  private:
-  SlidingWindow window_;
+  // Only the root ever stores readings, so the O(window_capacity) ring is
+  // materialized on first use — interior relays (the vast majority) never
+  // pay for it.
+  SlidingWindow& EnsureWindow() const;
+
+  size_t window_capacity_;
+  size_t dimensions_;
+  mutable std::optional<SlidingWindow> window_;
 };
 
 }  // namespace sensord

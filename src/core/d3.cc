@@ -15,6 +15,7 @@
 #include "obs/trace_context.h"
 
 #include "util/check.h"
+#include "util/staging.h"
 
 namespace sensord {
 namespace {
@@ -136,7 +137,7 @@ void D3LeafNode::OnReading(const Point& value) {
     msg.to = parent();
     msg.kind = kMsgSampleValue;
     msg.size_numbers = value.size();
-    msg.payload = SampleValuePayload{value};
+    msg.payload = MakeSampleValue(value);
     sim()->Send(std::move(msg));
   }
 
@@ -173,7 +174,9 @@ void D3LeafNode::OnReading(const Point& value) {
     event.provenance = OutlierProvenance{
         estimate, options_.outlier.neighbor_threshold, seq,
         /*staleness_s=*/0.0, trace};
-    observer_->OnOutlierDetected(event);
+    // Observer callbacks append to user-owned history in detection order;
+    // staged under the parallel engine (util/staging.h).
+    RunOrStage([obs = observer_, event]() { obs->OnOutlierDetected(event); });
   }
   if (parent() != kNoNode) {
     Message msg;
@@ -308,7 +311,8 @@ void D3ParentNode::HandleMessage(const Message& msg) {
 
   switch (msg.kind) {
     case kMsgSampleValue: {
-      const auto& payload = std::any_cast<const SampleValuePayload&>(msg.payload);
+      const auto& payload =
+          *std::any_cast<const SharedSampleValue&>(msg.payload);
       HandleSampleValue(payload.value);
       break;
     }
@@ -457,7 +461,7 @@ void D3ParentNode::HandleSampleValue(const Point& value) {
     msg.to = parent();
     msg.kind = kMsgSampleValue;
     msg.size_numbers = value.size();
-    msg.payload = SampleValuePayload{value};
+    msg.payload = MakeSampleValue(value);
     sim()->Send(std::move(msg));
   }
 }
@@ -519,7 +523,9 @@ void D3ParentNode::HandleOutlierReport(const Message& incoming,
     event.provenance = OutlierProvenance{
         estimate, options_.outlier.neighbor_threshold, model_.total_seen(),
         staleness, trace};
-    observer_->OnOutlierDetected(event);
+    // Observer callbacks append to user-owned history in detection order;
+    // staged under the parallel engine (util/staging.h).
+    RunOrStage([obs = observer_, event]() { obs->OnOutlierDetected(event); });
   }
   if (parent() != kNoNode) {
     Message msg;

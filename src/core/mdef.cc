@@ -11,8 +11,10 @@ namespace sensord {
 namespace {
 
 // Enumerates, recursively over dimensions, every cell of the 2*alpha*r grid
-// whose centre lies in the L-infinity ball B(p, r), accumulating the mass
-// moments the MDEF statistics need.
+// whose centre lies in the L-infinity ball B(p, r). Cells are collected
+// rather than queried one by one, so the whole scan goes to the estimator
+// as a single BoxProbabilityBatch call — one sample sweep for the KDE
+// instead of one per cell.
 struct CellScan {
   const DistributionEstimator& model;
   const Point& p;
@@ -20,10 +22,7 @@ struct CellScan {
   double sampling_radius;
   size_t cells_per_dim;
 
-  double sum1 = 0.0;  // sum s_j
-  double sum2 = 0.0;  // sum s_j^2
-  double sum3 = 0.0;  // sum s_j^3
-  size_t cells = 0;
+  std::vector<Point> box_lo, box_hi;  // in enumeration order
 
   Point lo, hi;
 
@@ -39,11 +38,8 @@ struct CellScan {
 
   void Recurse(size_t dim) {
     if (dim == model.dimensions()) {
-      const double s = model.BoxProbability(lo, hi);
-      sum1 += s;
-      sum2 += s * s;
-      sum3 += s * s * s;
-      ++cells;
+      box_lo.push_back(lo);
+      box_hi.push_back(hi);
       return;
     }
     // Cells j cover [j*side, (j+1)*side); keep those whose centre is within
@@ -103,8 +99,18 @@ MdefResult ComputeMdef(const DistributionEstimator& model, const Point& p,
       model.BallProbability(p, config.counting_radius);
   CellScan scan(model, p, config);
   scan.Recurse(0);
-  return MdefFromMasses(counting_mass, scan.sum1, scan.sum2, scan.sum3,
-                        scan.cells, config);
+  std::vector<double> masses;
+  model.BoxProbabilityBatch(scan.box_lo, scan.box_hi, &masses);
+  // Moments accumulate in cell enumeration order, exactly as the per-cell
+  // scan summed them.
+  double sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+  for (const double s : masses) {
+    sum1 += s;
+    sum2 += s * s;
+    sum3 += s * s * s;
+  }
+  return MdefFromMasses(counting_mass, sum1, sum2, sum3, masses.size(),
+                        config);
 }
 
 MdefResult ComputeMdef(const KernelDensityEstimator& kde, const Point& p,

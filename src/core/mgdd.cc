@@ -13,6 +13,7 @@
 #include "stats/divergence.h"
 
 #include "util/check.h"
+#include "util/staging.h"
 
 namespace sensord {
 namespace {
@@ -160,7 +161,10 @@ void MgddLeafNode::OnReading(const Point& value) {
         event.degraded = degraded_state_;
         event.provenance = OutlierProvenance{
             result.mdef, threshold, replica_version_, staleness, trace};
-        observer_->OnOutlierDetected(event);
+        // Observer callbacks append to user-owned history in detection
+        // order; staged under the parallel engine (util/staging.h).
+        RunOrStage(
+            [obs = observer_, event]() { obs->OnOutlierDetected(event); });
       }
     }
   }
@@ -173,7 +177,7 @@ void MgddLeafNode::OnReading(const Point& value) {
     msg.to = parent();
     msg.kind = kMsgSampleValue;
     msg.size_numbers = value.size();
-    msg.payload = SampleValuePayload{value};
+    msg.payload = MakeSampleValue(value);
     sim()->Send(std::move(msg));
   }
 }
@@ -335,7 +339,7 @@ void MgddInternalNode::HandleMessage(const Message& msg) {
   switch (msg.kind) {
     case kMsgSampleValue: {
       const auto& payload =
-          std::any_cast<const SampleValuePayload&>(msg.payload);
+          *std::any_cast<const SharedSampleValue&>(msg.payload);
       HandleSampleValue(payload.value);
       break;
     }
@@ -399,7 +403,7 @@ void MgddInternalNode::HandleSampleValue(const Point& value) {
     msg.to = parent();
     msg.kind = kMsgSampleValue;
     msg.size_numbers = value.size();
-    msg.payload = SampleValuePayload{value};
+    msg.payload = MakeSampleValue(value);
     sim()->Send(std::move(msg));
   }
 }

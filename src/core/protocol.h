@@ -9,6 +9,8 @@
 #define SENSORD_CORE_PROTOCOL_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -47,6 +49,20 @@ enum ProtocolKind : MessageKind {
 struct SampleValuePayload {
   Point value;
 };
+
+/// How SampleValuePayload travels inside Message::payload. Sample messages
+/// are copied at every stage of delivery — the transport retains a
+/// retransmit copy, each per-hop delivery closure captures the message, and
+/// relays forward it — while the payload itself is immutable once sent, so
+/// it is carried by shared_ptr and every Message copy stays O(1) regardless
+/// of dimensionality.
+using SharedSampleValue = std::shared_ptr<const SampleValuePayload>;
+
+/// Wraps a point for sending as kMsgSampleValue / kMsgRawReading.
+inline SharedSampleValue MakeSampleValue(Point value) {
+  return std::make_shared<const SampleValuePayload>(
+      SampleValuePayload{std::move(value)});
+}
 
 /// Payload of kMsgOutlierReport.
 struct OutlierReportPayload {

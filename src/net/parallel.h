@@ -1,0 +1,77 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// The fixed worker pool of the deterministic parallel engine (DESIGN.md
+// §12). One pool lives inside a Simulator configured with threads > 1; each
+// tick the Simulator hands it a batch of independent handler closures (one
+// per distinct node), the pool runs them on its workers plus the calling
+// thread, and Run() returns once every handler finished — a barrier.
+//
+// Determinism does not depend on which worker runs which handler or in what
+// order they interleave: handlers touch only their own node's state and
+// stage every ordered side effect into a per-item OpLog (util/staging.h)
+// that the Simulator replays serially afterwards. The pool is therefore a
+// plain work-claiming loop — an atomic cursor over the batch — with no
+// ordering machinery of its own.
+
+#ifndef SENSORD_NET_PARALLEL_H_
+#define SENSORD_NET_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace sensord {
+
+/// A fixed set of worker threads executing indexed batches on demand.
+class WorkerPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in every
+  /// batch, so `threads` is the total parallelism). Pre: threads >= 2.
+  explicit WorkerPool(int threads);
+
+  /// Joins every worker. Pre: no Run() in progress.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs task(0) .. task(count - 1), each exactly once, distributed over
+  /// the workers and the calling thread; returns when all have finished.
+  /// `task` must be safe to call concurrently for distinct indices. Only
+  /// one Run() may be in flight at a time (the simulator's tick barrier).
+  void Run(const std::function<void(size_t)>& task, size_t count);
+
+  int threads() const { return threads_; }
+
+ private:
+  void WorkerMain();
+
+  const int threads_;
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_ GUARDED_BY(mu_);
+  std::condition_variable batch_done_ GUARDED_BY(mu_);
+  uint64_t generation_ GUARDED_BY(mu_) = 0;  // bumped per batch
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  const std::function<void(size_t)>* task_ GUARDED_BY(mu_) = nullptr;
+  size_t count_ GUARDED_BY(mu_) = 0;
+  size_t finished_ GUARDED_BY(mu_) = 0;  // items completed in this batch
+  size_t inflight_ GUARDED_BY(mu_) = 0;  // workers inside this batch
+
+  std::atomic<size_t> cursor_{0};  // next unclaimed item of the batch
+
+  // Spawned in the constructor, joined in the destructor, never touched
+  // in between — those two run single-threaded by contract, so the
+  // annotation documents "not shared" rather than a real lock protocol.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+};
+
+}  // namespace sensord
+
+#endif  // SENSORD_NET_PARALLEL_H_

@@ -72,7 +72,11 @@ void StatsCollector::RecordSend(const Message& msg) {
     const std::lock_guard<std::mutex> lock(mu_);
     ++total_messages_;
     total_numbers_ += msg.size_numbers;
-    ++by_kind_[msg.kind];
+    if (msg.kind < kSmallKinds) {
+      ++by_small_kind_[msg.kind];
+    } else {
+      ++by_large_kind_[msg.kind];
+    }
   }
   // Mirror into the process-wide registry (cumulative across Reset()).
   // The registry counters are lock-free; no need to hold mu_ here.
@@ -91,8 +95,9 @@ void StatsCollector::RecordDrop() {
 
 uint64_t StatsCollector::MessagesOfKind(MessageKind kind) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = by_kind_.find(kind);
-  return it == by_kind_.end() ? 0 : it->second;
+  if (kind < kSmallKinds) return by_small_kind_[kind];
+  const auto it = by_large_kind_.find(kind);
+  return it == by_large_kind_.end() ? 0 : it->second;
 }
 
 void StatsCollector::Reset() {
@@ -102,7 +107,8 @@ void StatsCollector::Reset() {
   total_messages_ = 0;
   total_numbers_ = 0;
   dropped_ = 0;
-  by_kind_.clear();
+  by_small_kind_.fill(0);
+  by_large_kind_.clear();
 }
 
 }  // namespace sensord

@@ -17,6 +17,7 @@
 #ifndef SENSORD_NET_STATS_COLLECTOR_H_
 #define SENSORD_NET_STATS_COLLECTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -81,11 +82,16 @@ class StatsCollector {
   void Reset();
 
  private:
+  // Kinds below this bound (all the shipped protocol + transport kinds) tally
+  // into a flat array; rare application-defined kinds fall back to the map.
+  static constexpr MessageKind kSmallKinds = 128;
+
   mutable std::mutex mu_;
   uint64_t total_messages_ GUARDED_BY(mu_) = 0;
   uint64_t total_numbers_ GUARDED_BY(mu_) = 0;
   uint64_t dropped_ GUARDED_BY(mu_) = 0;
-  std::map<MessageKind, uint64_t> by_kind_ GUARDED_BY(mu_);
+  std::array<uint64_t, kSmallKinds> by_small_kind_ GUARDED_BY(mu_) = {};
+  std::map<MessageKind, uint64_t> by_large_kind_ GUARDED_BY(mu_);
 };
 
 }  // namespace sensord

@@ -133,9 +133,27 @@ std::string MetricsToJson(const MetricsRegistry& registry) {
 
 Status WriteBenchJson(const std::string& path, const std::string& bench_name,
                       const BenchResults& results,
-                      const MetricsRegistry& registry) {
+                      const MetricsRegistry& registry,
+                      const BenchMetadata& metadata) {
   std::string doc = "{\"schema\":\"sensord.bench.v1\",\"bench\":";
   doc += JsonString(bench_name);
+  if (!metadata.empty()) {
+    doc += ",\"meta\":{";
+    BenchMetadata sorted_meta = metadata;
+    std::stable_sort(sorted_meta.begin(), sorted_meta.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    bool first_meta = true;
+    for (const auto& [key, value] : sorted_meta) {
+      if (!first_meta) doc += ",";
+      first_meta = false;
+      doc += JsonString(key);
+      doc += ":";
+      doc += JsonString(value);
+    }
+    doc += "}";
+  }
   doc += ",\"results\":{";
   // Result keys print sorted regardless of the order the harness collected
   // them, so two runs of the same bench emit diff-stable documents.

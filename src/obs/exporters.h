@@ -28,6 +28,10 @@ namespace sensord::obs {
 /// Scalar results a bench run reports alongside the metrics snapshot.
 using BenchResults = std::vector<std::pair<std::string, double>>;
 
+/// Run-environment metadata recorded in the perf record (thread count,
+/// quick-mode flag, …) — string-valued, distinct from measured results.
+using BenchMetadata = std::vector<std::pair<std::string, std::string>>;
+
 /// Prints every registered metric as an aligned table. Histograms show
 /// count, mean and interpolated p50/p95/p99 (see Histogram::Quantile).
 void PrintMetricsTable(const MetricsRegistry& registry, std::FILE* out);
@@ -36,13 +40,15 @@ void PrintMetricsTable(const MetricsRegistry& registry, std::FILE* out);
 std::string MetricsToJson(const MetricsRegistry& registry);
 
 /// Writes a BENCH_*.json perf record: {"schema":"sensord.bench.v1",
-/// "bench":name,"results":{…},"metrics":{…}}. Result keys are emitted in
-/// sorted order (independent of harness collection order) and histogram
-/// buckets ascending, so same-configuration runs produce diffable
-/// documents. Returns IoError on failure.
+/// "bench":name,"meta":{…},"results":{…},"metrics":{…}}. The "meta" object
+/// is omitted when `metadata` is empty. Result and metadata keys are
+/// emitted in sorted order (independent of harness collection order) and
+/// histogram buckets ascending, so same-configuration runs produce
+/// diffable documents. Returns IoError on failure.
 Status WriteBenchJson(const std::string& path, const std::string& bench_name,
                       const BenchResults& results,
-                      const MetricsRegistry& registry);
+                      const MetricsRegistry& registry,
+                      const BenchMetadata& metadata = {});
 
 }  // namespace sensord::obs
 

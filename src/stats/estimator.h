@@ -14,6 +14,7 @@
 #define SENSORD_STATS_ESTIMATOR_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "util/math_utils.h"
 
@@ -43,6 +44,22 @@ class DistributionEstimator {
       hi[i] += r;
     }
     return BoxProbability(lo, hi);
+  }
+
+  /// Batched form of BoxProbability: out[q] = BoxProbability(lo[q], hi[q])
+  /// for every q, with identical values and identical per-query metrics.
+  /// The default is the plain query loop; estimators override it when a
+  /// whole batch can be answered in one pass over their state (the KDE
+  /// answers a batch in a single sample sweep — the cell scans of the MDEF
+  /// detector and sliced range queries issue dozens of adjacent boxes at
+  /// once). Pre: lo.size() == hi.size(), every box has dimensions() coords.
+  virtual void BoxProbabilityBatch(const std::vector<Point>& lo,
+                                   const std::vector<Point>& hi,
+                                   std::vector<double>* out) const {
+    out->resize(lo.size());
+    for (size_t q = 0; q < lo.size(); ++q) {
+      (*out)[q] = BoxProbability(lo[q], hi[q]);
+    }
   }
 
   /// Density at point p.

@@ -138,6 +138,75 @@ double KernelDensityEstimator::BoxProbability(const Point& lo,
   return total / static_cast<double>(sample_size_);
 }
 
+void KernelDensityEstimator::BoxProbabilityBatch(
+    const std::vector<Point>& lo, const std::vector<Point>& hi,
+    std::vector<double>* out) const {
+  const size_t queries = lo.size();
+  SENSORD_DCHECK_EQ(hi.size(), queries);
+  if (queries == 0) {
+    out->clear();
+    return;
+  }
+  if (dimensions() == 1) {
+    // The sorted 1-d path only touches kernels intersecting each query;
+    // batching could not reduce that further.
+    out->resize(queries);
+    for (size_t q = 0; q < queries; ++q) {
+      (*out)[q] = BoxProbability(lo[q], hi[q]);
+    }
+    return;
+  }
+
+  const size_t d = dimensions();
+  out->assign(queries, 0.0);
+  // Mirror the per-query metrics exactly: one box_queries tick per box, and
+  // the full |R| term count for every non-inverted box (the general path
+  // touches every kernel term; the bounding-box reject below only skips
+  // terms whose contribution is exactly zero).
+  std::vector<char> live(queries, 1);
+  Point batch_lo(d, 1.0), batch_hi(d, 0.0);
+  size_t live_count = 0;
+  for (size_t q = 0; q < queries; ++q) {
+    SENSORD_DCHECK_EQ(lo[q].size(), d);
+    SENSORD_DCHECK_EQ(hi[q].size(), d);
+    Metrics().box_queries->Increment();
+    for (size_t i = 0; i < d; ++i) {
+      if (lo[q][i] > hi[q][i]) live[q] = 0;  // inverted box: empty
+    }
+    if (!live[q]) continue;
+    Metrics().terms_per_query->Record(static_cast<double>(sample_.size()));
+    ++live_count;
+    for (size_t i = 0; i < d; ++i) {
+      batch_lo[i] = std::min(batch_lo[i], lo[q][i]);
+      batch_hi[i] = std::max(batch_hi[i], hi[q][i]);
+    }
+  }
+  if (live_count == 0) return;
+
+  for (const Point& t : sample_) {
+    // One support test against the union of all boxes before any per-box
+    // work: a kernel outside it adds exactly 0.0 everywhere.
+    bool overlaps = true;
+    for (size_t i = 0; i < d && overlaps; ++i) {
+      const double b = kernels_[i].bandwidth();
+      overlaps = t[i] + b > batch_lo[i] && t[i] - b < batch_hi[i];
+    }
+    if (!overlaps) continue;
+    for (size_t q = 0; q < queries; ++q) {
+      if (!live[q]) continue;
+      double contrib = 1.0;
+      for (size_t i = 0; i < d && contrib > 0.0; ++i) {
+        contrib *= kernels_[i].MassInInterval(t[i], lo[q][i], hi[q][i]);
+      }
+      (*out)[q] += contrib;
+    }
+  }
+  // Divide (not multiply by a reciprocal): bit-identical to BoxProbability.
+  for (size_t q = 0; q < queries; ++q) {
+    (*out)[q] /= static_cast<double>(sample_size_);
+  }
+}
+
 double KernelDensityEstimator::Pdf(const Point& p) const {
   SENSORD_DCHECK_EQ(p.size(), dimensions());
   if (dimensions() == 1) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/snapshot.h"
 #include "obs/metrics.h"
@@ -33,45 +34,94 @@ const ChainSampleMetrics& Metrics() {
   return m;
 }
 
-using PendingMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
-
-void SerializePendingMap(SnapshotWriter* writer, const PendingMap& map) {
-  std::vector<uint64_t> keys;
-  keys.reserve(map.size());
-  for (const auto& [key, chains] : map) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  writer->PutU32(static_cast<uint32_t>(keys.size()));
-  for (uint64_t key : keys) {
-    const std::vector<uint32_t>& chains = map.at(key);
-    writer->PutU64(key);
-    writer->PutU32(static_cast<uint32_t>(chains.size()));
-    for (uint32_t c : chains) writer->PutU32(c);
-  }
-}
-
-bool RestorePendingMap(SnapshotReader* reader, uint32_t chain_count,
-                       PendingMap* map) {
-  map->clear();
-  const uint32_t buckets = reader->TakeU32();
-  for (uint32_t b = 0; b < buckets; ++b) {
-    const uint64_t key = reader->TakeU64();
-    const uint32_t size = reader->TakeU32();
-    if (!reader->ok()) return false;
-    std::vector<uint32_t>& chains = (*map)[key];
-    chains.reserve(size);
-    for (uint32_t e = 0; e < size; ++e) {
-      const uint32_t c = reader->TakeU32();
-      if (c >= chain_count) return false;
-      chains.push_back(c);
-    }
-  }
-  return reader->ok();
-}
-
 }  // namespace
 
+void ChainSample::Chain::PushBack(uint64_t index, const Point& value) {
+  size_t pos = head + size;
+  if (pos == slots.size()) {
+    if (head > 0) {
+      // Slide the live range to the front. Swapping (rather than moving)
+      // keeps the displaced slots' Point capacity available for reuse.
+      for (uint32_t i = 0; i < size; ++i) std::swap(slots[i], slots[head + i]);
+      head = 0;
+      pos = size;
+    }
+    if (pos == slots.size()) slots.emplace_back();
+  }
+  ChainEntry& entry = slots[pos];
+  entry.index = index;
+  entry.value = value;  // vector assignment reuses the slot's capacity
+  ++size;
+}
+
+ChainSample::PendingIndex::PendingIndex(size_t min_slots) {
+  size_t size = 64;
+  while (size < min_slots) size <<= 1;
+  heads.assign(size, kNil);
+  tails.assign(size, kNil);
+  mask = static_cast<uint32_t>(size - 1);
+}
+
+void ChainSample::PendingIndex::Register(uint64_t key, uint32_t chain_idx,
+                                         bool expiry) {
+  uint32_t e;
+  if (free_head != kNil) {
+    e = free_head;
+    free_head = pool[e].next;
+  } else {
+    e = static_cast<uint32_t>(pool.size());
+    pool.emplace_back();
+  }
+  pool[e] = Entry{key, expiry ? (chain_idx | kExpiryBit) : chain_idx, kNil};
+  const uint32_t slot = static_cast<uint32_t>(key) & mask;
+  if (heads[slot] == kNil) {
+    heads[slot] = e;
+  } else {
+    pool[tails[slot]].next = e;
+  }
+  tails[slot] = e;
+}
+
+void ChainSample::PendingIndex::ConsumeBoth(
+    uint64_t key, std::vector<uint32_t>* replacements,
+    std::vector<uint32_t>* expiries) {
+  replacements->clear();
+  expiries->clear();
+  const uint32_t slot = static_cast<uint32_t>(key) & mask;
+  uint32_t* link = &heads[slot];
+  uint32_t last_kept = kNil;
+  while (*link != kNil) {
+    Entry& entry = pool[*link];
+    if (entry.key == key) {
+      if ((entry.link & kExpiryBit) != 0) {
+        expiries->push_back(entry.link & ~kExpiryBit);
+      } else {
+        replacements->push_back(entry.link);
+      }
+      const uint32_t dead = *link;
+      *link = entry.next;
+      pool[dead].next = free_head;
+      free_head = dead;
+    } else {
+      last_kept = *link;
+      link = &entry.next;
+    }
+  }
+  tails[slot] = last_kept;
+}
+
+void ChainSample::PendingIndex::Clear() {
+  heads.assign(heads.size(), kNil);
+  tails.assign(tails.size(), kNil);
+  pool.clear();
+  free_head = kNil;
+}
+
 ChainSample::ChainSample(size_t sample_size, size_t window_size, Rng rng)
-    : window_size_(window_size), chains_(sample_size), rng_(rng) {
+    : window_size_(window_size),
+      chains_(sample_size),
+      rng_(rng),
+      pending_(4 * sample_size) {
   SENSORD_CHECK_GT(sample_size, 0u);
   SENSORD_CHECK_GT(window_size, 0u);
 }
@@ -87,14 +137,14 @@ void ChainSample::DrawReplacement(uint32_t chain_idx, uint64_t index) {
   // chain is never empty.
   const uint64_t r = index + 1 + rng_.UniformUint64(window_size_);
   chains_[chain_idx].next_replacement_index = r;
-  pending_replacement_[r].push_back(chain_idx);
+  pending_.Register(r, chain_idx, /*expiry=*/false);
 }
 
 void ChainSample::RegisterExpiry(uint32_t chain_idx) {
   const Chain& chain = chains_[chain_idx];
-  SENSORD_DCHECK(!chain.entries.empty());
-  pending_expiry_[chain.entries.front().index + window_size_].push_back(
-      chain_idx);
+  SENSORD_DCHECK(!chain.Empty());
+  pending_.Register(chain.Front().index + window_size_, chain_idx,
+                    /*expiry=*/true);
 }
 
 void ChainSample::RestartChain(uint32_t chain_idx, uint64_t index,
@@ -102,8 +152,8 @@ void ChainSample::RestartChain(uint32_t chain_idx, uint64_t index,
   Metrics().restarts->Increment();
   ++version_;
   Chain& chain = chains_[chain_idx];
-  chain.entries.clear();  // orphaned map registrations are skipped lazily
-  chain.entries.push_back({index, value});
+  chain.Clear();  // orphaned index registrations are skipped lazily
+  chain.PushBack(index, value);
   RegisterExpiry(chain_idx);
   DrawReplacement(chain_idx, index);
 }
@@ -131,36 +181,33 @@ bool ChainSample::Add(const Point& value) {
     return true;
   }
 
+  // Detach this arrival's registrations of both kinds in one lookup; the
+  // re-registrations below (always for keys > i) cannot perturb the
+  // detached lists.
+  pending_.ConsumeBoth(i, &scratch_replacements_, &scratch_expiries_);
+
   // 1. Chains whose pending replacement is this element: append it and draw
   //    the next replacement.
-  if (const auto it = pending_replacement_.find(i);
-      it != pending_replacement_.end()) {
-    for (uint32_t c : it->second) {
-      Chain& chain = chains_[c];
-      if (chain.next_replacement_index != i) continue;  // stale (restarted)
-      chain.entries.push_back({i, value});
-      Metrics().replacements->Increment();
-      DrawReplacement(c, i);
-    }
-    pending_replacement_.erase(it);
+  for (const uint32_t c : scratch_replacements_) {
+    Chain& chain = chains_[c];
+    if (chain.next_replacement_index != i) continue;  // stale (restarted)
+    chain.PushBack(i, value);
+    Metrics().replacements->Increment();
+    DrawReplacement(c, i);
   }
 
   // 2. Chains whose active element expires now: promote the next entry.
-  if (const auto it = pending_expiry_.find(i); it != pending_expiry_.end()) {
-    for (uint32_t c : it->second) {
-      Chain& chain = chains_[c];
-      if (chain.entries.empty() ||
-          chain.entries.front().index + window_size_ != i) {
-        continue;  // stale (restarted since registration)
-      }
-      chain.entries.pop_front();
-      SENSORD_CHECK(!chain.entries.empty() &&
-                    "chain invariant: replacement arrives before expiry");
-      Metrics().expirations->Increment();
-      ++version_;  // the chain's active element changed
-      RegisterExpiry(c);
+  for (const uint32_t c : scratch_expiries_) {
+    Chain& chain = chains_[c];
+    if (chain.Empty() || chain.Front().index + window_size_ != i) {
+      continue;  // stale (restarted since registration)
     }
-    pending_expiry_.erase(it);
+    chain.PopFront();
+    SENSORD_CHECK(!chain.Empty() &&
+                  "chain invariant: replacement arrives before expiry");
+    Metrics().expirations->Increment();
+    ++version_;  // the chain's active element changed
+    RegisterExpiry(c);
   }
 
   // 3. Restart each chain at this element independently with probability
@@ -180,23 +227,70 @@ bool ChainSample::Add(const Point& value) {
 
 const Point& ChainSample::ActiveElement(size_t i) const {
   SENSORD_DCHECK_LT(i, chains_.size());
-  SENSORD_DCHECK(!chains_[i].entries.empty());
-  return chains_[i].entries.front().value;
+  SENSORD_DCHECK(!chains_[i].Empty());
+  return chains_[i].Front().value;
 }
 
 std::vector<Point> ChainSample::Snapshot() const {
   std::vector<Point> out;
   out.reserve(chains_.size());
   for (const Chain& chain : chains_) {
-    if (!chain.entries.empty()) out.push_back(chain.entries.front().value);
+    if (!chain.Empty()) out.push_back(chain.Front().value);
   }
   return out;
 }
 
 size_t ChainSample::StoredElements() const {
   size_t n = 0;
-  for (const Chain& chain : chains_) n += chain.entries.size();
+  for (const Chain& chain : chains_) n += chain.size;
   return n;
+}
+
+void ChainSample::PendingIndex::Serialize(SnapshotWriter* writer,
+                                          bool expiry) const {
+  // Gather this kind's (key, chain) pairs slot by slot. Within one slot the
+  // list holds a key's registrations in insertion order (tail appends), so a
+  // stable sort by key yields every bucket with its insertion order intact.
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  for (const uint32_t head : heads) {
+    for (uint32_t e = head; e != kNil; e = pool[e].next) {
+      if (((pool[e].link & kExpiryBit) != 0) != expiry) continue;
+      entries.emplace_back(pool[e].key, pool[e].link & ~kExpiryBit);
+    }
+  }
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  uint32_t buckets = 0;
+  for (size_t n = 0; n < entries.size(); ++n) {
+    if (n == 0 || entries[n].first != entries[n - 1].first) ++buckets;
+  }
+  writer->PutU32(buckets);
+  for (size_t n = 0; n < entries.size();) {
+    const uint64_t key = entries[n].first;
+    size_t end = n;
+    while (end < entries.size() && entries[end].first == key) ++end;
+    writer->PutU64(key);
+    writer->PutU32(static_cast<uint32_t>(end - n));
+    for (; n < end; ++n) writer->PutU32(entries[n].second);
+  }
+}
+
+bool ChainSample::PendingIndex::RestoreFrom(SnapshotReader* reader,
+                                            uint32_t chain_count,
+                                            bool expiry) {
+  const uint32_t buckets = reader->TakeU32();
+  for (uint32_t b = 0; b < buckets; ++b) {
+    const uint64_t key = reader->TakeU64();
+    const uint32_t size = reader->TakeU32();
+    if (!reader->ok()) return false;
+    for (uint32_t e = 0; e < size; ++e) {
+      const uint32_t c = reader->TakeU32();
+      if (c >= chain_count) return false;
+      Register(key, c, expiry);  // tail append keeps the bucket order
+    }
+  }
+  return reader->ok();
 }
 
 void ChainSample::Serialize(SnapshotWriter* writer) const {
@@ -208,22 +302,22 @@ void ChainSample::Serialize(SnapshotWriter* writer) const {
   writer->PutU32(static_cast<uint32_t>(chains_.size()));
   for (const Chain& chain : chains_) {
     writer->PutU64(chain.next_replacement_index);
-    writer->PutU32(static_cast<uint32_t>(chain.entries.size()));
-    for (const ChainEntry& entry : chain.entries) {
+    writer->PutU32(chain.size);
+    for (uint32_t e = 0; e < chain.size; ++e) {
+      const ChainEntry& entry = chain.slots[chain.head + e];
       writer->PutU64(entry.index);
       writer->PutPoint(entry.value);
     }
   }
-  // The pending maps must be written verbatim, not re-derived from the chain
-  // state: when several chains wait on the same arrival index, the bucket's
-  // vector order decides which chain draws its next replacement first, and
-  // that assignment must survive a restore for the continuation to be
-  // bit-identical. Keys are emitted sorted so the encoding is deterministic
-  // (bucket lookup is by key, so map iteration order itself is behaviour-
-  // neutral); stale registrations are kept — a live sampler skips them
+  // The pending indexes must be written verbatim, not re-derived from the
+  // chain state: when several chains wait on the same arrival index, the
+  // bucket's vector order decides which chain draws its next replacement
+  // first, and that assignment must survive a restore for the continuation
+  // to be bit-identical. Keys are emitted sorted so the encoding is
+  // deterministic; stale registrations are kept — a live sampler skips them
   // lazily without touching the rng.
-  SerializePendingMap(writer, pending_replacement_);
-  SerializePendingMap(writer, pending_expiry_);
+  pending_.Serialize(writer, /*expiry=*/false);
+  pending_.Serialize(writer, /*expiry=*/true);
 }
 
 bool ChainSample::Restore(SnapshotReader* reader) {
@@ -241,24 +335,22 @@ bool ChainSample::Restore(SnapshotReader* reader) {
   version_ = version;
   seeded_ = seeded;
   rng_ = rng;
-  pending_replacement_.clear();
-  pending_expiry_.clear();
   for (uint32_t c = 0; c < chain_count; ++c) {
     Chain& chain = chains_[c];
-    chain.entries.clear();
+    chain.Clear();
     chain.next_replacement_index = reader->TakeU64();
     const uint32_t entry_count = reader->TakeU32();
     for (uint32_t e = 0; e < entry_count; ++e) {
-      ChainEntry entry;
-      entry.index = reader->TakeU64();
-      entry.value = reader->TakePoint();
-      chain.entries.push_back(std::move(entry));
+      const uint64_t index = reader->TakeU64();
+      const Point value = reader->TakePoint();
+      if (!reader->ok()) return false;
+      chain.PushBack(index, value);
     }
-    if (!reader->ok()) return false;
-    if (seeded_ && chain.entries.empty()) return false;
+    if (seeded_ && chain.Empty()) return false;
   }
-  if (!RestorePendingMap(reader, chain_count, &pending_replacement_) ||
-      !RestorePendingMap(reader, chain_count, &pending_expiry_)) {
+  pending_.Clear();
+  if (!pending_.RestoreFrom(reader, chain_count, /*expiry=*/false) ||
+      !pending_.RestoreFrom(reader, chain_count, /*expiry=*/true)) {
     return false;
   }
   return reader->ok();

@@ -28,8 +28,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "util/math_utils.h"
@@ -110,15 +108,76 @@ class ChainSample {
 
  private:
   struct ChainEntry {
-    uint64_t index;  // global 0-based arrival position
+    uint64_t index = 0;  // global 0-based arrival position
     Point value;
   };
 
-  // One chain: front() is the active sample element; later entries are
-  // replacements that have already arrived, ordered by index.
+  // One chain: the live entries are slots[head .. head+size); slots[head] is
+  // the active sample element, later entries are replacements that have
+  // already arrived, ordered by index. Dead slots are kept (not erased) so
+  // their Point capacity is recycled by assignment on the next push — after
+  // warm-up a chain performs zero heap allocations per stream element.
   struct Chain {
-    std::deque<ChainEntry> entries;
+    std::vector<ChainEntry> slots;
+    uint32_t head = 0;
+    uint32_t size = 0;
     uint64_t next_replacement_index = 0;  // index that extends the chain
+
+    const ChainEntry& Front() const { return slots[head]; }
+    bool Empty() const { return size == 0; }
+    void Clear() {
+      head = 0;
+      size = 0;
+    }
+    void PopFront() {
+      ++head;
+      --size;
+    }
+    void PushBack(uint64_t index, const Point& value);
+  };
+
+  // Arrival index -> chains waiting for that index, for both registration
+  // kinds (pending replacements and front expiries) in one structure so each
+  // Add() resolves both with a single lookup. A compact chained hash ring:
+  // `heads[key & mask]` starts a pool-backed singly linked list of
+  // (key, chain, kind) registrations in insertion order; different keys may
+  // share a slot. Per-key-and-kind insertion order — which decides which
+  // chain draws its next replacement first, exactly like the unordered_map
+  // bucket order this replaces — is the list order restricted to that key
+  // and kind. Every arrival index is visited by Add() exactly once, which
+  // consumes (and recycles) its entries; entries may be stale after a chain
+  // restart — consumers re-validate against the chain state. Live + stale
+  // entries number O(|R|), so the ring is sized to the sample, not the
+  // window: construction and steady-state churn touch a few KB instead of
+  // O(|W|) slots.
+  struct PendingIndex {
+    static constexpr uint32_t kNil = ~uint32_t{0};
+    static constexpr uint32_t kExpiryBit = uint32_t{1} << 31;
+    struct Entry {
+      uint64_t key;
+      uint32_t link;  // chain index, with kExpiryBit set for expiry entries
+      uint32_t next;  // next entry in the same slot's list, kNil at tail
+    };
+    std::vector<uint32_t> heads;  // slot -> first entry, kNil when empty
+    std::vector<uint32_t> tails;  // slot -> last entry (O(1) tail append)
+    std::vector<Entry> pool;
+    uint32_t free_head = kNil;  // free list threaded through pool[].next
+    uint32_t mask = 0;          // heads.size() - 1 (power of two)
+
+    explicit PendingIndex(size_t min_slots);
+    void Register(uint64_t key, uint32_t chain_idx, bool expiry);
+    // Moves every entry matching `key` into `replacements` / `expiries` by
+    // kind (each in insertion order), unlinking and recycling them. Both
+    // outputs are cleared first.
+    void ConsumeBoth(uint64_t key, std::vector<uint32_t>* replacements,
+                     std::vector<uint32_t>* expiries);
+    void Clear();
+    // One kind's buckets in the historical unordered_map wire format: bucket
+    // count, then (key, chain list) per bucket with keys sorted ascending
+    // and per-key insertion order verbatim.
+    void Serialize(SnapshotWriter* writer, bool expiry) const;
+    bool RestoreFrom(SnapshotReader* reader, uint32_t chain_count,
+                     bool expiry);
   };
 
   // Restarts chain `c` at the element (index, value): the new element
@@ -143,10 +202,9 @@ class ChainSample {
   uint64_t version_ = 0;  // bumped when the active sample changes
   bool seeded_ = false;
 
-  // Arrival index -> chains waiting for that index. Entries may be stale
-  // after a chain restart; consumers re-validate against the chain state.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> pending_replacement_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> pending_expiry_;
+  PendingIndex pending_;
+  std::vector<uint32_t> scratch_replacements_;  // reused ConsumeBoth() output
+  std::vector<uint32_t> scratch_expiries_;      // reused ConsumeBoth() output
 };
 
 }  // namespace sensord

@@ -37,8 +37,10 @@ VarianceSketch::Bucket VarianceSketch::Combine(const Bucket& a,
 VarianceSketch::Bucket VarianceSketch::PrefixCombined(size_t j) const {
   Bucket acc{0, 0, 0.0, 0.0, 0.0};
   bool any = false;
+  const size_t last = buckets_.size() - 1;
   for (size_t i = 0; i < j; ++i) {
-    acc = any ? Combine(acc, buckets_[i]) : buckets_[i];
+    const Bucket& b = buckets_[last - i];  // newest first
+    acc = any ? Combine(acc, b) : b;
     any = true;
   }
   return acc;
@@ -48,11 +50,19 @@ void VarianceSketch::Add(double x) {
   const uint64_t t = now_;
   ++now_;
 
-  buckets_.push_front(Bucket{t, t, 1.0, x, 0.0});
+  buckets_.push_back(Bucket{t, t, 1.0, x, 0.0});
 
   // Expire buckets whose newest element left the window (t - W, t].
-  while (!buckets_.empty() && buckets_.back().last + window_size_ <= t) {
-    buckets_.pop_back();
+  while (head_ < buckets_.size() &&
+         buckets_[head_].last + window_size_ <= t) {
+    ++head_;
+  }
+  // Reclaim the dead prefix once it is long enough that the memmove of the
+  // live buckets (at most max_buckets_) amortizes to O(1) per expiry.
+  if (head_ >= 1024) {
+    buckets_.erase(buckets_.begin(),
+                   buckets_.begin() + static_cast<ptrdiff_t>(head_));
+    head_ = 0;
   }
 
   // The merge scan costs O(buckets); running it every kCompactInterval
@@ -60,8 +70,7 @@ void VarianceSketch::Add(double x) {
   // scans at most kCompactInterval extra singleton buckets exist, which
   // only *improves* estimates; the hard cap below still bounds memory
   // deterministically.
-  if (++since_compact_ >= kCompactInterval ||
-      buckets_.size() >= max_buckets_) {
+  if (++since_compact_ >= kCompactInterval || NumBuckets() >= max_buckets_) {
     since_compact_ = 0;
     Compact();
   }
@@ -70,41 +79,41 @@ void VarianceSketch::Add(double x) {
 void VarianceSketch::Compact() {
   // Merge rule: collapse the adjacent pair (j, j+1) — j newer — whenever the
   // merged bucket's internal variance stays within a 1/k fraction of the
-  // combined variance of everything more recent than the pair. Scanning from
-  // the old end first compacts stale history aggressively.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    if (buckets_.size() < 3) break;
-    // Maintain the running prefix (newest-side) combination incrementally.
-    Bucket prefix = buckets_[0];
-    std::deque<Bucket>::size_type j = 1;
-    for (; j + 1 < buckets_.size(); ++j) {
-      const Bucket merged = Combine(buckets_[j], buckets_[j + 1]);
+  // combined variance of everything more recent than the pair. One pass,
+  // newest to oldest, with the prefix maintained incrementally. After a
+  // merge the scan stays on the merged bucket with the prefix unchanged;
+  // that visits the same pairs, in the same order, with the same prefixes,
+  // as restarting the whole scan would (re-scanned earlier pairs are
+  // unchanged and were already rejected; the pair just above the merge
+  // point only got a larger merged variance, so it stays rejected).
+  if (NumBuckets() >= 3) {
+    Bucket prefix = Newest();
+    size_t p = buckets_.size() - 2;  // physical index of the pair's newer half
+    while (p > head_) {
+      const Bucket merged = Combine(buckets_[p], buckets_[p - 1]);
       if (k_ * merged.var <= prefix.var) {
-        buckets_[j] = merged;
-        buckets_.erase(buckets_.begin() +
-                       static_cast<std::deque<Bucket>::difference_type>(j + 1));
-        changed = true;
-        break;
+        buckets_[p - 1] = merged;
+        buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(p));
+        --p;  // continue at the merged bucket; prefix is unchanged
+      } else {
+        prefix = Combine(prefix, buckets_[p]);
+        --p;
       }
-      prefix = Combine(prefix, buckets_[j]);
     }
   }
 
   // Hard cap: if the invariant alone left too many buckets (possible only
   // transiently), merge at the old end where the error budget lives.
-  while (buckets_.size() > max_buckets_) {
-    const size_t m = buckets_.size();
-    buckets_[m - 2] = Combine(buckets_[m - 2], buckets_[m - 1]);
-    buckets_.pop_back();
+  while (NumBuckets() > max_buckets_) {
+    buckets_[head_ + 1] = Combine(buckets_[head_ + 1], buckets_[head_]);
+    ++head_;
   }
 }
 
 double VarianceSketch::Variance() const {
-  if (buckets_.empty()) return 0.0;
-  if (buckets_.size() == 1) {
-    const Bucket& b = buckets_[0];
+  if (NumBuckets() == 0) return 0.0;
+  if (NumBuckets() == 1) {
+    const Bucket& b = Oldest();
     const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
     if (b.first >= window_start) {
       return b.n > 0 ? b.var / b.n : 0.0;
@@ -114,8 +123,8 @@ double VarianceSketch::Variance() const {
     return b.n > 0 ? (b.var / 2.0) / std::max(1.0, b.n / 2.0) : 0.0;
   }
 
-  const Bucket suffix = PrefixCombined(buckets_.size() - 1);
-  const Bucket& oldest = buckets_.back();
+  const Bucket suffix = PrefixCombined(NumBuckets() - 1);
+  const Bucket& oldest = Oldest();
   const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
 
   Bucket total;
@@ -137,11 +146,11 @@ double VarianceSketch::Variance() const {
 double VarianceSketch::StdDev() const { return std::sqrt(Variance()); }
 
 double VarianceSketch::Mean() const {
-  if (buckets_.empty()) return 0.0;
+  if (NumBuckets() == 0) return 0.0;
   const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
-  if (buckets_.size() == 1) return buckets_[0].mean;
-  const Bucket suffix = PrefixCombined(buckets_.size() - 1);
-  Bucket oldest = buckets_.back();
+  if (NumBuckets() == 1) return Oldest().mean;
+  const Bucket suffix = PrefixCombined(NumBuckets() - 1);
+  Bucket oldest = Oldest();
   if (oldest.first < window_start) {
     oldest.n = std::max(1.0, oldest.n / 2.0);
     oldest.var /= 2.0;
@@ -150,11 +159,12 @@ double VarianceSketch::Mean() const {
 }
 
 double VarianceSketch::Count() const {
-  if (buckets_.empty()) return 0.0;
+  if (NumBuckets() == 0) return 0.0;
   const uint64_t window_start = now_ >= window_size_ ? now_ - window_size_ : 0;
   double n = 0.0;
-  for (size_t i = 0; i + 1 < buckets_.size(); ++i) n += buckets_[i].n;
-  const Bucket& oldest = buckets_.back();
+  const size_t last = buckets_.size() - 1;
+  for (size_t i = 0; i + 1 < NumBuckets(); ++i) n += buckets_[last - i].n;
+  const Bucket& oldest = Oldest();
   n += oldest.first >= window_start ? oldest.n : std::max(1.0, oldest.n / 2.0);
   return n;
 }
@@ -164,8 +174,9 @@ void VarianceSketch::Serialize(SnapshotWriter* writer) const {
   writer->PutDouble(epsilon_);
   writer->PutU64(now_);
   writer->PutU64(since_compact_);
-  writer->PutU32(static_cast<uint32_t>(buckets_.size()));
-  for (const Bucket& b : buckets_) {
+  writer->PutU32(static_cast<uint32_t>(NumBuckets()));
+  for (size_t i = buckets_.size(); i > head_; --i) {  // newest first
+    const Bucket& b = buckets_[i - 1];
     writer->PutU64(b.first);
     writer->PutU64(b.last);
     writer->PutDouble(b.n);
@@ -186,20 +197,22 @@ bool VarianceSketch::Restore(SnapshotReader* reader) {
   now_ = now;
   since_compact_ = since_compact;
   buckets_.clear();
+  head_ = 0;
+  buckets_.resize(bucket_count);
   for (uint32_t i = 0; i < bucket_count; ++i) {
-    Bucket b;
+    // The wire order is newest first; storage is oldest first.
+    Bucket& b = buckets_[bucket_count - 1 - i];
     b.first = reader->TakeU64();
     b.last = reader->TakeU64();
     b.n = reader->TakeDouble();
     b.mean = reader->TakeDouble();
     b.var = reader->TakeDouble();
-    buckets_.push_back(b);
   }
   return reader->ok();
 }
 
 size_t VarianceSketch::MemoryBytes(size_t bytes_per_number) const {
-  return buckets_.size() * 5 * bytes_per_number;
+  return NumBuckets() * 5 * bytes_per_number;
 }
 
 size_t VarianceSketch::TheoreticalBoundBytes(size_t bytes_per_number) const {

@@ -23,7 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 namespace sensord {
 
@@ -65,7 +65,7 @@ class VarianceSketch {
   double epsilon() const { return epsilon_; }
 
   /// Current number of buckets.
-  size_t NumBuckets() const { return buckets_.size(); }
+  size_t NumBuckets() const { return buckets_.size() - head_; }
 
   /// Worst-case bucket count implied by the maintenance invariant (the
   /// O((9/eps^2) log |W|) bound). NumBuckets() never exceeds this: the
@@ -107,9 +107,13 @@ class VarianceSketch {
   // bucket cap.
   void Compact();
 
-  // Combined statistics of all buckets strictly newer than buckets_[j]
-  // (buckets_ is ordered newest first).
+  // Combined statistics of the `j` newest buckets (acc order newest first,
+  // matching the merge-rule prefix the compaction invariant refers to).
   Bucket PrefixCombined(size_t j) const;
+
+  // Oldest live bucket / newest live bucket.
+  const Bucket& Oldest() const { return buckets_[head_]; }
+  const Bucket& Newest() const { return buckets_.back(); }
 
   // Insertions between merge scans (amortizes maintenance cost; see Add).
   static constexpr uint64_t kCompactInterval = 8;
@@ -118,8 +122,12 @@ class VarianceSketch {
   double epsilon_;
   double k_;  // 9 / epsilon^2, the merge-rule slack factor
   size_t max_buckets_;
-  std::deque<Bucket> buckets_;  // newest first
-  uint64_t now_ = 0;            // arrival index of the next element
+  // Live buckets are buckets_[head_ .. buckets_.size()), ordered OLDEST
+  // first: expiring the oldest bucket is head_ += 1 and appending the newest
+  // is push_back, both O(1); the dead prefix is reclaimed periodically.
+  std::vector<Bucket> buckets_;
+  size_t head_ = 0;
+  uint64_t now_ = 0;  // arrival index of the next element
   uint64_t since_compact_ = 0;
 };
 

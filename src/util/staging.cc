@@ -1,0 +1,14 @@
+#include "util/staging.h"
+
+namespace sensord {
+namespace {
+
+thread_local OpLog* tls_current_log = nullptr;
+
+}  // namespace
+
+OpLog* OpLog::Current() { return tls_current_log; }
+
+void OpLog::SetCurrent(OpLog* log) { tls_current_log = log; }
+
+}  // namespace sensord

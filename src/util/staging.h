@@ -1,0 +1,84 @@
+// Copyright (c) the sensord authors. Licensed under the Apache License 2.0.
+//
+// Side-effect staging for the deterministic parallel engine (DESIGN.md §12).
+//
+// When the Simulator shards one virtual tick's node handlers across a worker
+// pool, every side effect whose *order* is observable — message sends,
+// event-queue insertions, trace/flight JSONL emission, floating-point metric
+// accumulation, outlier-observer callbacks — must not execute on the worker
+// thread that happens to run the handler. Instead the handler appends the
+// effect, as a closure, to the OpLog of the batch item it belongs to; after
+// the tick barrier the engine replays every item's log in event-sequence
+// order on the driver thread. An N-thread run therefore performs exactly the
+// side-effect sequence of the 1-thread run, byte for byte.
+//
+// The mechanism is a thread-local "current log" pointer:
+//
+//   * Outside the parallel engine the pointer is null and every
+//     instrumentation point executes its effect inline — the classic serial
+//     simulator pays one thread-local load and a branch.
+//   * The engine points it at a batch item's log around the item's prep and
+//     handler phases; the interception points in net/, obs/ and core/ then
+//     divert into the log. Each log is touched by exactly one thread at a
+//     time, so the OpLog itself needs no lock.
+//
+// Effects that commute exactly — integer counter increments, per-link dedup
+// bookkeeping — are NOT staged; staging is for ordered streams (JSONL
+// sinks, rng consumers, the event queue) and non-associative accumulation
+// (floating-point sums).
+
+#ifndef SENSORD_UTIL_STAGING_H_
+#define SENSORD_UTIL_STAGING_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sensord {
+
+/// An ordered list of deferred side effects, recorded by one thread and
+/// replayed later on the driver thread.
+class OpLog {
+ public:
+  /// Appends one effect.
+  void Push(std::function<void()> op) { ops_.push_back(std::move(op)); }
+
+  /// Runs every recorded effect in append order, then clears the log.
+  /// Pre: no log is current on this thread (effects execute for real).
+  void Replay() {
+    for (auto& op : ops_) op();
+    ops_.clear();
+  }
+
+  bool Empty() const { return ops_.empty(); }
+  size_t Size() const { return ops_.size(); }
+  void Clear() { ops_.clear(); }
+
+  /// The log side effects on the calling thread divert into, or null when
+  /// effects execute inline (the serial default).
+  static OpLog* Current();
+
+  /// Installs `log` as the calling thread's current log (null restores
+  /// inline execution). The engine brackets prep/handler phases with this.
+  static void SetCurrent(OpLog* log);
+
+ private:
+  std::vector<std::function<void()>> ops_;
+};
+
+/// Executes `fn` inline when no log is current, otherwise stages it. The
+/// single idiom every interception point uses; `fn` must own (capture by
+/// value) everything it touches, since replay happens after the caller's
+/// frame is gone.
+template <typename Fn>
+inline void RunOrStage(Fn&& fn) {
+  if (OpLog* log = OpLog::Current()) {
+    log->Push(std::forward<Fn>(fn));
+  } else {
+    fn();
+  }
+}
+
+}  // namespace sensord
+
+#endif  // SENSORD_UTIL_STAGING_H_

@@ -84,6 +84,29 @@ TEST(WriteBenchJsonTest, WritesSchemaResultsAndMetrics) {
   std::remove(path.c_str());
 }
 
+TEST(WriteBenchJsonTest, MetadataIsSortedAndOmittedWhenEmpty) {
+  const std::string path = ::testing::TempDir() + "obs_bench_meta.json";
+  const BenchMetadata metadata = {{"threads", "8"}, {"quick", "0"}};
+  ASSERT_TRUE(WriteBenchJson(path, "meta", {}, PopulatedRegistry(), metadata)
+                  .ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  // Keys sorted: quick before threads, the whole object before results.
+  EXPECT_NE(json.find("\"meta\":{\"quick\":\"0\",\"threads\":\"8\"}"),
+            std::string::npos)
+      << json;
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(WriteBenchJson(path, "meta", {}, PopulatedRegistry()).ok());
+  std::ifstream in2(path);
+  std::stringstream ss2;
+  ss2 << in2.rdbuf();
+  EXPECT_EQ(ss2.str().find("\"meta\":"), std::string::npos) << ss2.str();
+  std::remove(path.c_str());
+}
+
 TEST(MetricsToJsonTest, HistogramsCarrySortedBoundariesAndBuckets) {
   const std::string json = MetricsToJson(PopulatedRegistry());
   // LinearBoundaries(1, 1, 4) -> [1,2,3,4]; records 1,2,3 land in the first

@@ -1,0 +1,356 @@
+// Thread-parity harness for the deterministic parallel engine (DESIGN.md
+// §12): one seeded D3 scenario with 20% loss, flaky links, a reliable
+// transport, and an amnesia crash with checkpoint restore, run at 1, 2, and
+// 8 worker threads. Every observable artifact — the outlier history
+// (including floating-point provenance), traffic counters, per-node energy,
+// the metrics JSON export, the causal-trace JSONL, and the flight-recorder
+// dump JSONL — must be byte-identical across thread counts. Any scheduling
+// or staging bug in the engine shows up here as a first-divergence diff.
+//
+// Also covers the SENSORD_THREADS knob resolution and the two engine
+// building blocks in isolation (WorkerPool, OpLog).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/d3.h"
+#include "net/fault_schedule.h"
+#include "net/hierarchy.h"
+#include "net/network.h"
+#include "net/parallel.h"
+#include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/math_utils.h"
+#include "util/rng.h"
+#include "util/staging.h"
+
+namespace sensord {
+namespace {
+
+class RecordingObserver : public OutlierObserver {
+ public:
+  void OnOutlierDetected(const OutlierEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<OutlierEvent> events;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Everything a run can externalize. Unlike the golden e2e history this
+// deliberately includes floating-point text (%.17g round-trips doubles
+// exactly): parity is within one build, so the comparison must be exact —
+// a reordered FP accumulation is precisely the class of bug to catch.
+struct RunArtifacts {
+  std::string events;    // outlier history incl. provenance
+  std::string counters;  // transport + stats tallies
+  std::string energy;    // per-node energy, full precision
+  std::string metrics;   // MetricsToJson export
+  std::string trace;     // causal-span/decision JSONL bytes
+  std::string flight;    // flight-recorder dump JSONL bytes
+};
+
+// The scenario: 8 leaves / fanout 2 D3 hierarchy driven by periodic
+// readings (exercising kReading batches), 20% uniform loss plus a flaky
+// default link fault (kDeliver batches under retransmission pressure), and
+// an amnesia crash of leaf 2 with checkpointing on (serial kOther events —
+// checkpoint ticks, crash/restart — interleaved between batches).
+RunArtifacts RunScenario(int threads, const std::string& label) {
+  const int kRounds = 200;
+  const int kLeaves = 8;
+
+  Rng data_rng(20260808);
+  std::vector<std::vector<Point>> readings(kRounds,
+                                           std::vector<Point>(kLeaves));
+  for (int round = 0; round < kRounds; ++round) {
+    for (int leaf = 0; leaf < kLeaves; ++leaf) {
+      readings[static_cast<size_t>(round)][static_cast<size_t>(leaf)] = {
+          Clamp(data_rng.Gaussian(0.4, 0.01), 0.0, 1.0)};
+    }
+    if (round % 5 == 0) {
+      readings[static_cast<size_t>(round)][(round / 5) % kLeaves] = {
+          data_rng.UniformDouble(0.6, 1.0)};
+    }
+  }
+
+  const std::string trace_path =
+      ::testing::TempDir() + "sim_parallel_trace_" + label + ".jsonl";
+  const std::string flight_path =
+      ::testing::TempDir() + "sim_parallel_flight_" + label + ".jsonl";
+
+  obs::ScopedMetricsReset metrics_reset;
+  EXPECT_TRUE(obs::OpenTraceSink(trace_path).ok());
+  EXPECT_TRUE(obs::FlightRecorder::OpenDumpSink(flight_path).ok());
+  obs::FlightRecorder::Enable(32);
+
+  RunArtifacts artifacts;
+  {
+    SimulatorOptions sim_opts;
+    sim_opts.drop_probability = 0.2;
+    sim_opts.loss_seed = 0xD0;
+    sim_opts.fault_seed = 0xFA;
+    sim_opts.transport.reliable = true;
+    sim_opts.transport.ack_timeout = 0.05;
+    sim_opts.transport.max_retries = 4;
+    sim_opts.recovery.checkpoint_interval = 10.0;
+    sim_opts.threads = threads;
+    Simulator sim(sim_opts);
+    EXPECT_EQ(sim.threads(), threads);
+
+    LinkFault flaky;
+    flaky.drop_probability = 0.05;
+    flaky.duplicate_probability = 0.02;
+    sim.faults().SetDefaultLinkFault(flaky);
+    sim.faults().CrashNode(2, 60.0, 90.0, CrashKind::kAmnesia);
+
+    RecordingObserver observer;
+    Rng node_rng(99);
+    auto layout = BuildGridHierarchy(kLeaves, 2);
+    D3Options leaf_opts;
+    leaf_opts.model.window_size = 400;
+    leaf_opts.model.sample_size = 80;
+    leaf_opts.outlier.radius = 0.02;
+    leaf_opts.outlier.neighbor_threshold = 10.0;
+    leaf_opts.min_observations = 100;
+    leaf_opts.staleness_threshold = 30.0;
+    std::vector<NodeId> ids = sim.Instantiate(
+        *layout,
+        [&](int, const HierarchyNodeSpec& spec) -> std::unique_ptr<Node> {
+          if (spec.level == 1) {
+            return std::make_unique<D3LeafNode>(leaf_opts, node_rng.Split(),
+                                                &observer);
+          }
+          D3Options opts = leaf_opts;
+          opts.model = LeaderModelConfig(leaf_opts.model, 2, 0.5, spec.level);
+          opts.min_observations = 50;
+          return std::make_unique<D3ParentNode>(opts, node_rng.Split(),
+                                                &observer);
+        });
+
+    for (int leaf = 0; leaf < kLeaves; ++leaf) {
+      const NodeId id = ids[static_cast<size_t>(leaf)];
+      sim.SchedulePeriodicReadings(
+          id, 1.0, 1.0, [&readings, leaf, i = size_t{0}]() mutable {
+            return readings[i++ % readings.size()][static_cast<size_t>(leaf)];
+          });
+    }
+
+    sim.RunUntil(static_cast<SimTime>(kRounds));
+    sim.RunAll();
+
+    for (const OutlierEvent& e : observer.events) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "node=%u level=%d leaf=%u seq=%llu deg=%d est=%.17g "
+                    "thr=%.17g ver=%llu stale=%.17g trace=%llu\n",
+                    e.node, e.level, e.source_leaf,
+                    static_cast<unsigned long long>(e.source_seq),
+                    e.degraded ? 1 : 0, e.provenance.estimate,
+                    e.provenance.threshold,
+                    static_cast<unsigned long long>(
+                        e.provenance.model_version),
+                    e.provenance.staleness_s,
+                    static_cast<unsigned long long>(e.provenance.trace_id));
+      artifacts.events += line;
+    }
+    {
+      char line[256];
+      std::snprintf(
+          line, sizeof(line),
+          "messages=%llu dropped=%llu retries=%llu timeouts=%llu "
+          "dup_suppressed=%llu abandoned=%llu acks=%llu\n",
+          static_cast<unsigned long long>(sim.stats().TotalMessages()),
+          static_cast<unsigned long long>(sim.MessagesDropped()),
+          static_cast<unsigned long long>(sim.transport().retries()),
+          static_cast<unsigned long long>(sim.transport().timeouts()),
+          static_cast<unsigned long long>(sim.transport().dup_suppressed()),
+          static_cast<unsigned long long>(sim.transport().abandoned()),
+          static_cast<unsigned long long>(sim.transport().acks_sent()));
+      artifacts.counters = line;
+    }
+    for (const NodeId id : ids) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "energy[%u]=%.17g\n", id,
+                    sim.EnergyConsumed(id));
+      artifacts.energy += line;
+    }
+
+    obs::FlightRecorder::DumpAll("end-of-run");
+  }
+
+  obs::FlightRecorder::Disable();
+  obs::FlightRecorder::CloseDumpSink();
+  obs::CloseTraceSink();
+
+  artifacts.metrics = obs::MetricsToJson(obs::MetricsRegistry::Global());
+  artifacts.trace = ReadFileBytes(trace_path);
+  artifacts.flight = ReadFileBytes(flight_path);
+  std::remove(trace_path.c_str());
+  std::remove(flight_path.c_str());
+  return artifacts;
+}
+
+// Line-by-line comparison so a divergence reports its first differing line
+// instead of two multi-kilobyte blobs.
+void ExpectSameArtifact(const char* what, const std::string& expected,
+                        const std::string& actual) {
+  if (expected == actual) return;
+  std::istringstream exp_stream(expected), act_stream(actual);
+  std::string exp_line, act_line;
+  size_t line_no = 0;
+  for (;;) {
+    ++line_no;
+    const bool has_exp = static_cast<bool>(std::getline(exp_stream, exp_line));
+    const bool has_act = static_cast<bool>(std::getline(act_stream, act_line));
+    if (!has_exp && !has_act) break;
+    if (!has_exp) exp_line = "<end of serial output>";
+    if (!has_act) act_line = "<end of parallel output>";
+    ASSERT_EQ(act_line, exp_line)
+        << what << ": first divergence at line " << line_no;
+    if (!has_exp || !has_act) break;
+  }
+  // Same lines but different bytes (e.g. trailing newline): fall back to
+  // the blob comparison for the failure record.
+  EXPECT_EQ(actual, expected) << what << ": byte-level difference";
+}
+
+void ExpectSameRun(const char* tag, const RunArtifacts& serial,
+                   const RunArtifacts& parallel) {
+  SCOPED_TRACE(tag);
+  ExpectSameArtifact("outlier history", serial.events, parallel.events);
+  ExpectSameArtifact("traffic counters", serial.counters, parallel.counters);
+  ExpectSameArtifact("per-node energy", serial.energy, parallel.energy);
+  ExpectSameArtifact("metrics export", serial.metrics, parallel.metrics);
+  ExpectSameArtifact("trace JSONL", serial.trace, parallel.trace);
+  ExpectSameArtifact("flight dump JSONL", serial.flight, parallel.flight);
+}
+
+// The tentpole guarantee: under loss, retransmission, link faults, and an
+// amnesia crash, N-thread runs are byte-identical to the 1-thread run on
+// every artifact. The serial re-run first establishes the baseline is
+// stable at all (otherwise parity against it is meaningless).
+TEST(SimParallelTest, ThreadCountsProduceByteIdenticalRuns) {
+  const RunArtifacts serial = RunScenario(1, "t1");
+  const RunArtifacts serial_again = RunScenario(1, "t1b");
+  ExpectSameRun("serial rerun", serial, serial_again);
+  ASSERT_FALSE(serial.events.empty()) << "scenario detected no outliers";
+  ASSERT_FALSE(serial.trace.empty()) << "scenario emitted no trace spans";
+  ASSERT_FALSE(serial.flight.empty()) << "scenario dumped no flight records";
+
+  const RunArtifacts two = RunScenario(2, "t2");
+  ExpectSameRun("2 threads vs 1", serial, two);
+
+  const RunArtifacts eight = RunScenario(8, "t8");
+  ExpectSameRun("8 threads vs 1", serial, eight);
+}
+
+// SENSORD_THREADS resolution: explicit option wins, 0 defers to the
+// environment, and an absent, garbage, or out-of-range environment value
+// falls back to the serial engine rather than guessing.
+TEST(SimParallelTest, ThreadKnobResolution) {
+  SimulatorOptions opts;
+
+  ASSERT_EQ(unsetenv("SENSORD_THREADS"), 0);
+  opts.threads = 0;
+  EXPECT_EQ(Simulator(opts).threads(), 1);
+  opts.threads = 4;
+  EXPECT_EQ(Simulator(opts).threads(), 4);
+
+  ASSERT_EQ(setenv("SENSORD_THREADS", "8", 1), 0);
+  opts.threads = 0;
+  EXPECT_EQ(Simulator(opts).threads(), 8);
+  opts.threads = 2;  // explicit option beats the environment
+  EXPECT_EQ(Simulator(opts).threads(), 2);
+
+  ASSERT_EQ(setenv("SENSORD_THREADS", "0", 1), 0);
+  opts.threads = 0;
+  EXPECT_EQ(Simulator(opts).threads(), 1);
+  ASSERT_EQ(setenv("SENSORD_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(Simulator(opts).threads(), 1);
+  ASSERT_EQ(setenv("SENSORD_THREADS", "100000", 1), 0);
+  EXPECT_EQ(Simulator(opts).threads(), 1);
+
+  ASSERT_EQ(unsetenv("SENSORD_THREADS"), 0);
+}
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  pool.Run(
+      [&hits](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
+  }
+}
+
+// Back-to-back batches through one pool: the barrier must fully retire one
+// batch (including workers that lost the claiming race) before the next
+// resets the cursor, or items leak between batches.
+TEST(WorkerPoolTest, BackToBackBatchesStayIsolated) {
+  WorkerPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  uint64_t expected = 0;
+  for (int batch = 0; batch < 200; ++batch) {
+    const size_t count = static_cast<size_t>(batch % 7);  // incl. empty
+    const uint64_t base = static_cast<uint64_t>(batch) * 1000;
+    for (size_t i = 0; i < count; ++i) expected += base + i;
+    pool.Run(
+        [&sum, base](size_t i) {
+          sum.fetch_add(base + i, std::memory_order_relaxed);
+        },
+        count);
+  }
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), expected);
+}
+
+TEST(OpLogTest, ReplayPreservesPushOrderAndClears) {
+  OpLog log;
+  EXPECT_TRUE(log.Empty());
+  std::string order;
+  log.Push([&order]() { order += 'a'; });
+  log.Push([&order]() { order += 'b'; });
+  log.Push([&order]() { order += 'c'; });
+  EXPECT_EQ(log.Size(), 3u);
+  EXPECT_EQ(order, "");  // staged, not run
+  log.Replay();
+  EXPECT_EQ(order, "abc");
+  EXPECT_TRUE(log.Empty());  // replay consumes the log
+}
+
+TEST(OpLogTest, RunOrStageRespectsCurrentLog) {
+  int runs = 0;
+  EXPECT_EQ(OpLog::Current(), nullptr);
+  RunOrStage([&runs]() { ++runs; });
+  EXPECT_EQ(runs, 1);  // no log current: runs inline
+
+  OpLog log;
+  OpLog::SetCurrent(&log);
+  RunOrStage([&runs]() { ++runs; });
+  EXPECT_EQ(runs, 1);  // staged
+  OpLog::SetCurrent(nullptr);
+  log.Replay();
+  EXPECT_EQ(runs, 2);
+}
+
+}  // namespace
+}  // namespace sensord

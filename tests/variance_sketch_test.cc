@@ -134,6 +134,68 @@ INSTANTIATE_TEST_SUITE_P(
                       SketchCase{0.5, 0}, SketchCase{0.5, 1},
                       SketchCase{0.5, 2}, SketchCase{0.5, 3}));
 
+// The derived standard-deviation guarantee, across window slides: a
+// variance relative error of at most eps caps the std-dev relative error at
+// 1 - sqrt(1 - eps). Checked at *every* slide position after warm-up —
+// each Add expires one value and admits another, and the uncertain
+// partially-expired oldest bucket changes shape step by step — across a
+// 20-seed sweep of regime-switching streams (std-dev level shifts by 4x
+// mid-stream, so the bound is exercised while buckets built at one scale
+// expire into the other).
+class VarianceSketchStdDevSlideTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarianceSketchStdDevSlideTest, StdDevBoundHoldsAtEverySlide) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const size_t window = 400;
+  const double eps = 0.2;
+  const double stddev_bound = 1.0 - std::sqrt(1.0 - eps);
+
+  VarianceSketch sketch(window, eps);
+  ExactWindowVariance exact(window);
+  Rng rng(0x51DE + seed);
+
+  size_t slides_checked = 0;
+  double worst = 0.0;
+  for (int i = 0; i < 2400; ++i) {
+    // Four regimes: tight, wide, drifting-mean, bimodal.
+    const int regime = i / 600;
+    double x = 0.0;
+    switch (regime) {
+      case 0:
+        x = rng.Gaussian(0.4, 0.02);
+        break;
+      case 1:
+        x = rng.Gaussian(0.4, 0.08);
+        break;
+      case 2:
+        x = rng.Gaussian(0.2 + 0.4 * ((i % 600) / 600.0), 0.03);
+        break;
+      default:
+        x = rng.Bernoulli(0.5) ? rng.Gaussian(0.25, 0.02)
+                               : rng.Gaussian(0.65, 0.02);
+        break;
+    }
+    sketch.Add(x);
+    exact.Add(x);
+    if (i < static_cast<int>(window)) continue;  // window not yet full
+    const double truth = std::sqrt(exact.Variance());
+    if (truth <= 1e-6) continue;
+    ++slides_checked;
+    const double err = std::fabs(sketch.StdDev() - truth) / truth;
+    worst = std::max(worst, err);
+    ASSERT_LE(err, stddev_bound)
+        << "seed " << seed << ": std-dev bound violated at slide " << i
+        << " (sketch " << sketch.StdDev() << ", exact " << truth << ")";
+  }
+  EXPECT_GT(slides_checked, 1500u) << "seed " << seed;
+  EXPECT_GT(worst, 0.0) << "seed " << seed
+                        << ": the sketch was exact throughout — the "
+                           "approximation path was never exercised";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VarianceSketchStdDevSlideTest,
+                         ::testing::Range(0, 20));
+
 TEST(VarianceSketchTest, BucketCountStaysWithinBound) {
   VarianceSketch s(10000, 0.2);
   Rng rng(7);
