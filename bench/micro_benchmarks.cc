@@ -145,6 +145,78 @@ void BM_KdeBoxQueryBatch2d(benchmark::State& state) {
 }
 BENCHMARK(BM_KdeBoxQueryBatch2d)->Arg(128)->Arg(512)->Arg(2048);
 
+// Primary-axis pruning on the same MDEF-shaped clustered batch: the
+// terms_per_box counter is the mean primary-axis candidate count |R'| a
+// box actually evaluates, and prune_factor = |R| / terms_per_box is the
+// saving over the full-sample sweep the pre-flat engine performed.
+void BM_KdeBoxQueryPruned2d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(n, 2, 6), {0.08, 0.08});
+  obs::Histogram* terms = obs::MetricsRegistry::Global().GetHistogram(
+      "stats.kde.terms_per_query", obs::SizeBoundaries());
+  Rng q(7);
+  constexpr size_t kBoxes = 24;
+  std::vector<Point> lo(kBoxes), hi(kBoxes);
+  std::vector<double> masses;
+  const uint64_t count_before = terms->Count();
+  const double sum_before = terms->Sum();
+  for (auto _ : state) {
+    const double cx = q.UniformDouble(), cy = q.UniformDouble();
+    for (size_t b = 0; b < kBoxes; ++b) {
+      const double dx = 0.02 * static_cast<double>(b % 6);
+      const double dy = 0.02 * static_cast<double>(b / 6);
+      lo[b] = {cx + dx - 0.01, cy + dy - 0.01};
+      hi[b] = {cx + dx + 0.01, cy + dy + 0.01};
+    }
+    kde->BoxProbabilityBatch(lo, hi, &masses);
+    benchmark::DoNotOptimize(masses.data());
+  }
+  const double boxes = static_cast<double>(terms->Count() - count_before);
+  const double terms_per_box =
+      boxes > 0.0 ? (terms->Sum() - sum_before) / boxes : 0.0;
+  state.counters["terms_per_box"] = terms_per_box;
+  state.counters["prune_factor"] =
+      terms_per_box > 0.0 ? static_cast<double>(n) / terms_per_box : 0.0;
+  state.SetItemsProcessed(state.iterations() * kBoxes);
+}
+BENCHMARK(BM_KdeBoxQueryPruned2d)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_KdeBoxQueryPruned3d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto kde = KernelDensityEstimator::CreateWithScottBandwidths(
+      RandomSample(n, 3, 20), {0.08, 0.08, 0.08});
+  obs::Histogram* terms = obs::MetricsRegistry::Global().GetHistogram(
+      "stats.kde.terms_per_query", obs::SizeBoundaries());
+  Rng q(21);
+  constexpr size_t kBoxes = 24;  // 4 x 3 x 2 cell grid
+  std::vector<Point> lo(kBoxes), hi(kBoxes);
+  std::vector<double> masses;
+  const uint64_t count_before = terms->Count();
+  const double sum_before = terms->Sum();
+  for (auto _ : state) {
+    const double cx = q.UniformDouble(), cy = q.UniformDouble(),
+                 cz = q.UniformDouble();
+    for (size_t b = 0; b < kBoxes; ++b) {
+      const double dx = 0.02 * static_cast<double>(b % 4);
+      const double dy = 0.02 * static_cast<double>((b / 4) % 3);
+      const double dz = 0.02 * static_cast<double>(b / 12);
+      lo[b] = {cx + dx - 0.01, cy + dy - 0.01, cz + dz - 0.01};
+      hi[b] = {cx + dx + 0.01, cy + dy + 0.01, cz + dz + 0.01};
+    }
+    kde->BoxProbabilityBatch(lo, hi, &masses);
+    benchmark::DoNotOptimize(masses.data());
+  }
+  const double boxes = static_cast<double>(terms->Count() - count_before);
+  const double terms_per_box =
+      boxes > 0.0 ? (terms->Sum() - sum_before) / boxes : 0.0;
+  state.counters["terms_per_box"] = terms_per_box;
+  state.counters["prune_factor"] =
+      terms_per_box > 0.0 ? static_cast<double>(n) / terms_per_box : 0.0;
+  state.SetItemsProcessed(state.iterations() * kBoxes);
+}
+BENCHMARK(BM_KdeBoxQueryPruned3d)->Arg(128)->Arg(512)->Arg(2048);
+
 void BM_HistogramBoxQuery(benchmark::State& state) {
   auto hist = EquiDepthHistogram::Build(
       RandomSample(10000, 1, 8), static_cast<size_t>(state.range(0)));
@@ -211,6 +283,43 @@ void BM_DensityModelObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DensityModelObserve)->Arg(500)->Arg(2000);
+
+// The zero-realloc rebuild contract: once the flat scratch and the
+// estimator ping-pong buffers are warm, materializing a fresh estimator
+// performs a small constant number of O(d) allocations and zero per-point
+// ones — allocs_per_rebuild must not grow from Arg(512) to Arg(2048).
+void BM_DensityModelRebuild(benchmark::State& state) {
+  DensityModelConfig cfg;
+  cfg.dimensions = 2;
+  cfg.window_size = 10000;
+  cfg.sample_size = static_cast<size_t>(state.range(0));
+  cfg.max_estimator_age = 1;  // every Estimator() after an Observe rebuilds
+  DensityModel model(cfg, Rng(18));
+  Rng values(19);
+  Point p(2);  // reused so feeding itself does not allocate
+  const auto feed = [&] {
+    p[0] = Clamp(values.Gaussian(0.4, 0.08), 0.0, 1.0);
+    p[1] = Clamp(values.Gaussian(0.5, 0.1), 0.0, 1.0);
+    model.Observe(p);
+  };
+  for (size_t i = 0; i < cfg.window_size; ++i) feed();
+  model.Estimator();  // allocates the scratch and the first estimator
+  feed();
+  model.Estimator();  // establishes the steady-state ping-pong
+  uint64_t rebuild_allocs = 0;
+  for (auto _ : state) {
+    feed();
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    benchmark::DoNotOptimize(&model.Estimator());
+    rebuild_allocs +=
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+  }
+  state.counters["allocs_per_rebuild"] =
+      static_cast<double>(rebuild_allocs) /
+      static_cast<double>(state.iterations() > 0 ? state.iterations() : 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DensityModelRebuild)->Arg(512)->Arg(2048);
 
 // --- obs layer overhead -----------------------------------------------------
 

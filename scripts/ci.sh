@@ -28,9 +28,11 @@
 #   5. Thread-parity gate: the deterministic parallel engine promises
 #      byte-identical artifacts at any worker count (DESIGN.md §12). The
 #      golden e2e scenario must match the committed golden at both
-#      SENSORD_THREADS=1 and =8, and the seeded trace_outliers demo's
+#      SENSORD_THREADS=1 and =8, the seeded trace_outliers demo's
 #      stdout + causal-trace + flight-recorder JSONL are diffed
-#      byte-for-byte between a 1-thread and an 8-thread run.
+#      byte-for-byte between a 1-thread and an 8-thread run, and the
+#      golden is regenerated at both thread counts and diffed against
+#      itself and the committed file.
 #   6. clang-tidy over src tests bench examples via scripts/lint.sh
 #      (skipped with a notice if clang-tidy is not installed).
 #   7. Quick bench run via scripts/bench.sh — proves the bench harnesses run
@@ -115,6 +117,23 @@ done
 diff -u "${PARITY_DIR}/stdout_1.txt" "${PARITY_DIR}/stdout_8.txt"
 diff -u "${PARITY_DIR}/trace_1.jsonl" "${PARITY_DIR}/trace_8.jsonl"
 diff -u "${PARITY_DIR}/flight_1.jsonl" "${PARITY_DIR}/flight_8.jsonl"
+# Gate (c): regenerate the golden itself at both thread counts and diff the
+# regenerated artifacts against each other and against the committed file —
+# catches a parity break that gates (a)/(b) would miss if the committed
+# golden were stale. The committed file is restored afterwards (and by the
+# trap on failure).
+GOLDEN="tests/golden/e2e_outliers.txt"
+cp "${GOLDEN}" "${PARITY_DIR}/golden_committed.txt"
+trap 'cp -f "${PARITY_DIR}/golden_committed.txt" tests/golden/e2e_outliers.txt; rm -rf "${PARITY_DIR}"' EXIT
+for n in 1 8; do
+  SENSORD_THREADS="${n}" SENSORD_REGEN_GOLDEN=1 \
+      build/release/tests/golden_e2e_test \
+      --gtest_filter='GoldenE2eTest.DetectionHistoryMatchesGolden' >/dev/null
+  cp "${GOLDEN}" "${PARITY_DIR}/golden_regen_${n}.txt"
+  cp -f "${PARITY_DIR}/golden_committed.txt" "${GOLDEN}"
+done
+diff -u "${PARITY_DIR}/golden_regen_1.txt" "${PARITY_DIR}/golden_regen_8.txt"
+diff -u "${PARITY_DIR}/golden_committed.txt" "${PARITY_DIR}/golden_regen_1.txt"
 echo "thread-parity: golden + trace + flight artifacts identical at 1 and 8 threads"
 
 echo "=== ci.sh [6/7] clang-tidy ==="

@@ -64,9 +64,20 @@ const KernelDensityEstimator& DensityModel::Estimator() const {
   if (stale) {
     const obs::ScopedTimer timer(Metrics().rebuild_ns);
     Metrics().estimator_rebuilds->Increment();
+    // Zero per-point-allocation rebuild (DESIGN.md §13): export the sample
+    // into the warm scratch buffer, compute the spreads from it, move the
+    // buffer into the new estimator, then steal the displaced estimator's
+    // buffer back as the next rebuild's scratch. After the second rebuild
+    // the two flat buffers just ping-pong; only O(d) vectors (spreads,
+    // bandwidths, kernels) are allocated per rebuild.
+    sample_.SnapshotTo(&rebuild_scratch_);
+    const std::vector<double> spreads = SpreadsFrom(rebuild_scratch_);
     auto built = KernelDensityEstimator::CreateWithScottBandwidths(
-        sample_.Snapshot(), BandwidthSpreads());
+        std::move(rebuild_scratch_), spreads);
     SENSORD_CHECK_OK(built.status());  // inputs are valid by construction
+    if (cached_.has_value()) {
+      rebuild_scratch_ = std::move(*cached_).ReleaseSampleStorage();
+    }
     cached_.emplace(std::move(built).value());
     cached_sample_version_ = version;
     cached_at_count_ = seen;
@@ -96,17 +107,27 @@ std::vector<double> DensityModel::StdDevs() const {
 }
 
 std::vector<double> DensityModel::BandwidthSpreads() const {
+  if (!config_.robust_bandwidth || !sample_.seeded()) return StdDevs();
+  sample_.SnapshotTo(&rebuild_scratch_);
+  return SpreadsFrom(rebuild_scratch_);
+}
+
+std::vector<double> DensityModel::SpreadsFrom(
+    const FlatPoints& snapshot) const {
   std::vector<double> spreads = StdDevs();
-  if (!config_.robust_bandwidth || !sample_.seeded()) return spreads;
+  if (!config_.robust_bandwidth || snapshot.empty()) return spreads;
   // Silverman's robust variant: temper each sigma with the sample IQR so
-  // rare excursions do not inflate the bandwidth of the bulk.
-  const std::vector<Point> snapshot = sample_.Snapshot();
+  // rare excursions do not inflate the bandwidth of the bulk. One warm
+  // coordinate buffer serves every dimension (QuantileSorted interpolates
+  // exactly like Quantile, so the spreads are unchanged bit for bit).
   for (size_t dim = 0; dim < spreads.size(); ++dim) {
-    std::vector<double> coord;
-    coord.reserve(snapshot.size());
-    for (const Point& p : snapshot) coord.push_back(p[dim]);
-    const double iqr =
-        Quantile(coord, 0.75) - Quantile(std::move(coord), 0.25);
+    coord_scratch_.clear();
+    for (size_t row = 0; row < snapshot.size(); ++row) {
+      coord_scratch_.push_back(snapshot.At(row, dim));
+    }
+    std::sort(coord_scratch_.begin(), coord_scratch_.end());
+    const double iqr = QuantileSorted(coord_scratch_, 0.75) -
+                       QuantileSorted(coord_scratch_, 0.25);
     spreads[dim] = RobustSpread(spreads[dim], iqr);
   }
   return spreads;

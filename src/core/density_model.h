@@ -25,6 +25,7 @@
 #include "stats/kde.h"
 #include "stream/chain_sample.h"
 #include "stream/variance_sketch.h"
+#include "util/flat_points.h"
 #include "util/math_utils.h"
 #include "util/rng.h"
 
@@ -100,6 +101,10 @@ class DensityModel {
   bool Restore(SnapshotReader* reader);
 
  private:
+  // BandwidthSpreads() over an already-exported flat snapshot of the sample
+  // (the rebuild path computes the snapshot once and reuses it here).
+  std::vector<double> SpreadsFrom(const FlatPoints& snapshot) const;
+
   DensityModelConfig config_;
   ChainSample sample_;
   std::vector<VarianceSketch> sketches_;
@@ -108,6 +113,18 @@ class DensityModel {
   mutable std::optional<KernelDensityEstimator> cached_;
   mutable uint64_t cached_sample_version_ = 0;
   mutable uint64_t cached_at_count_ = 0;
+
+  // Warm buffers for the rebuild path (DESIGN.md §13): the sample is
+  // exported into rebuild_scratch_, handed to the new estimator, and the
+  // displaced estimator's buffer is stolen back as the next scratch — two
+  // heap blocks ping-pong forever, so a steady-state rebuild performs zero
+  // per-point allocations. coord_scratch_ serves the robust-bandwidth IQR
+  // the same way. mutable for the same reason as cached_: rebuilds happen
+  // inside const queries, and a DensityModel is single-owner state (the
+  // parallel engine runs handlers of distinct nodes, never one model from
+  // two threads — DESIGN.md §12).
+  mutable FlatPoints rebuild_scratch_;
+  mutable std::vector<double> coord_scratch_;
 };
 
 }  // namespace sensord

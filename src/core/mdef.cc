@@ -158,7 +158,16 @@ MdefResult ComputeMdef(const KernelDensityEstimator& kde, const Point& p,
   std::vector<double> cell_mass(total_cells, 0.0);
   std::vector<std::vector<double>> per_dim(d);
 
-  for (const Point& t : kde.sample()) {
+  // Restrict the sweep to the canonical rows whose kernel support can reach
+  // the scanned cells on the KDE's primary axis; the rows skipped are
+  // exactly ones the per-dimension reject below would discard, so cell_mass
+  // accumulates bit-identically to a full sample sweep.
+  const size_t axis = kde.primary_axis();
+  const auto [row_begin, row_end] = kde.CandidateRows(
+      cell_lo[axis].front(), cell_lo[axis].back() + side);
+  const FlatPoints& sample = kde.sample();
+  for (size_t row = row_begin; row < row_end; ++row) {
+    const double* t = sample.Row(row);
     // Cheap reject: kernel support vs the bounding box of the listed cells.
     bool overlaps = true;
     for (size_t dim = 0; dim < d && overlaps; ++dim) {

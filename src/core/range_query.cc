@@ -31,8 +31,8 @@ StatusOr<double> RangeQueryEngine::Average(size_t dim, const Point& lo,
   if (width <= 0.0) {
     return Status::InvalidArgument("degenerate query box");
   }
-  // All slices go to the estimator as one batch: a single sample sweep for
-  // the KDE instead of one per slice.
+  // All slices go to the estimator as one batch: a single pruned sweep of
+  // the union box's candidate rows for the KDE instead of one per slice.
   std::vector<Point> slice_lo(slices, lo), slice_hi(slices, hi);
   for (size_t s = 0; s < slices; ++s) {
     slice_lo[s][dim] = lo[dim] + static_cast<double>(s) * width;

@@ -50,7 +50,8 @@ class DistributionEstimator {
   /// for every q, with identical values and identical per-query metrics.
   /// The default is the plain query loop; estimators override it when a
   /// whole batch can be answered in one pass over their state (the KDE
-  /// answers a batch in a single sample sweep — the cell scans of the MDEF
+  /// answers a batch in a single sweep of the union box's primary-axis
+  /// candidate range — the cell scans of the MDEF
   /// detector and sliced range queries issue dozens of adjacent boxes at
   /// once). Pre: lo.size() == hi.size(), every box has dimensions() coords.
   virtual void BoxProbabilityBatch(const std::vector<Point>& lo,

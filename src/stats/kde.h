@@ -10,19 +10,35 @@
 // sample is kept sorted and a query only touches the kernels whose support
 // intersects the query interval: O(log|R| + |R'|), the paper's refinement.
 //
+// This class generalizes that refinement to d > 1 (DESIGN.md §13). The
+// sample lives in a flat row-major buffer (util/flat_points.h) held in a
+// *canonical order*: sorted by a primary axis a — the axis with the largest
+// spread/bandwidth ratio, i.e. the axis where sorting prunes best — with
+// ties broken lexicographically over all coordinates. BoxProbability,
+// BoxProbabilityBatch and Pdf binary-search the candidate row range
+// [lo_a − B_a, hi_a + B_a] on that axis and evaluate only terms whose
+// kernel support can intersect the query; every skipped term contributes
+// exactly 0.0, so results are bit-identical to a full sweep over the same
+// canonical order.
+//
 // The estimator is an immutable snapshot: the online system (core::
 // DensityModel) rebuilds it cheaply from the current chain sample whenever
 // it needs to answer queries, which keeps this class trivially thread-safe
-// and exactly reproducible.
+// and exactly reproducible. The flat-buffer Create() overload plus
+// ReleaseSampleStorage() let the rebuild path recycle one warm buffer and
+// perform zero per-point heap allocations.
 
 #ifndef SENSORD_STATS_KDE_H_
 #define SENSORD_STATS_KDE_H_
 
 #include <cstddef>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "stats/estimator.h"
 #include "stats/kernel.h"
+#include "util/flat_points.h"
 #include "util/math_utils.h"
 #include "util/status.h"
 
@@ -34,31 +50,48 @@ class SnapshotWriter;
 /// Product-Epanechnikov kernel density estimator over [0,1]^d.
 class KernelDensityEstimator : public DistributionEstimator {
  public:
-  /// Builds an estimator from a sample and per-dimension bandwidths.
-  /// Returns InvalidArgument if the sample is empty, dimensionalities are
+  /// Builds an estimator from a flat sample and per-dimension bandwidths;
+  /// the sample is re-sorted into canonical order in place. Returns
+  /// InvalidArgument if the sample is empty, the dimensionalities are
   /// inconsistent, or any bandwidth is <= 0.
   static StatusOr<KernelDensityEstimator> Create(
-      std::vector<Point> sample, std::vector<double> bandwidths);
+      FlatPoints sample, std::vector<double> bandwidths);
+
+  /// Convenience overload that flattens a Point vector first (allocates;
+  /// hot rebuild paths should pass FlatPoints directly).
+  static StatusOr<KernelDensityEstimator> Create(
+      const std::vector<Point>& sample, std::vector<double> bandwidths);
+
+  /// Disambiguates braced-list call sites (`Create({{0.5}}, {0.1})`), which
+  /// would otherwise match both overloads above; list-initialization
+  /// prefers an initializer_list parameter.
+  static StatusOr<KernelDensityEstimator> Create(
+      std::initializer_list<Point> sample, std::vector<double> bandwidths) {
+    return Create(std::vector<Point>(sample), std::move(bandwidths));
+  }
 
   /// Convenience: Scott's-rule bandwidths from per-dimension standard
   /// deviations (see stats/bandwidth.h), then Create().
   static StatusOr<KernelDensityEstimator> CreateWithScottBandwidths(
-      std::vector<Point> sample, const std::vector<double>& stddevs);
+      FlatPoints sample, const std::vector<double>& stddevs);
+  static StatusOr<KernelDensityEstimator> CreateWithScottBandwidths(
+      const std::vector<Point>& sample, const std::vector<double>& stddevs);
 
   size_t dimensions() const override { return kernels_.size(); }
 
-  /// Closed-form probability mass of the box [lo, hi]. O(d|R|) in general;
-  /// O(log|R| + |R'|) when d == 1, |R'| being the kernels intersecting the
-  /// query interval.
+  /// Closed-form probability mass of the box [lo, hi]:
+  /// O(log|R| + d|R'|), |R'| being the candidate rows whose primary-axis
+  /// coordinate falls in [lo_a − B_a, hi_a + B_a].
   double BoxProbability(const Point& lo, const Point& hi) const override;
 
-  /// One sample sweep for the whole batch in d > 1: each kernel term is
-  /// loaded once and its overlap tested against the batch's bounding box
-  /// before any per-box work, so cell scans over a small neighbourhood skip
-  /// most of the sample outright. Values and metrics are bit-identical to
-  /// the per-query loop (contributions accumulate per box in sample order,
-  /// exactly as BoxProbability sums them). In 1-d the per-query
-  /// O(log|R| + |R'|) path is already optimal and is used unchanged.
+  /// One candidate-range sweep for the whole batch in d > 1: the union of
+  /// the live boxes bounds one binary-searched row range, each row in it is
+  /// loaded once and tested against the union box before any per-box work.
+  /// Values and metrics are bit-identical to the per-query loop
+  /// (contributions accumulate per box in canonical sample order, exactly
+  /// as BoxProbability sums them, and terms_per_query records each box's
+  /// own candidate count). In 1-d the per-query O(log|R| + |R'|) path is
+  /// already optimal and is used unchanged.
   void BoxProbabilityBatch(const std::vector<Point>& lo,
                            const std::vector<Point>& hi,
                            std::vector<double>* out) const override;
@@ -72,35 +105,64 @@ class KernelDensityEstimator : public DistributionEstimator {
   /// Per-dimension bandwidths B_i.
   std::vector<double> bandwidths() const;
 
-  /// The sample points the estimator was built from (1-d estimators return
-  /// them in sorted order).
-  const std::vector<Point>& sample() const { return sample_; }
+  /// The sample in canonical order: flat row-major storage, rows sorted
+  /// ascending by primary_axis() with lexicographic tie-breaks (in 1-d this
+  /// degenerates to the plain sorted order).
+  const FlatPoints& sample() const { return sample_; }
+
+  /// The axis the canonical order sorts by and queries prune on: the axis
+  /// maximizing (sample spread) / bandwidth, ties to the smallest index.
+  /// Always 0 in 1-d.
+  size_t primary_axis() const { return primary_axis_; }
+
+  /// The half-open canonical row range whose kernels can overlap
+  /// [axis_lo, axis_hi] on the primary axis, i.e. rows with coordinate in
+  /// [axis_lo − B_a, axis_hi + B_a]. Rows outside it contribute exactly
+  /// 0.0 to any box/pdf query over that primary-axis extent.
+  std::pair<size_t, size_t> CandidateRows(double axis_lo,
+                                          double axis_hi) const;
+
+  /// Steals the flat sample storage so a rebuild path can recycle the heap
+  /// buffer (core::DensityModel's scratch ping-pong). The estimator is left
+  /// empty and must not be queried afterwards.
+  FlatPoints ReleaseSampleStorage() && { return std::move(sample_); }
 
   /// Footprint under the paper's accounting: d numbers per sample point plus
   /// d bandwidths, at `bytes_per_number` bytes each.
   size_t MemoryBytes(size_t bytes_per_number) const;
 
   /// Appends the estimator's defining state (sample points and bandwidths)
-  /// to `writer`, for checkpoint/restore (core/snapshot.h). The sorted 1-d
-  /// index is derived and rebuilt on Deserialize.
+  /// to `writer`, for checkpoint/restore (core/snapshot.h). The wire format
+  /// is unchanged from the vector<Point> era — one u32 dimension prefix per
+  /// point — so snapshots are portable across the flat-layout change in
+  /// both directions.
   void Serialize(SnapshotWriter* writer) const;
 
   /// Rebuilds an estimator from state previously written by Serialize(),
-  /// re-validating through Create(). Returns InvalidArgument if the reader
-  /// fails or the decoded state does not satisfy Create()'s preconditions.
+  /// re-validating through Create() (which re-canonicalizes the order, so
+  /// pre-flat-layout payloads restore to the identical estimator). Returns
+  /// InvalidArgument if the reader fails or the decoded state does not
+  /// satisfy Create()'s preconditions.
   static StatusOr<KernelDensityEstimator> Deserialize(SnapshotReader* reader);
 
  private:
-  KernelDensityEstimator(std::vector<Point> sample,
-                         std::vector<double> bandwidths);
+  KernelDensityEstimator(FlatPoints sample, std::vector<double> bandwidths);
+
+  // Picks primary_axis_ and sorts sample_ into canonical order.
+  void Canonicalize();
+
+  // First canonical row with primary-axis coordinate >= v (resp. > v).
+  size_t LowerBoundRow(double v) const;
+  size_t UpperBoundRow(double v) const;
 
   // 1-d fast path for BoxProbability.
   double Interval1dProbability(double lo, double hi) const;
 
-  std::vector<Point> sample_;
-  std::vector<double> sorted_1d_;  // sorted coordinates; only filled if d == 1
+  FlatPoints sample_;  // canonical order; in 1-d its data() is the sorted
+                       // coordinate array the fast path binary-searches
   std::vector<EpanechnikovKernel> kernels_;
   size_t sample_size_;
+  size_t primary_axis_ = 0;
 };
 
 }  // namespace sensord

@@ -36,22 +36,43 @@ const ChainSampleMetrics& Metrics() {
 
 }  // namespace
 
-void ChainSample::Chain::PushBack(uint64_t index, const Point& value) {
-  size_t pos = head + size;
-  if (pos == slots.size()) {
-    if (head > 0) {
-      // Slide the live range to the front. Swapping (rather than moving)
-      // keeps the displaced slots' Point capacity available for reuse.
-      for (uint32_t i = 0; i < size; ++i) std::swap(slots[i], slots[head + i]);
-      head = 0;
-      pos = size;
-    }
-    if (pos == slots.size()) slots.emplace_back();
+uint32_t ChainSample::AllocRow() {
+  if (row_free_ != kNilRow) {
+    const uint32_t r = row_free_;
+    row_free_ = row_next_[r];
+    return r;
   }
-  ChainEntry& entry = slots[pos];
-  entry.index = index;
-  entry.value = value;  // vector assignment reuses the slot's capacity
-  ++size;
+  const uint32_t r = static_cast<uint32_t>(row_index_.size());
+  row_index_.emplace_back();
+  row_next_.emplace_back();
+  row_coords_.resize(row_coords_.size() + dims_);
+  return r;
+}
+
+void ChainSample::ChainPushBack(Chain* chain, uint64_t index,
+                                const Point& value) {
+  SENSORD_DCHECK_EQ(value.size(), dims_);
+  const uint32_t r = AllocRow();
+  row_index_[r] = index;
+  std::copy(value.begin(), value.end(),
+            row_coords_.begin() + static_cast<size_t>(r) * dims_);
+  row_next_[r] = kNilRow;
+  if (chain->Empty()) {
+    chain->head = r;
+  } else {
+    row_next_[chain->tail] = r;
+  }
+  chain->tail = r;
+  ++chain->size;
+}
+
+void ChainSample::ChainPopFront(Chain* chain) {
+  SENSORD_DCHECK(!chain->Empty());
+  const uint32_t r = chain->head;
+  chain->head = row_next_[r];
+  --chain->size;
+  if (chain->Empty()) chain->tail = kNilRow;
+  FreeRow(r);
 }
 
 ChainSample::PendingIndex::PendingIndex(size_t min_slots) {
@@ -143,7 +164,7 @@ void ChainSample::DrawReplacement(uint32_t chain_idx, uint64_t index) {
 void ChainSample::RegisterExpiry(uint32_t chain_idx) {
   const Chain& chain = chains_[chain_idx];
   SENSORD_DCHECK(!chain.Empty());
-  pending_.Register(chain.Front().index + window_size_, chain_idx,
+  pending_.Register(FrontIndex(chain) + window_size_, chain_idx,
                     /*expiry=*/true);
 }
 
@@ -152,8 +173,27 @@ void ChainSample::RestartChain(uint32_t chain_idx, uint64_t index,
   Metrics().restarts->Increment();
   ++version_;
   Chain& chain = chains_[chain_idx];
-  chain.Clear();  // orphaned index registrations are skipped lazily
-  chain.PushBack(index, value);
+  // Orphaned index registrations are skipped lazily. The head row, if any,
+  // is overwritten in place rather than freed and re-allocated: restarts
+  // are by far the most frequent chain mutation, and most chains hold only
+  // their active element when one hits.
+  if (chain.Empty()) {
+    ChainPushBack(&chain, index, value);
+  } else {
+    SENSORD_DCHECK_EQ(value.size(), dims_);
+    for (uint32_t r = row_next_[chain.head]; r != kNilRow;) {
+      const uint32_t next = row_next_[r];
+      FreeRow(r);
+      r = next;
+    }
+    const uint32_t head = chain.head;
+    row_index_[head] = index;
+    std::copy(value.begin(), value.end(),
+              row_coords_.begin() + static_cast<size_t>(head) * dims_);
+    row_next_[head] = kNilRow;
+    chain.tail = head;
+    chain.size = 1;
+  }
   RegisterExpiry(chain_idx);
   DrawReplacement(chain_idx, index);
 }
@@ -175,7 +215,9 @@ bool ChainSample::Add(const Point& value) {
   ++now_;
 
   if (!seeded_) {
-    // The first element ever observed seeds every chain.
+    // The first element ever observed seeds every chain; it also fixes the
+    // stream's dimensionality, which sizes the row pool's coordinate stride.
+    dims_ = value.size();
     for (uint32_t c = 0; c < chains_.size(); ++c) RestartChain(c, i, value);
     seeded_ = true;
     return true;
@@ -191,7 +233,7 @@ bool ChainSample::Add(const Point& value) {
   for (const uint32_t c : scratch_replacements_) {
     Chain& chain = chains_[c];
     if (chain.next_replacement_index != i) continue;  // stale (restarted)
-    chain.PushBack(i, value);
+    ChainPushBack(&chain, i, value);
     Metrics().replacements->Increment();
     DrawReplacement(c, i);
   }
@@ -199,10 +241,10 @@ bool ChainSample::Add(const Point& value) {
   // 2. Chains whose active element expires now: promote the next entry.
   for (const uint32_t c : scratch_expiries_) {
     Chain& chain = chains_[c];
-    if (chain.Empty() || chain.Front().index + window_size_ != i) {
+    if (chain.Empty() || FrontIndex(chain) + window_size_ != i) {
       continue;  // stale (restarted since registration)
     }
-    chain.PopFront();
+    ChainPopFront(&chain);
     SENSORD_CHECK(!chain.Empty() &&
                   "chain invariant: replacement arrives before expiry");
     Metrics().expirations->Increment();
@@ -225,19 +267,33 @@ bool ChainSample::Add(const Point& value) {
   return entered_sample;
 }
 
-const Point& ChainSample::ActiveElement(size_t i) const {
+PointView ChainSample::ActiveElement(size_t i) const {
   SENSORD_DCHECK_LT(i, chains_.size());
   SENSORD_DCHECK(!chains_[i].Empty());
-  return chains_[i].Front().value;
+  return PointView(FrontCoords(chains_[i]), dims_);
 }
 
 std::vector<Point> ChainSample::Snapshot() const {
   std::vector<Point> out;
   out.reserve(chains_.size());
   for (const Chain& chain : chains_) {
-    if (!chain.Empty()) out.push_back(chain.Front().value);
+    if (!chain.Empty()) {
+      const double* coords = FrontCoords(chain);
+      out.emplace_back(coords, coords + dims_);
+    }
   }
   return out;
+}
+
+void ChainSample::SnapshotTo(FlatPoints* out) const {
+  out->Reset(seeded_ ? dims_ : 0);
+  if (!seeded_) return;
+  out->Reserve(chains_.size());
+  for (const Chain& chain : chains_) {
+    if (chain.Empty()) continue;
+    const double* coords = FrontCoords(chain);
+    std::copy(coords, coords + dims_, out->AppendRow());
+  }
 }
 
 size_t ChainSample::StoredElements() const {
@@ -303,10 +359,15 @@ void ChainSample::Serialize(SnapshotWriter* writer) const {
   for (const Chain& chain : chains_) {
     writer->PutU64(chain.next_replacement_index);
     writer->PutU32(chain.size);
-    for (uint32_t e = 0; e < chain.size; ++e) {
-      const ChainEntry& entry = chain.slots[chain.head + e];
-      writer->PutU64(entry.index);
-      writer->PutPoint(entry.value);
+    // Each pool row is written in PutPoint's exact wire format (u32
+    // dimension prefix + coordinates), so snapshots stay byte-identical to
+    // the per-entry Point era.
+    for (uint32_t r = chain.head; r != kNilRow; r = row_next_[r]) {
+      writer->PutU64(row_index_[r]);
+      writer->PutU32(static_cast<uint32_t>(dims_));
+      const double* coords =
+          row_coords_.data() + static_cast<size_t>(r) * dims_;
+      for (size_t k = 0; k < dims_; ++k) writer->PutDouble(coords[k]);
     }
   }
   // The pending indexes must be written verbatim, not re-derived from the
@@ -335,16 +396,29 @@ bool ChainSample::Restore(SnapshotReader* reader) {
   version_ = version;
   seeded_ = seeded;
   rng_ = rng;
+  // Reset the row pool wholesale; the stride re-derives from the first
+  // restored point (every point must agree, or the payload is rejected).
+  row_index_.clear();
+  row_coords_.clear();
+  row_next_.clear();
+  row_free_ = kNilRow;
+  dims_ = 0;
+  bool dims_known = false;
   for (uint32_t c = 0; c < chain_count; ++c) {
     Chain& chain = chains_[c];
-    chain.Clear();
+    chain = Chain{};
     chain.next_replacement_index = reader->TakeU64();
     const uint32_t entry_count = reader->TakeU32();
     for (uint32_t e = 0; e < entry_count; ++e) {
       const uint64_t index = reader->TakeU64();
       const Point value = reader->TakePoint();
       if (!reader->ok()) return false;
-      chain.PushBack(index, value);
+      if (!dims_known) {
+        dims_ = value.size();
+        dims_known = true;
+      }
+      if (value.size() != dims_) return false;
+      ChainPushBack(&chain, index, value);
     }
     if (seeded_ && chain.Empty()) return false;
   }

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/flat_points.h"
 #include "util/math_utils.h"
 #include "util/rng.h"
 
@@ -76,13 +77,21 @@ class ChainSample {
   /// (e.g. a kernel estimator) and rebuild only on change.
   uint64_t version() const { return version_; }
 
-  /// The current active element of chain `i`. Only meaningful once at least
-  /// one element has been observed. Pre: i < sample_size().
-  const Point& ActiveElement(size_t i) const;
+  /// A view of the current active element of chain `i`, valid until the
+  /// next non-const call. Only meaningful once at least one element has
+  /// been observed. Pre: i < sample_size().
+  PointView ActiveElement(size_t i) const;
 
   /// Copies the current sample (one active element per chain).
   /// Empty before the first Add().
   std::vector<Point> Snapshot() const;
+
+  /// Snapshot() into a caller-provided flat buffer, same chain-index order.
+  /// `out` is Reset() to the stream's dimensionality and refilled; a warm
+  /// buffer (capacity from a previous snapshot of the same sample) is
+  /// refilled with zero heap allocations — the estimator-rebuild fast path
+  /// (DESIGN.md §13). Empty (dimensions 0) before the first Add().
+  void SnapshotTo(FlatPoints* out) const;
 
   /// Total stored elements across all chains (active + queued replacements).
   /// Expected O(sample_size); used by the memory-footprint experiment.
@@ -107,34 +116,43 @@ class ChainSample {
   bool Restore(SnapshotReader* reader);
 
  private:
-  struct ChainEntry {
-    uint64_t index = 0;  // global 0-based arrival position
-    Point value;
-  };
+  static constexpr uint32_t kNilRow = ~uint32_t{0};
 
-  // One chain: the live entries are slots[head .. head+size); slots[head] is
-  // the active sample element, later entries are replacements that have
-  // already arrived, ordered by index. Dead slots are kept (not erased) so
-  // their Point capacity is recycled by assignment on the next push — after
-  // warm-up a chain performs zero heap allocations per stream element.
+  // One chain: a FIFO of rows in the sampler-wide pool below; the head row
+  // is the active sample element, later rows are replacements that have
+  // already arrived, ordered by index. A chain owns no storage of its own —
+  // it is three integers plus the pending-replacement index — so
+  // constructing or tearing down a sampler costs O(1) allocations total
+  // instead of one heap block per stored Point (the flat-memory layout of
+  // DESIGN.md §13 applied to the stream store).
   struct Chain {
-    std::vector<ChainEntry> slots;
-    uint32_t head = 0;
+    uint32_t head = kNilRow;  // pool row of the active element
+    uint32_t tail = kNilRow;  // pool row of the newest replacement
     uint32_t size = 0;
     uint64_t next_replacement_index = 0;  // index that extends the chain
 
-    const ChainEntry& Front() const { return slots[head]; }
     bool Empty() const { return size == 0; }
-    void Clear() {
-      head = 0;
-      size = 0;
-    }
-    void PopFront() {
-      ++head;
-      --size;
-    }
-    void PushBack(uint64_t index, const Point& value);
   };
+
+  // Sampler-wide row pool: row r stores one element — its arrival position
+  // in row_index_[r], its coordinates in
+  // row_coords_[r * dims_, (r + 1) * dims_), and its FIFO successor in
+  // row_next_ (which also threads the free list). Rows are recycled, so
+  // after warm-up the pool performs zero heap allocations per stream
+  // element.
+  uint32_t AllocRow();
+  void FreeRow(uint32_t row) {
+    row_next_[row] = row_free_;
+    row_free_ = row;
+  }
+  void ChainPushBack(Chain* chain, uint64_t index, const Point& value);
+  void ChainPopFront(Chain* chain);
+  uint64_t FrontIndex(const Chain& chain) const {
+    return row_index_[chain.head];
+  }
+  const double* FrontCoords(const Chain& chain) const {
+    return row_coords_.data() + static_cast<size_t>(chain.head) * dims_;
+  }
 
   // Arrival index -> chains waiting for that index, for both registration
   // kinds (pending replacements and front expiries) in one structure so each
@@ -197,6 +215,11 @@ class ChainSample {
 
   size_t window_size_;
   std::vector<Chain> chains_;
+  size_t dims_ = 0;  // coordinate stride; fixed by the first Add()/Restore()
+  std::vector<uint64_t> row_index_;  // pool: arrival position per row
+  std::vector<double> row_coords_;   // pool: row-major coordinates
+  std::vector<uint32_t> row_next_;   // pool: FIFO successor / free-list link
+  uint32_t row_free_ = kNilRow;      // head of the recycled-row free list
   Rng rng_;
   uint64_t now_ = 0;      // number of elements observed
   uint64_t version_ = 0;  // bumped when the active sample changes

@@ -1,0 +1,19 @@
+#include "util/flat_points.h"
+
+namespace sensord {
+
+FlatPoints FlatPoints::FromPoints(const std::vector<Point>& points) {
+  FlatPoints out(points.empty() ? 0 : points.front().size());
+  out.Reserve(points.size());
+  for (const Point& p : points) out.Append(p);
+  return out;
+}
+
+std::vector<Point> FlatPoints::ToPoints() const {
+  std::vector<Point> out;
+  out.reserve(size());
+  for (size_t row = 0; row < size(); ++row) out.push_back(ToPoint(row));
+  return out;
+}
+
+}  // namespace sensord

@@ -23,9 +23,14 @@ double Median(std::vector<double> v) {
 
 double Quantile(std::vector<double> v, double q) {
   SENSORD_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  return QuantileSorted(v, q);
+}
+
+double QuantileSorted(const std::vector<double>& v, double q) {
+  SENSORD_CHECK(!v.empty());
   SENSORD_CHECK_GE(q, 0.0);
   SENSORD_CHECK_LE(q, 1.0);
-  std::sort(v.begin(), v.end());
   const double pos = q * static_cast<double>(v.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, v.size() - 1);

@@ -68,6 +68,11 @@ double Median(std::vector<double> v);
 /// Pre: !v.empty(), 0 <= q <= 1.
 double Quantile(std::vector<double> v, double q);
 
+/// Quantile() for input already sorted ascending — no copy, no sort, no
+/// allocation; bit-identical to Quantile() on the same multiset.
+/// Pre: !v.empty(), v sorted ascending, 0 <= q <= 1.
+double QuantileSorted(const std::vector<double>& v, double q);
+
 /// log2 of x rounded up to an integer; Log2Ceil(1) == 0. Pre: x >= 1.
 int Log2Ceil(size_t x);
 

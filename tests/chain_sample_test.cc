@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/flat_points.h"
 #include "util/rng.h"
 
 namespace sensord {
@@ -216,6 +217,31 @@ TEST(ChainSampleTest, InclusionProbabilityIsUniformChiSquared) {
     EXPECT_GT(age_counts[age], 0.5 * expected) << "age " << age;
     EXPECT_LT(age_counts[age], 1.5 * expected) << "age " << age;
   }
+}
+
+TEST(ChainSampleTest, SnapshotToMatchesSnapshot) {
+  ChainSample cs(16, 200, Rng(21));
+  Rng values(22);
+  FlatPoints flat;
+  // Before the first Add the flat snapshot is empty with zero dimensions.
+  cs.SnapshotTo(&flat);
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.dimensions(), 0u);
+  for (int i = 0; i < 3000; ++i) {
+    cs.Add({values.UniformDouble(), values.UniformDouble()});
+    if (i % 500 == 0) {
+      cs.SnapshotTo(&flat);
+      EXPECT_EQ(flat, FlatPoints::FromPoints(cs.Snapshot()));
+    }
+  }
+  // A warm buffer is reused: repeated snapshots into the same FlatPoints
+  // must not grow its backing storage.
+  cs.SnapshotTo(&flat);
+  const double* before = flat.data().data();
+  cs.Add({0.5, 0.5});
+  cs.SnapshotTo(&flat);
+  EXPECT_EQ(flat.data().data(), before);
+  EXPECT_EQ(flat, FlatPoints::FromPoints(cs.Snapshot()));
 }
 
 TEST(ChainSampleTest, DeterministicGivenSeed) {

@@ -1,9 +1,43 @@
 #include "core/density_model.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
 #include "stats/divergence.h"
+
+// Counts every heap allocation in the process so the rebuild-path tests can
+// assert allocation-freedom (same idiom as bench/micro_benchmarks.cc).
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+// The replacement operators below pair malloc with free correctly, but
+// GCC's heuristic sees new-expressions resolving to free() and flags a
+// mismatch; the override is TU-wide, so suppress it file-wide.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace sensord {
 namespace {
@@ -178,6 +212,71 @@ TEST(DensityModelTest, RobustBandwidthResolvesSpikyData) {
       robust.Estimator().BoxProbability({0.405}, {0.435});
   EXPECT_GT(robust_peak, scott_peak);
   EXPECT_GT(robust_peak, 0.8);
+}
+
+// The flat rebuild path must produce exactly the estimator the allocating
+// vector<Point> path would: same canonical flat sample, same bandwidths,
+// bit-identical answers.
+TEST(DensityModelTest, FlatRebuildMatchesPointVectorRebuild) {
+  for (const bool robust : {false, true}) {
+    DensityModelConfig cfg = SmallConfig();
+    cfg.dimensions = 2;
+    cfg.robust_bandwidth = robust;
+    DensityModel m(cfg, Rng(23));
+    Rng values(24);
+    for (int i = 0; i < 3000; ++i) {
+      m.Observe({values.Gaussian(0.4, 0.06),
+                 Clamp(values.Gaussian(0.6, 0.15), 0.0, 1.0)});
+    }
+    const KernelDensityEstimator& flat = m.Estimator();
+    auto reference = KernelDensityEstimator::CreateWithScottBandwidths(
+        m.sample().Snapshot(), m.BandwidthSpreads());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(flat.sample(), reference.value().sample());
+    EXPECT_EQ(flat.bandwidths(), reference.value().bandwidths());
+    ASSERT_EQ(flat.BoxProbability({0.3, 0.4}, {0.5, 0.8}),
+              reference.value().BoxProbability({0.3, 0.4}, {0.5, 0.8}))
+        << "robust=" << robust;
+  }
+}
+
+// The DESIGN.md §13 rebuild contract: once warm, materializing a fresh
+// estimator allocates a small constant number of O(d) vectors and zero
+// per-point blocks — so the count is identical whether the sample holds
+// 128 or 2048 points.
+uint64_t AllocsForOneRebuild(size_t sample_size, bool robust) {
+  DensityModelConfig cfg;
+  cfg.dimensions = 2;
+  cfg.window_size = 4096;
+  cfg.sample_size = sample_size;
+  cfg.max_estimator_age = 1;  // every query after an observe rebuilds
+  cfg.robust_bandwidth = robust;
+  DensityModel m(cfg, Rng(25));
+  Rng values(26);
+  auto feed = [&] {
+    m.Observe({Clamp(values.Gaussian(0.4, 0.08), 0.0, 1.0),
+               Clamp(values.Gaussian(0.5, 0.1), 0.0, 1.0)});
+  };
+  for (size_t i = 0; i < cfg.window_size; ++i) feed();
+  // Two warm-up rebuilds: the first allocates the scratch + estimator
+  // buffers, the second establishes the steady-state ping-pong.
+  m.Estimator();
+  feed();
+  m.Estimator();
+  feed();
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  m.Estimator();
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+TEST(DensityModelTest, RebuildPerformsZeroPerPointAllocations) {
+  for (const bool robust : {false, true}) {
+    const uint64_t small = AllocsForOneRebuild(128, robust);
+    const uint64_t large = AllocsForOneRebuild(2048, robust);
+    EXPECT_EQ(small, large) << "robust=" << robust
+                            << ": rebuild allocations scale with |R|";
+    EXPECT_LE(small, 8u) << "robust=" << robust;
+  }
 }
 
 TEST(DensityModelTest, PrewarmStartsAtSteadyState) {

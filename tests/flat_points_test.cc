@@ -1,0 +1,179 @@
+#include "util/flat_points.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensord {
+namespace {
+
+TEST(FlatPointsTest, DefaultConstructedIsEmptyWithZeroDims) {
+  FlatPoints fp;
+  EXPECT_TRUE(fp.empty());
+  EXPECT_EQ(fp.size(), 0u);
+  EXPECT_EQ(fp.dimensions(), 0u);
+}
+
+TEST(FlatPointsTest, FromPointsRoundTripsThroughToPoints) {
+  const std::vector<Point> pts = {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}};
+  const FlatPoints fp = FlatPoints::FromPoints(pts);
+  EXPECT_EQ(fp.dimensions(), 2u);
+  EXPECT_EQ(fp.size(), 3u);
+  EXPECT_EQ(fp.ToPoints(), pts);
+}
+
+TEST(FlatPointsTest, FromEmptyVectorHasZeroDimensions) {
+  const FlatPoints fp = FlatPoints::FromPoints({});
+  EXPECT_TRUE(fp.empty());
+  EXPECT_EQ(fp.dimensions(), 0u);
+}
+
+TEST(FlatPointsTest, RowMajorLayoutIsContiguous) {
+  FlatPoints fp(3);
+  fp.Append({1.0, 2.0, 3.0});
+  fp.Append({4.0, 5.0, 6.0});
+  ASSERT_EQ(fp.data().size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(fp.data()[i], static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(fp.At(1, 2), 6.0);
+  EXPECT_EQ(fp.Row(1)[0], 4.0);
+}
+
+TEST(FlatPointsTest, AppendRowReturnsWritableStorage) {
+  FlatPoints fp(2);
+  double* row = fp.AppendRow();
+  row[0] = 7.0;
+  row[1] = 8.0;
+  EXPECT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp.At(0, 0), 7.0);
+  EXPECT_EQ(fp.At(0, 1), 8.0);
+}
+
+TEST(FlatPointsTest, ResetKeepsCapacityAndClearsRows) {
+  FlatPoints fp(2);
+  fp.Reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    fp.Append({static_cast<double>(i), 0.0});
+  }
+  const double* storage = fp.data().data();
+  fp.Reset(2);
+  EXPECT_TRUE(fp.empty());
+  for (int i = 0; i < 64; ++i) {
+    fp.Append({0.0, static_cast<double>(i)});
+  }
+  EXPECT_EQ(fp.data().data(), storage) << "Reset() must keep capacity";
+}
+
+TEST(FlatPointsTest, ResetCanChangeStride) {
+  FlatPoints fp(2);
+  fp.Append({0.1, 0.2});
+  fp.Reset(3);
+  EXPECT_EQ(fp.dimensions(), 3u);
+  EXPECT_EQ(fp.size(), 0u);
+  fp.Append({1.0, 2.0, 3.0});
+  EXPECT_EQ(fp.size(), 1u);
+}
+
+TEST(FlatPointsTest, PointViewReadsRowWithoutCopy) {
+  FlatPoints fp(2);
+  fp.Append({0.25, 0.75});
+  const PointView v = fp.View(0);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 0.25);
+  EXPECT_EQ(v[1], 0.75);
+  EXPECT_EQ(v.data(), fp.Row(0));
+  EXPECT_EQ(v.ToPoint(), (Point{0.25, 0.75}));
+  double sum = 0.0;
+  for (double c : v) sum += c;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(FlatPointsTest, SwapRowsExchangesAllCoordinates) {
+  FlatPoints fp(2);
+  fp.Append({1.0, 2.0});
+  fp.Append({3.0, 4.0});
+  fp.SwapRows(0, 1);
+  EXPECT_EQ(fp.ToPoint(0), (Point{3.0, 4.0}));
+  EXPECT_EQ(fp.ToPoint(1), (Point{1.0, 2.0}));
+}
+
+TEST(FlatPointsTest, SortRowsOrdersByComparator) {
+  Rng rng(1);
+  FlatPoints fp(2);
+  for (int i = 0; i < 257; ++i) {
+    fp.Append({rng.UniformDouble(), rng.UniformDouble()});
+  }
+  fp.SortRows([&fp](size_t a, size_t b) {
+    return fp.At(a, 0) < fp.At(b, 0);
+  });
+  for (size_t row = 1; row < fp.size(); ++row) {
+    EXPECT_LE(fp.At(row - 1, 0), fp.At(row, 0));
+  }
+}
+
+TEST(FlatPointsTest, SortRowsIsDeterministicAcrossInputPermutations) {
+  // With a comparator whose ties are fully interchangeable (identical
+  // rows), any input permutation must sort to the same buffer.
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(rng.UniformUint64(10));
+    pts.push_back({v, v * 2.0});
+  }
+  auto sorted = [](std::vector<Point> p) {
+    FlatPoints fp = FlatPoints::FromPoints(p);
+    fp.SortRows([&fp](size_t a, size_t b) {
+      if (fp.At(a, 0) != fp.At(b, 0)) return fp.At(a, 0) < fp.At(b, 0);
+      return fp.At(a, 1) < fp.At(b, 1);
+    });
+    return fp;
+  };
+  const FlatPoints reference = sorted(pts);
+  Rng shuffler(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (size_t i = pts.size(); i > 1; --i) {
+      std::swap(pts[i - 1], pts[shuffler.UniformUint64(i)]);
+    }
+    EXPECT_EQ(sorted(pts), reference) << "trial " << trial;
+  }
+}
+
+TEST(FlatPointsTest, SortRowsHandlesDegenerateSizes) {
+  FlatPoints empty(2);
+  empty.SortRows([](size_t, size_t) { return false; });
+  EXPECT_TRUE(empty.empty());
+
+  FlatPoints one(2);
+  one.Append({0.5, 0.5});
+  one.SortRows([](size_t, size_t) { return false; });
+  EXPECT_EQ(one.ToPoint(0), (Point{0.5, 0.5}));
+}
+
+TEST(FlatPointsTest, EqualityComparesStrideAndCoordinates) {
+  FlatPoints a(2), b(2);
+  a.Append({0.1, 0.2});
+  b.Append({0.1, 0.2});
+  EXPECT_EQ(a, b);
+  b.Append({0.3, 0.4});
+  EXPECT_NE(a, b);
+  // Same flat buffer, different stride: not equal.
+  FlatPoints c(1);
+  c.Append({0.1});
+  c.Append({0.2});
+  EXPECT_NE(a, c);
+}
+
+TEST(FlatPointsTest, MutableDataAllowsInPlaceSortOf1d) {
+  FlatPoints fp(1);
+  for (double v : {0.9, 0.1, 0.5, 0.3}) fp.Append({v});
+  std::sort(fp.mutable_data()->begin(), fp.mutable_data()->end());
+  EXPECT_EQ(fp.ToPoints(),
+            (std::vector<Point>{{0.1}, {0.3}, {0.5}, {0.9}}));
+}
+
+}  // namespace
+}  // namespace sensord

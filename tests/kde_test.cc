@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "data/analytic.h"
+#include "obs/metrics.h"
 #include "stats/divergence.h"
+#include "util/flat_points.h"
 #include "util/rng.h"
 
 namespace sensord {
@@ -22,9 +24,10 @@ std::vector<Point> Sample1d(Rng* rng, size_t n, double mean, double sd) {
 }
 
 TEST(KdeTest, CreateRejectsEmptySample) {
-  auto kde = KernelDensityEstimator::Create({}, {0.1});
+  auto kde = KernelDensityEstimator::Create(std::vector<Point>{}, {0.1});
   EXPECT_FALSE(kde.ok());
   EXPECT_EQ(kde.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_FALSE(KernelDensityEstimator::Create(FlatPoints(1), {0.1}).ok());
 }
 
 TEST(KdeTest, CreateRejectsDimensionMismatch) {
@@ -113,10 +116,64 @@ TEST(KdeTest, ConvergesToTrueDistribution) {
 TEST(KdeTest, SampleSortedFor1d) {
   auto kde = KernelDensityEstimator::Create({{0.9}, {0.1}, {0.5}}, {0.05});
   ASSERT_TRUE(kde.ok());
-  const auto& s = kde->sample();
-  EXPECT_DOUBLE_EQ(s[0][0], 0.1);
-  EXPECT_DOUBLE_EQ(s[1][0], 0.5);
-  EXPECT_DOUBLE_EQ(s[2][0], 0.9);
+  const FlatPoints& s = kde->sample();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(2, 0), 0.9);
+  EXPECT_EQ(kde->primary_axis(), 0u);
+}
+
+TEST(KdeTest, PrimaryAxisMaximizesSpreadBandwidthRatio) {
+  // Axis 1 spreads 0.8 against bandwidth 0.1 (ratio 8); axis 0 spreads 0.2
+  // against 0.1 (ratio 2) — the canonical order must sort by axis 1.
+  auto kde = KernelDensityEstimator::Create(
+      {{0.4, 0.9}, {0.5, 0.1}, {0.3, 0.5}}, {0.1, 0.1});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_EQ(kde->primary_axis(), 1u);
+  const FlatPoints& s = kde->sample();
+  EXPECT_DOUBLE_EQ(s.At(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(s.At(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(2, 1), 0.9);
+  // Rows travel whole: the axis-0 coordinates follow their axis-1 partner.
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 0.3);
+  EXPECT_DOUBLE_EQ(s.At(2, 0), 0.4);
+}
+
+TEST(KdeTest, PrimaryAxisTieBreaksToSmallestIndex) {
+  // Identical spread/bandwidth on both axes: axis 0 must win.
+  auto kde = KernelDensityEstimator::Create(
+      {{0.2, 0.2}, {0.8, 0.8}}, {0.1, 0.1});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_EQ(kde->primary_axis(), 0u);
+}
+
+TEST(KdeTest, CanonicalOrderBreaksTiesLexicographically) {
+  // Equal primary-axis coordinates: the secondary coordinates decide.
+  auto kde = KernelDensityEstimator::Create(
+      {{0.5, 0.9, 0.5}, {0.5, 0.1, 0.5}, {0.1, 0.5, 0.5}}, {0.1, 0.3, 0.9});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_EQ(kde->primary_axis(), 0u);  // spread 0.4 / 0.1 beats the others
+  const FlatPoints& s = kde->sample();
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(s.At(1, 1), 0.1);  // {0.5, 0.1, .} before {0.5, 0.9, .}
+  EXPECT_DOUBLE_EQ(s.At(2, 1), 0.9);
+}
+
+TEST(KdeTest, CandidateRowsCoverExactlyTheSupportWindow) {
+  auto kde = KernelDensityEstimator::Create(
+      {{0.1, 0.5}, {0.3, 0.5}, {0.5, 0.5}, {0.7, 0.5}, {0.9, 0.5}},
+      {0.05, 0.5});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_EQ(kde->primary_axis(), 0u);
+  // [0.28, 0.52] ± 0.05 → rows with axis-0 coordinate in [0.23, 0.57].
+  const auto [begin, end] = kde->CandidateRows(0.28, 0.52);
+  EXPECT_EQ(begin, 1u);
+  EXPECT_EQ(end, 3u);
+  // A window left of every row is empty, at zero width.
+  const auto [eb, ee] = kde->CandidateRows(0.0, 0.0);
+  EXPECT_EQ(eb, ee);
 }
 
 TEST(KdeTest, NeighborCountScalesWithWindow) {
@@ -165,6 +222,82 @@ TEST(KdeTest, DuplicatePointsAreWeighted) {
   ASSERT_TRUE(kde.ok());
   EXPECT_NEAR(kde->BoxProbability({0.25}, {0.35}), 0.75, 1e-12);
   EXPECT_NEAR(kde->BoxProbability({0.85}, {0.95}), 0.25, 1e-12);
+}
+
+// Regression for the batch union-box seeding: the old seed of
+// (lo=1, hi=0) assumed the [0,1]^d domain, so a batch of boxes entirely
+// outside it widened the union to touch the domain and swept real kernel
+// terms for an all-zero answer. With the ±infinity seeding the union is the
+// boxes' true hull and the candidate range is empty.
+TEST(KdeTest, BatchDoesNotAssumeUnitDomain) {
+  std::vector<Point> sample;
+  for (int i = 0; i < 50; ++i) {
+    sample.push_back({0.04 + 0.0005 * i, 0.5});
+  }
+  auto kde = KernelDensityEstimator::Create(sample, {0.1, 0.1});
+  ASSERT_TRUE(kde.ok());
+
+  std::vector<Point> lo{{-0.6, 0.4}, {-0.58, 0.45}};
+  std::vector<Point> hi{{-0.5, 0.5}, {-0.48, 0.55}};
+  obs::Counter* swept = obs::MetricsRegistry::Global().GetCounter(
+      "stats.kde.batch_swept_terms");
+  const uint64_t swept_before = swept->value();
+  std::vector<double> masses;
+  kde->BoxProbabilityBatch(lo, hi, &masses);
+  EXPECT_EQ(swept->value() - swept_before, 0u);
+  ASSERT_EQ(masses.size(), 2u);
+  for (size_t q = 0; q < masses.size(); ++q) {
+    EXPECT_DOUBLE_EQ(masses[q], 0.0);
+    EXPECT_DOUBLE_EQ(masses[q], kde->BoxProbability(lo[q], hi[q]));
+  }
+}
+
+// The batched path's contract: identical values and identical per-query
+// metrics as the per-query loop, box by box.
+TEST(KdeTest, BatchMatchesPerQueryValuesAndMetrics) {
+  Rng rng(21);
+  std::vector<Point> sample;
+  for (int i = 0; i < 400; ++i) {
+    sample.push_back({Clamp(rng.Gaussian(0.4, 0.1), 0.0, 1.0),
+                      Clamp(rng.Gaussian(0.6, 0.2), 0.0, 1.0)});
+  }
+  auto kde = KernelDensityEstimator::Create(sample, {0.05, 0.08});
+  ASSERT_TRUE(kde.ok());
+
+  std::vector<Point> lo, hi;
+  for (int b = 0; b < 12; ++b) {
+    const double cx = 0.1 + 0.06 * b, cy = 0.9 - 0.05 * b;
+    lo.push_back({cx - 0.02, cy - 0.02});
+    hi.push_back({cx + 0.02, cy + 0.02});
+  }
+  lo.push_back({0.5, 0.5});  // one inverted box rides along
+  hi.push_back({0.4, 0.6});
+
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* queries = registry.GetCounter("stats.kde.box_queries");
+  obs::Histogram* terms =
+      registry.GetHistogram("stats.kde.terms_per_query",
+                            obs::SizeBoundaries());
+
+  const uint64_t q0 = queries->value();
+  const uint64_t c0 = terms->Count();
+  const double s0 = terms->Sum();
+  std::vector<double> batched;
+  kde->BoxProbabilityBatch(lo, hi, &batched);
+  const uint64_t batch_queries = queries->value() - q0;
+  const uint64_t batch_records = terms->Count() - c0;
+  const double batch_terms = terms->Sum() - s0;
+
+  const uint64_t q1 = queries->value();
+  const uint64_t c1 = terms->Count();
+  const double s1 = terms->Sum();
+  ASSERT_EQ(batched.size(), lo.size());
+  for (size_t q = 0; q < lo.size(); ++q) {
+    EXPECT_DOUBLE_EQ(batched[q], kde->BoxProbability(lo[q], hi[q])) << q;
+  }
+  EXPECT_EQ(batch_queries, queries->value() - q1);
+  EXPECT_EQ(batch_records, terms->Count() - c1);
+  EXPECT_DOUBLE_EQ(batch_terms, terms->Sum() - s1);
 }
 
 }  // namespace

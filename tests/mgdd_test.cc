@@ -109,7 +109,7 @@ TEST(MgddTest, ReplicaMatchesRootSample) {
 
   const auto& leaf = static_cast<const MgddLeafNode&>(fx.sim.node(fx.ids[0]));
   ASSERT_TRUE(leaf.HasGlobalModel());
-  std::vector<Point> replica = leaf.GlobalEstimator().sample();
+  std::vector<Point> replica = leaf.GlobalEstimator().sample().ToPoints();
   std::sort(replica.begin(), replica.end());
   EXPECT_EQ(replica, root_sample);
 }

@@ -286,5 +286,149 @@ TEST_P(SyntheticConsistencyTest, EmpiricalMatchesAnalytic) {
 INSTANTIATE_TEST_SUITE_P(Dims, SyntheticConsistencyTest,
                          ::testing::Values(1, 2, 3));
 
+// ---------------------------------------------------------------------
+// Primary-axis pruning (DESIGN.md §13): BoxProbability / Pdf /
+// BoxProbabilityBatch restrict the sweep to the binary-searched candidate
+// range, and the skipped terms contribute exactly 0.0 — so the results must
+// be *bit-identical* to a reference full sweep over the same canonical
+// order, for every seed and dimensionality.
+// ---------------------------------------------------------------------
+
+double ReferenceFullSweepBoxMass(const KernelDensityEstimator& kde,
+                                 const std::vector<EpanechnikovKernel>& ks,
+                                 const Point& lo, const Point& hi) {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] > hi[i]) return 0.0;
+  }
+  const FlatPoints& s = kde.sample();
+  if (ks.size() == 1) {
+    // The 1-d fast path counts the fully-contained middle as an integer and
+    // sums the left then right partials; mirror that order, but classify
+    // every row by a linear scan instead of binary search, and check on the
+    // way that each skipped row really carries exactly zero mass.
+    const double b = ks[0].bandwidth();
+    const bool has_middle = lo[0] + b <= hi[0] - b;
+    double full = 0.0;
+    std::vector<double> left, right;
+    for (size_t row = 0; row < s.size(); ++row) {
+      const double v = s.At(row, 0);
+      if (v < lo[0] - b || v > hi[0] + b) {
+        EXPECT_EQ(ks[0].MassInInterval(v, lo[0], hi[0]), 0.0);
+        continue;
+      }
+      if (has_middle && v >= lo[0] + b && v <= hi[0] - b) {
+        full += 1.0;
+      } else if (has_middle && v < lo[0] + b) {
+        left.push_back(v);
+      } else {
+        right.push_back(v);
+      }
+    }
+    double mass = 0.0;
+    if (has_middle) mass += full;
+    for (const double v : left) mass += ks[0].MassInInterval(v, lo[0], hi[0]);
+    for (const double v : right) {
+      mass += ks[0].MassInInterval(v, lo[0], hi[0]);
+    }
+    return mass / static_cast<double>(s.size());
+  }
+  // d > 1: the un-pruned general path — every canonical row, dims in order,
+  // early exit on a zero factor, final division.
+  double total = 0.0;
+  for (size_t row = 0; row < s.size(); ++row) {
+    const double* t = s.Row(row);
+    double contrib = 1.0;
+    for (size_t i = 0; i < ks.size() && contrib > 0.0; ++i) {
+      contrib *= ks[i].MassInInterval(t[i], lo[i], hi[i]);
+    }
+    total += contrib;
+  }
+  return total / static_cast<double>(s.size());
+}
+
+double ReferenceFullSweepPdf(const KernelDensityEstimator& kde,
+                             const std::vector<EpanechnikovKernel>& ks,
+                             const Point& p) {
+  const FlatPoints& s = kde.sample();
+  double total = 0.0;
+  for (size_t row = 0; row < s.size(); ++row) {
+    const double* t = s.Row(row);
+    double contrib = 1.0;
+    for (size_t i = 0; i < ks.size() && contrib > 0.0; ++i) {
+      contrib *= ks[i].Value(p[i] - t[i]);
+    }
+    total += contrib;
+  }
+  return total / static_cast<double>(s.size());
+}
+
+class KdePruningBitIdentityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdePruningBitIdentityTest, PrunedPathsMatchFullSweepBitwise) {
+  const size_t d = GetParam();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 977 + d);
+    const size_t n = 64 + static_cast<size_t>(rng.UniformUint64(256));
+    std::vector<Point> sample;
+    for (size_t i = 0; i < n; ++i) {
+      Point p(d);
+      for (double& x : p) {
+        // Clustered bulk plus uniform strays, the fig9 shape — wide spread
+        // on some axes so the primary-axis choice is exercised.
+        x = rng.Bernoulli(0.2)
+                ? rng.UniformDouble()
+                : Clamp(rng.Gaussian(0.3 + 0.2 * rng.Bernoulli(0.5), 0.05),
+                        0.0, 1.0);
+      }
+      sample.push_back(std::move(p));
+    }
+    std::vector<double> bandwidths(d);
+    for (double& b : bandwidths) b = rng.UniformDouble(0.02, 0.15);
+
+    auto kde = KernelDensityEstimator::Create(sample, bandwidths);
+    ASSERT_TRUE(kde.ok());
+    std::vector<EpanechnikovKernel> kernels;
+    for (double b : bandwidths) kernels.emplace_back(b);
+
+    std::vector<Point> lo_batch, hi_batch;
+    for (int q = 0; q < 8; ++q) {
+      Point lo(d), hi(d);
+      for (size_t i = 0; i < d; ++i) {
+        const double c = rng.UniformDouble(-0.1, 1.1);
+        const double r = rng.UniformDouble(0.005, 0.12);
+        lo[i] = c - r;
+        hi[i] = c + r;
+      }
+      const double pruned = kde->BoxProbability(lo, hi);
+      const double reference =
+          ReferenceFullSweepBoxMass(*kde, kernels, lo, hi);
+      ASSERT_EQ(pruned, reference)
+          << "box mass diverged at seed " << seed << " d " << d;
+
+      Point p(d);
+      for (size_t i = 0; i < d; ++i) p[i] = rng.UniformDouble(-0.1, 1.1);
+      ASSERT_EQ(kde->Pdf(p), ReferenceFullSweepPdf(*kde, kernels, p))
+          << "pdf diverged at seed " << seed << " d " << d;
+
+      lo_batch.push_back(std::move(lo));
+      hi_batch.push_back(std::move(hi));
+    }
+
+    std::vector<double> batched;
+    kde->BoxProbabilityBatch(lo_batch, hi_batch, &batched);
+    ASSERT_EQ(batched.size(), lo_batch.size());
+    for (size_t q = 0; q < batched.size(); ++q) {
+      ASSERT_EQ(batched[q],
+                ReferenceFullSweepBoxMass(*kde, kernels, lo_batch[q],
+                                          hi_batch[q]))
+          << "batched mass diverged at seed " << seed << " d " << d
+          << " box " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdePruningBitIdentityTest,
+                         ::testing::Values(1, 2, 3));
+
 }  // namespace
 }  // namespace sensord

@@ -29,7 +29,7 @@ TEST(SanitizerSmokeTest, ChainSampleChurnAcrossWindowBoundaries) {
       (void)sample.Add({data_rng.UniformDouble(), data_rng.UniformDouble()});
       ASSERT_GE(sample.StoredElements(), sample.sample_size());
       for (size_t c = 0; c < sample.sample_size(); ++c) {
-        const Point& active = sample.ActiveElement(c);
+        const PointView active = sample.ActiveElement(c);
         ASSERT_EQ(active.size(), 2u);
       }
     }

@@ -253,6 +253,76 @@ TEST(KdeSnapshotTest, DeserializedEstimatorIsIdentical) {
   }
 }
 
+TEST(KdeSnapshotTest, FlatLayoutRoundTripsToIdenticalEstimator) {
+  Rng rng(77);
+  std::vector<Point> sample;
+  for (int i = 0; i < 150; ++i) {
+    sample.push_back({rng.UniformDouble(), rng.Gaussian(0.4, 0.1),
+                      rng.UniformDouble(0.2, 0.9)});
+  }
+  auto original =
+      KernelDensityEstimator::Create(sample, {0.07, 0.04, 0.11});
+  ASSERT_TRUE(original.ok());
+
+  SnapshotWriter writer;
+  original.value().Serialize(&writer);
+  const std::vector<uint8_t> bytes = std::move(writer).Finish(kTestVersion);
+  auto reader = SnapshotReader::Open(bytes, kTestVersion);
+  ASSERT_TRUE(reader.ok());
+  auto restored = KernelDensityEstimator::Deserialize(&reader.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // The restored estimator is *identical*, not just equivalent: same
+  // canonical row order in the flat buffer, same primary axis, same
+  // bandwidths — hence bit-identical answers to any query.
+  EXPECT_EQ(restored.value().sample(), original.value().sample());
+  EXPECT_EQ(restored.value().primary_axis(), original.value().primary_axis());
+  EXPECT_EQ(restored.value().bandwidths(), original.value().bandwidths());
+  ASSERT_EQ(restored.value().BoxProbability({0.2, 0.3, 0.25},
+                                            {0.6, 0.5, 0.8}),
+            original.value().BoxProbability({0.2, 0.3, 0.25},
+                                            {0.6, 0.5, 0.8}));
+}
+
+TEST(KdeSnapshotTest, PreFlatLayoutPayloadStillRestores) {
+  // A payload written point-by-point in arbitrary (chain) order — the exact
+  // bytes the vector<Point>-era Serialize() emitted. Deserialize must
+  // accept it and re-canonicalize to the same estimator the same points
+  // produce through Create().
+  const std::vector<Point> chain_order{
+      {0.9, 0.2}, {0.1, 0.8}, {0.5, 0.5}, {0.3, 0.1}};
+  const std::vector<double> bandwidths{0.06, 0.09};
+  SnapshotWriter writer;
+  writer.PutDoubles(bandwidths);
+  writer.PutU32(static_cast<uint32_t>(chain_order.size()));
+  for (const Point& p : chain_order) writer.PutPoint(p);
+  const std::vector<uint8_t> bytes = std::move(writer).Finish(kTestVersion);
+
+  auto reader = SnapshotReader::Open(bytes, kTestVersion);
+  ASSERT_TRUE(reader.ok());
+  auto restored = KernelDensityEstimator::Deserialize(&reader.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  auto direct = KernelDensityEstimator::Create(chain_order, bandwidths);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(restored.value().sample(), direct.value().sample());
+  EXPECT_EQ(restored.value().primary_axis(), direct.value().primary_axis());
+  ASSERT_EQ(restored.value().Pdf({0.45, 0.45}),
+            direct.value().Pdf({0.45, 0.45}));
+}
+
+TEST(KdeSnapshotTest, PointDimensionMismatchIsRejected) {
+  SnapshotWriter writer;
+  writer.PutDoubles({0.05, 0.05});              // two bandwidths...
+  writer.PutU32(1);
+  writer.PutPoint({0.5});                       // ...but a 1-d point
+  const std::vector<uint8_t> bytes = std::move(writer).Finish(kTestVersion);
+  auto reader = SnapshotReader::Open(bytes, kTestVersion);
+  ASSERT_TRUE(reader.ok());
+  auto restored = KernelDensityEstimator::Deserialize(&reader.value());
+  EXPECT_FALSE(restored.ok());
+}
+
 TEST(DensityModelSnapshotTest, RestoredModelContinuesBitIdentically) {
   DensityModelConfig config;
   config.dimensions = 1;
